@@ -1,0 +1,41 @@
+"""Benches: ablations over MIDAS design choices (extensions)."""
+
+from conftest import report, run_once
+from repro.experiments.ablations import (
+    csi_error_sweep,
+    das_radius_sweep,
+    precoder_comparison,
+    tag_width_sweep,
+)
+
+
+def test_ablation_tag_width(benchmark):
+    result = run_once(benchmark, tag_width_sweep, n_topologies=40, seed=0)
+    report(
+        result,
+        "§3.2.4: one tag under-utilizes antennas, tagging everything picks "
+        "far clients; two is the medium-density compromise.",
+    )
+    assert result.median("width_2") > 0
+
+
+def test_ablation_das_radius(benchmark):
+    result = run_once(benchmark, das_radius_sweep, n_topologies=40, seed=0)
+    report(result, "§7: the paper recommends 50-75% of the CAS coverage range.")
+    assert len(result.series) == 3
+
+
+def test_ablation_precoders(benchmark):
+    result = run_once(benchmark, precoder_comparison, n_topologies=10, seed=0)
+    report(
+        result,
+        "Extension: naive <= balanced <= convex ZF optimum; WMMSE and the "
+        "full non-ZF optimum show what heavier machinery would buy.",
+    )
+    assert result.median("balanced") >= result.median("naive") * 0.999
+
+
+def test_ablation_csi_error(benchmark):
+    result = run_once(benchmark, csi_error_sweep, n_topologies=30, seed=0)
+    report(result, "Extension: robustness of power balancing to sounding error.")
+    assert result.median("err_0") >= result.median("err_0.2") * 0.95

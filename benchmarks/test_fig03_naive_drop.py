@@ -1,0 +1,14 @@
+"""Bench: regenerate Fig 3 (capacity drop of naive power scaling)."""
+
+from conftest import report, run_once
+from repro.experiments.fig03_naive_drop import run
+
+
+def test_fig03_naive_drop(benchmark):
+    result = run_once(benchmark, run, n_topologies=40, seed=0)
+    report(
+        result,
+        "Fig 3: DAS drop CDF far heavier than CAS (x-axis 0-8 b/s/Hz); "
+        "naive scaling is much more sub-optimal in DAS.",
+    )
+    assert result.median("das_drop") > result.median("cas_drop")

@@ -1,0 +1,11 @@
+"""Bench: regenerate Fig 7 (SISO link SNR, CAS vs DAS)."""
+
+from conftest import report, run_once
+from repro.experiments.fig07_link_snr import run
+
+
+def test_fig07_link_snr(benchmark):
+    result = run_once(benchmark, run, n_topologies=60, seed=0)
+    gain_db = result.median("das_snr_db") - result.median("cas_snr_db")
+    report(result, f"Fig 7: ~5 dB median DAS link gain (measured {gain_db:+.1f} dB).")
+    assert gain_db > 2.0

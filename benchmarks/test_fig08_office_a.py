@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig 8 (MU-MIMO capacity, Office A)."""
+
+from conftest import report, run_once
+from repro.experiments.fig08_09_capacity import run_office_a
+
+
+def test_fig08_office_a(benchmark):
+    result = run_once(benchmark, run_office_a, n_topologies=60, seed=0)
+    g2 = result.gain("midas_2x2", "cas_2x2")
+    g4 = result.gain("midas_4x4", "cas_4x4")
+    report(
+        result,
+        "Fig 8 (Office A): MIDAS median gain 40-67% (2x2) and 45-80% (4x4); "
+        f"measured {g2:+.0%} and {g4:+.0%}.",
+    )
+    assert g4 > 0.2

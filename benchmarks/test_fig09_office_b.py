@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig 9 (MU-MIMO capacity, Office B)."""
+
+from conftest import report, run_once
+from repro.experiments.fig08_09_capacity import run_office_b
+
+
+def test_fig09_office_b(benchmark):
+    result = run_once(benchmark, run_office_b, n_topologies=100, seed=0)
+    g2 = result.gain("midas_2x2", "cas_2x2")
+    g4 = result.gain("midas_4x4", "cas_4x4")
+    report(
+        result,
+        "Fig 9 (Office B): MIDAS median gain 40-67% (2x2) and 45-80% (4x4); "
+        f"measured {g2:+.0%} and {g4:+.0%}.",
+    )
+    assert g4 > 0.3

@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig 15 (3-AP end-to-end capacity)."""
+
+import numpy as np
+
+from conftest import report, run_once
+from repro.experiments.fig15_three_ap import run
+
+
+def test_fig15_three_ap(benchmark):
+    result = run_once(benchmark, run, n_topologies=20, seed=0, rounds_per_topology=20)
+    gain = result.gain("midas", "cas")
+    report(
+        result,
+        "Fig 15: ~200% capacity gain over CAS (CAS median ~7, MIDAS ~21 "
+        f"b/s/Hz); measured {gain:+.0%} "
+        f"(CAS {result.median('cas'):.1f}, MIDAS {result.median('midas'):.1f}).",
+    )
+    assert gain > 0.15
+    assert np.median(result.series["stream_ratio"]) > 1.0

@@ -1,0 +1,88 @@
+"""MIDAS: Multiple-Input Distributed Antenna Systems for 802.11ac.
+
+A full reproduction of Xiong et al., "MIDAS: Empowering 802.11ac Networks
+with Multiple-Input Distributed Antenna Systems" (ACM CoNEXT 2014), as a
+pure-Python library: the power-balanced MU-MIMO precoder, the DAS-aware MAC
+(per-antenna carrier sensing, opportunistic antenna selection, virtual
+packet tagging, deficit-round-robin client selection), and the simulation
+substrates (indoor channel model, topology generators, discrete-event
+802.11 MAC) needed to regenerate every figure of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import (AntennaMode, ChannelModel, office_b,
+...                    power_balanced_precoder, single_ap_scenario)
+>>> scenario = single_ap_scenario(office_b(), AntennaMode.DAS, seed=7)
+>>> model = ChannelModel(scenario.deployment, scenario.radio, seed=7)
+>>> h = model.channel_matrix()
+>>> result = power_balanced_precoder(
+...     h, scenario.radio.per_antenna_power_mw, scenario.radio.noise_mw)
+>>> result.converged
+True
+"""
+
+from .analysis import EmpiricalCdf, median_gain
+from .channel import ChannelModel, ChannelTrace, coverage_range_m, cs_range_m, record_trace
+from .config import MacConfig, MidasConfig, RadioConfig, SimConfig
+from .core import (
+    DeficitRoundRobin,
+    PrecodingResult,
+    TagTable,
+    naive_scaled_precoder,
+    optimal_power_allocation,
+    power_balanced_precoder,
+    reverse_waterfill,
+    select_clients_for_antennas,
+    zfbf_directions,
+    zfbf_equal_power,
+)
+from .phy import stream_sinrs, sum_capacity_bps_hz
+from .topology import (
+    AntennaMode,
+    Deployment,
+    Scenario,
+    eight_ap_scenario,
+    hidden_terminal_scenario,
+    office_a,
+    office_b,
+    single_ap_scenario,
+    three_ap_scenario,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EmpiricalCdf",
+    "median_gain",
+    "ChannelModel",
+    "ChannelTrace",
+    "coverage_range_m",
+    "cs_range_m",
+    "record_trace",
+    "MacConfig",
+    "MidasConfig",
+    "RadioConfig",
+    "SimConfig",
+    "DeficitRoundRobin",
+    "PrecodingResult",
+    "TagTable",
+    "naive_scaled_precoder",
+    "optimal_power_allocation",
+    "power_balanced_precoder",
+    "reverse_waterfill",
+    "select_clients_for_antennas",
+    "zfbf_directions",
+    "zfbf_equal_power",
+    "stream_sinrs",
+    "sum_capacity_bps_hz",
+    "AntennaMode",
+    "Deployment",
+    "Scenario",
+    "eight_ap_scenario",
+    "hidden_terminal_scenario",
+    "office_a",
+    "office_b",
+    "single_ap_scenario",
+    "three_ap_scenario",
+    "__version__",
+]

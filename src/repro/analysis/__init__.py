@@ -1,0 +1,13 @@
+"""Result analysis: empirical CDFs, percentile gains, paper-style reports."""
+
+from .cdf import EmpiricalCdf, median, median_gain, percentile_gain
+from .report import format_cdf_summary, format_series_table
+
+__all__ = [
+    "EmpiricalCdf",
+    "median",
+    "median_gain",
+    "percentile_gain",
+    "format_cdf_summary",
+    "format_series_table",
+]

@@ -1,0 +1,91 @@
+"""Empirical CDFs and percentile-gain statistics.
+
+Every figure in the paper's evaluation is a CDF over topologies (or a
+per-topology scatter); this module provides the small amount of statistics
+machinery the experiments and benches share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EmpiricalCdf:
+    """An empirical cumulative distribution over observed samples."""
+
+    samples: np.ndarray
+
+    def __post_init__(self):
+        arr = np.sort(np.asarray(self.samples, dtype=float).ravel())
+        if arr.size == 0:
+            raise ValueError("EmpiricalCdf requires at least one sample")
+        if np.any(~np.isfinite(arr)):
+            raise ValueError("EmpiricalCdf samples must be finite")
+        object.__setattr__(self, "samples", arr)
+
+    def __len__(self) -> int:
+        return int(self.samples.size)
+
+    def evaluate(self, x) -> np.ndarray:
+        """P[X <= x] for scalar or array ``x``."""
+        return np.searchsorted(self.samples, np.asarray(x, dtype=float), side="right") / len(self)
+
+    def quantile(self, q) -> float | np.ndarray:
+        """Inverse CDF at probability ``q`` (linear interpolation)."""
+        out = np.quantile(self.samples, q)
+        return float(out) if np.isscalar(q) else out
+
+    @property
+    def median(self) -> float:
+        """50th percentile."""
+        return self.quantile(0.5)
+
+    def support(self) -> tuple[float, float]:
+        """(min, max) of the observed samples."""
+        return float(self.samples[0]), float(self.samples[-1])
+
+    def curve(self) -> tuple[np.ndarray, np.ndarray]:
+        """(x, F(x)) step-curve points for plotting or tabulation."""
+        n = len(self)
+        return self.samples, np.arange(1, n + 1) / n
+
+
+def median(samples) -> float:
+    """Median of a sample array."""
+    return float(np.median(np.asarray(samples, dtype=float)))
+
+
+def percentile_gain(treatment, baseline, q: float = 0.5) -> float:
+    """Relative gain of ``treatment`` over ``baseline`` at quantile ``q``.
+
+    Returns ``quantile(treatment, q) / quantile(baseline, q) - 1``; the paper
+    reports median (q=0.5) gains like "MIDAS has a median gain of 40-67%".
+    """
+    base = float(np.quantile(np.asarray(baseline, dtype=float), q))
+    if base <= 0:
+        raise ValueError("baseline quantile must be positive to form a relative gain")
+    treat = float(np.quantile(np.asarray(treatment, dtype=float), q))
+    return treat / base - 1.0
+
+
+def median_gain(treatment, baseline) -> float:
+    """Median relative gain (the statistic the paper quotes most often)."""
+    return percentile_gain(treatment, baseline, 0.5)
+
+
+def paired_ratio(treatment, baseline) -> np.ndarray:
+    """Element-wise treatment/baseline ratio for paired per-topology samples.
+
+    Used by Fig 12 ("ratio of simultaneous streams MIDAS/CAS") where the
+    paper pairs the two systems on identical deployments.
+    """
+    t = np.asarray(treatment, dtype=float)
+    b = np.asarray(baseline, dtype=float)
+    if t.shape != b.shape:
+        raise ValueError("paired samples must have identical shapes")
+    if np.any(b <= 0):
+        raise ValueError("baseline samples must be positive")
+    return t / b

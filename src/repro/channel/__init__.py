@@ -1,0 +1,35 @@
+"""Indoor RF channel substrate.
+
+Replaces the paper's physical offices: log-distance path loss, log-normal
+(spatially smooth) shadowing, correlated Rayleigh/Rician block fading with
+Gauss-Markov time evolution, and channel-trace record/replay.
+"""
+
+from .fading import (
+    FadingProcess,
+    angular_spread_correlation,
+    correlation_for,
+    jakes_correlation,
+    sample_fading,
+)
+from .model import ChannelModel, ChannelSample
+from .pathloss import LogDistancePathLoss, coverage_range_m, cs_range_m
+from .shadowing import ShadowingField, group_antenna_sites
+from .traces import ChannelTrace, record_trace
+
+__all__ = [
+    "FadingProcess",
+    "angular_spread_correlation",
+    "correlation_for",
+    "jakes_correlation",
+    "sample_fading",
+    "ChannelModel",
+    "ChannelSample",
+    "LogDistancePathLoss",
+    "coverage_range_m",
+    "cs_range_m",
+    "ShadowingField",
+    "group_antenna_sites",
+    "ChannelTrace",
+    "record_trace",
+]

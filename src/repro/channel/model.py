@@ -1,0 +1,220 @@
+"""The composite channel model: path loss x shadowing x fading.
+
+:class:`ChannelModel` binds a :class:`~repro.topology.deployment.Deployment`
+to a :class:`~repro.config.RadioConfig` and produces
+
+* complex downlink channel matrices ``H`` of shape ``(n_clients, n_antennas)``
+  (the paper's ``h_jk``, client ``j`` from antenna ``k``),
+* large-scale received-power maps used for carrier sensing, coverage and
+  antenna-preference (tagging) decisions, and
+* time evolution between coherence blocks.
+
+Large-scale terms (path loss + shadowing) are frozen per topology; small-scale
+fading is a :class:`~repro.channel.fading.FadingProcess` evolving over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import rng as rng_mod
+from .. import units
+from ..config import RadioConfig
+from ..topology import geometry
+from ..topology.deployment import Deployment
+from . import walls
+from .fading import FadingProcess
+from .pathloss import LogDistancePathLoss
+from .shadowing import ShadowingField, group_antenna_sites
+
+
+@dataclass(frozen=True)
+class ChannelSample:
+    """A snapshot of the downlink channel at one instant."""
+
+    h: np.ndarray  # (n_clients, n_antennas) complex
+    noise_mw: float
+    time_s: float
+
+    @property
+    def n_clients(self) -> int:
+        return self.h.shape[0]
+
+    @property
+    def n_antennas(self) -> int:
+        return self.h.shape[1]
+
+
+class ChannelModel:
+    """Composite indoor channel for one deployment.
+
+    Parameters
+    ----------
+    deployment:
+        Antenna/client geometry.
+    radio:
+        Radio constants (propagation, power, noise).
+    seed:
+        Seed or generator; children are spawned for shadowing and fading so
+        the two streams are independent.
+    """
+
+    def __init__(self, deployment: Deployment, radio: RadioConfig, seed=None):
+        self.deployment = deployment
+        self.radio = radio
+        root = rng_mod.make_rng(seed)
+        shadow_rng, fading_rng = rng_mod.spawn(root, 2)
+
+        self._pathloss = LogDistancePathLoss.from_radio(radio)
+        self._sensing_pathloss = LogDistancePathLoss(
+            exponent=radio.sensing_pathloss_exponent,
+            reference_distance_m=self._pathloss.reference_distance_m,
+            reference_loss_db=self._pathloss.reference_loss_db,
+        )
+        self._site_of_antenna = group_antenna_sites(deployment.antenna_positions)
+        n_sites = int(self._site_of_antenna.max()) + 1 if deployment.n_antennas else 0
+        site_rngs = rng_mod.spawn(shadow_rng, max(n_sites, 1))
+        self._site_fields = [
+            ShadowingField(site_rngs[s], radio.shadowing_sigma_db, radio.shadowing_correlation_m)
+            for s in range(n_sites)
+        ]
+        self._fading = FadingProcess(
+            fading_rng,
+            deployment.n_clients,
+            deployment.antenna_positions,
+            radio.wavelength_m,
+            doppler_hz=radio.doppler_hz,
+            rician_k=radio.rician_k,
+            angular_spread_deg=radio.angular_spread_deg,
+        )
+        # Per-antenna feed-cable attenuation: distributed antennas hang off
+        # RF coax whose length we take as the antenna-to-AP distance.
+        ap_of_antenna = deployment.ap_positions[deployment.antenna_ap]
+        cable_lengths = np.linalg.norm(deployment.antenna_positions - ap_of_antenna, axis=1)
+        self._cable_loss_db = radio.cable_loss_db_per_m * cable_lengths
+
+        self._time_s = 0.0
+        self._client_gain_db = self.large_scale_gain_db(deployment.client_positions)
+
+    # ------------------------------------------------------------------
+    # Large-scale propagation
+    # ------------------------------------------------------------------
+    def large_scale_gain_db(self, rx_points) -> np.ndarray:
+        """Median channel gain (``-PL - walls + shadowing``) in dB from every
+        antenna to every receive point; shape ``(n_points, n_antennas)``."""
+        pts = geometry.as_points(rx_points)
+        dists = geometry.pairwise_distances(pts, self.deployment.antenna_positions)
+        gain = -self._pathloss.loss_db(dists)
+        if self.radio.wall_loss_db > 0:
+            gain -= walls.wall_loss_db(
+                pts,
+                self.deployment.antenna_positions,
+                self.radio.wall_spacing_m,
+                self.radio.wall_loss_db,
+                max_walls=self.radio.max_wall_count,
+            )
+        for k in range(self.deployment.n_antennas):
+            field = self._site_fields[self._site_of_antenna[k]]
+            gain[:, k] += field.sample(pts)
+        gain -= self._cable_loss_db[None, :]
+        return gain
+
+    @property
+    def cable_loss_db(self) -> np.ndarray:
+        """Per-antenna feed-cable attenuation (dB), zero for CAS antennas."""
+        return self._cable_loss_db.copy()
+
+    def rx_power_dbm(self, rx_points) -> np.ndarray:
+        """Large-scale received power (dBm) from each antenna at each point,
+        assuming the antenna transmits at the full per-antenna budget."""
+        return self.radio.per_antenna_power_dbm + self.large_scale_gain_db(rx_points)
+
+    def client_gain_db(self) -> np.ndarray:
+        """Cached large-scale gains for the deployment's clients,
+        shape ``(n_clients, n_antennas)``."""
+        return self._client_gain_db
+
+    def client_rx_power_dbm(self) -> np.ndarray:
+        """Large-scale RSSI each client sees from each antenna (dBm).
+
+        This is the "average received signal strength" the MIDAS AP uses to
+        build antenna preference lists for virtual packet tagging (§3.2.4).
+        """
+        return self.radio.per_antenna_power_dbm + self._client_gain_db
+
+    def antenna_cross_power_dbm(self) -> np.ndarray:
+        """Large-scale received power (dBm) at each antenna's location from
+        every other antenna; shape ``(n_antennas, n_antennas)``.
+
+        Used for inter-antenna carrier sensing.  Sensing links use the
+        cleaner elevated-path exponent (antennas are mounted above desks and
+        bodies).  The cable loss applies twice -- once on the transmitter's
+        feed, once on the sensing antenna's way back to its AP's receiver.
+        The diagonal (self-reception) is set to +inf dBm: an antenna
+        certainly senses its own transmission.
+        """
+        pts = self.deployment.antenna_positions
+        dists = geometry.pairwise_distances(pts, pts)
+        gain = -self._sensing_pathloss.loss_db(dists)
+        if self.radio.wall_loss_db > 0:
+            gain -= walls.wall_loss_db(
+                pts,
+                pts,
+                self.radio.wall_spacing_m,
+                self.radio.wall_loss_db,
+                max_walls=self.radio.max_wall_count,
+            )
+        for k in range(self.deployment.n_antennas):
+            field = self._site_fields[self._site_of_antenna[k]]
+            gain[:, k] += field.sample(pts)
+        gain -= self._cable_loss_db[None, :]  # transmitter's feed
+        gain -= self._cable_loss_db[:, None]  # sensing antenna's own feed
+        power = self.radio.per_antenna_power_dbm + gain
+        np.fill_diagonal(power, np.inf)
+        return power
+
+    def snr_db_map(self, rx_points) -> np.ndarray:
+        """Large-scale SNR (dB) from each antenna at each point,
+        shape ``(n_points, n_antennas)``."""
+        noise_dbm = units.mw_to_dbm(self.radio.noise_mw)
+        return self.rx_power_dbm(rx_points) - noise_dbm
+
+    # ------------------------------------------------------------------
+    # Small-scale channel
+    # ------------------------------------------------------------------
+    @property
+    def time_s(self) -> float:
+        """Current simulation time of the fading process."""
+        return self._time_s
+
+    def channel_matrix(self) -> np.ndarray:
+        """Instantaneous complex channel ``H`` of shape
+        ``(n_clients, n_antennas)``: amplitude = sqrt(large-scale linear gain)
+        times the unit-power fading coefficient."""
+        amplitude = np.sqrt(units.db_to_linear(np.asarray(self._client_gain_db)))
+        return amplitude * self._fading.current
+
+    def sample(self) -> ChannelSample:
+        """Snapshot of the current channel with the receiver noise floor."""
+        return ChannelSample(h=self.channel_matrix(), noise_mw=self.radio.noise_mw, time_s=self._time_s)
+
+    def advance(self, dt_s: float) -> None:
+        """Advance the fading process by ``dt_s`` seconds."""
+        self._fading.advance(dt_s)
+        self._time_s += dt_s
+
+
+def apply_csi_error(h: np.ndarray, error_std: float, rng: np.random.Generator) -> np.ndarray:
+    """Return a noisy CSI estimate ``H + e`` with per-entry complex Gaussian
+    error of standard deviation ``error_std * |H|`` (relative error).
+
+    Models imperfect sounding/feedback; 0 returns ``h`` unchanged.
+    """
+    if error_std < 0:
+        raise ValueError("error_std must be non-negative")
+    if error_std == 0.0:
+        return h
+    noise = (rng.standard_normal(h.shape) + 1j * rng.standard_normal(h.shape)) / np.sqrt(2.0)
+    return h + error_std * np.abs(h) * noise

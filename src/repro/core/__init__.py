@@ -1,0 +1,38 @@
+"""MIDAS core: the paper's contribution.
+
+PHY side: zero-forcing beamforming plus the power-balanced precoder built on
+reverse water-filling (§3.1), with naive and numerically-optimal comparators.
+
+MAC side: virtual packet tagging (§3.2.4) and antenna-specific deficit
+round-robin client selection (§3.2.5); the full MAC machinery lives in
+:mod:`repro.mac`.
+"""
+
+from .naive import naive_scaled_precoder
+from .optimal import full_optimal_precoder, optimal_power_allocation
+from .power_balance import PrecodingResult, power_balanced_precoder
+from .selection import DeficitRoundRobin, select_clients_for_antennas
+from .svd import su_beamforming_precoder, svd_waterfilling
+from .tagging import TagTable, antenna_preferences
+from .waterfill import reverse_waterfill
+from .wmmse import wmmse_precoder
+from .zfbf import zf_interference_leakage, zfbf_directions, zfbf_equal_power
+
+__all__ = [
+    "naive_scaled_precoder",
+    "full_optimal_precoder",
+    "optimal_power_allocation",
+    "PrecodingResult",
+    "power_balanced_precoder",
+    "DeficitRoundRobin",
+    "select_clients_for_antennas",
+    "su_beamforming_precoder",
+    "svd_waterfilling",
+    "TagTable",
+    "antenna_preferences",
+    "reverse_waterfill",
+    "wmmse_precoder",
+    "zf_interference_leakage",
+    "zfbf_directions",
+    "zfbf_equal_power",
+]

@@ -1,0 +1,53 @@
+"""The naive per-antenna power repair the paper argues against (§3.1.1).
+
+Conventional ZFBF splits power equally across streams; to satisfy the
+per-antenna constraint one can find the antenna that violates it the most
+(paper eq. 5) and scale *all streams on all antennas* by a single factor.
+This preserves zero-forcing but strands power on every other antenna --
+acceptably in a CAS, where the rows of ``V`` are nearly balanced, but
+disastrously in a DAS, whose topology imbalance makes rows wildly unequal
+(paper Fig 3).  This is the paper's precoding baseline ("a simple extension
+to conventional ZFBF", §5.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..phy.capacity import per_antenna_row_power
+from .zfbf import zfbf_equal_power
+
+
+def naive_scaled_precoder(
+    h: np.ndarray,
+    per_antenna_power_mw: float,
+    total_power_mw: float | None = None,
+) -> np.ndarray:
+    """Equal-power ZFBF followed by one global scaling to per-antenna feasibility.
+
+    Parameters
+    ----------
+    h:
+        Channel matrix ``(n_clients, n_antennas)``.
+    per_antenna_power_mw:
+        The per-antenna budget ``P`` (paper eq. 3).
+    total_power_mw:
+        Total budget used for the initial equal split; defaults to
+        ``n_antennas * per_antenna_power_mw``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Precoder ``(n_antennas, n_clients)`` satisfying every row constraint.
+    """
+    if per_antenna_power_mw <= 0:
+        raise ValueError("per_antenna_power_mw must be positive")
+    h = np.asarray(h, dtype=complex)
+    n_antennas = h.shape[1]
+    if total_power_mw is None:
+        total_power_mw = n_antennas * per_antenna_power_mw
+    v = zfbf_equal_power(h, total_power_mw)
+    worst_row = float(per_antenna_row_power(v).max())
+    if worst_row > per_antenna_power_mw:
+        v = v * np.sqrt(per_antenna_power_mw / worst_row)
+    return v

@@ -1,0 +1,74 @@
+"""Virtual packet tagging (paper §3.2.4).
+
+The MIDAS AP ranks its antennas per client by average received signal
+strength and tags every queued packet with the client's ``tag_width``
+strongest antennas (two at medium client density).  A packet is eligible for
+a MU-MIMO round only if at least one of its tagged antennas is free -- which
+both raises per-stream rate (close antennas) and avoids transmitting toward
+clients whose local medium is busy (the nearby antenna's channel state
+proxies the client's).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def antenna_preferences(rssi_dbm: np.ndarray) -> np.ndarray:
+    """Per-client antenna ranking, strongest first.
+
+    ``rssi_dbm`` has shape ``(n_clients, n_antennas)``; the result row ``j``
+    lists antenna indices in decreasing order of client ``j``'s RSSI.
+    """
+    rssi = np.asarray(rssi_dbm, dtype=float)
+    if rssi.ndim != 2:
+        raise ValueError("rssi_dbm must be (n_clients, n_antennas)")
+    # argsort is ascending; negate for descending.  mergesort keeps ties stable.
+    return np.argsort(-rssi, axis=1, kind="stable")
+
+
+@dataclass(frozen=True)
+class TagTable:
+    """Per-client antenna tags plus the underlying full preference order."""
+
+    tags: np.ndarray  # bool (n_clients, n_antennas)
+    preferences: np.ndarray  # int (n_clients, n_antennas), strongest first
+    tag_width: int
+
+    @classmethod
+    def from_rssi(cls, rssi_dbm: np.ndarray, tag_width: int = 2) -> "TagTable":
+        """Build tags from an RSSI table (paper default: two antennas/client)."""
+        prefs = antenna_preferences(rssi_dbm)
+        n_clients, n_antennas = prefs.shape
+        if not 1 <= tag_width <= n_antennas:
+            raise ValueError(f"tag_width must be in [1, {n_antennas}]")
+        tags = np.zeros((n_clients, n_antennas), dtype=bool)
+        rows = np.repeat(np.arange(n_clients), tag_width)
+        cols = prefs[:, :tag_width].ravel()
+        tags[rows, cols] = True
+        return cls(tags=tags, preferences=prefs, tag_width=tag_width)
+
+    @property
+    def n_clients(self) -> int:
+        return self.tags.shape[0]
+
+    @property
+    def n_antennas(self) -> int:
+        return self.tags.shape[1]
+
+    def clients_tagged_to(self, antenna: int) -> np.ndarray:
+        """Client indices whose packets carry antenna ``antenna``'s tag."""
+        return np.flatnonzero(self.tags[:, antenna])
+
+    def eligible_clients(self, available_antennas) -> np.ndarray:
+        """Clients with at least one tagged antenna in ``available_antennas``
+        (the paper's filtering rule)."""
+        available = np.zeros(self.n_antennas, dtype=bool)
+        available[np.asarray(available_antennas, dtype=int)] = True
+        return np.flatnonzero((self.tags & available[None, :]).any(axis=1))
+
+    def best_antenna(self, client: int) -> int:
+        """The client's single strongest antenna."""
+        return int(self.preferences[client, 0])

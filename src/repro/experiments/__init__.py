@@ -1,0 +1,11 @@
+"""Experiment harness: one module per figure of the paper's evaluation.
+
+Every experiment exposes ``run(...) -> ExperimentResult`` with a seedable,
+size-reducible interface so benchmarks can regenerate paper figures at
+full scale or smoke-test them quickly.
+"""
+
+from .common import ExperimentResult
+from .registry import EXPERIMENTS, get_experiment
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "get_experiment"]

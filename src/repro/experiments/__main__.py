@@ -1,0 +1,8 @@
+"""``python -m repro.experiments <name>`` runs one experiment."""
+
+import sys
+
+from .registry import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,124 @@
+"""Shared experiment plumbing: results, sweeps, and the precoder zoo."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .. import rng as rng_mod
+from ..analysis.cdf import EmpiricalCdf, median_gain
+from ..analysis.report import format_cdf_summary
+from ..channel.model import ChannelModel
+from ..core.naive import naive_scaled_precoder
+from ..core.power_balance import power_balanced_precoder
+from ..phy.capacity import stream_sinrs, sum_capacity_bps_hz
+from ..topology.deployment import AntennaMode
+from ..topology.scenarios import Scenario
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Named data series regenerating one paper figure."""
+
+    name: str
+    description: str
+    series: dict[str, np.ndarray]
+    params: dict = field(default_factory=dict)
+    notes: dict = field(default_factory=dict)
+
+    def cdf(self, series_name: str) -> EmpiricalCdf:
+        """Empirical CDF of one series (most paper figures are CDFs)."""
+        return EmpiricalCdf(self.series[series_name])
+
+    def median(self, series_name: str) -> float:
+        return float(np.median(self.series[series_name]))
+
+    def gain(self, treatment: str, baseline: str) -> float:
+        """Median relative gain between two series."""
+        return median_gain(self.series[treatment], self.series[baseline])
+
+    def summary(self) -> str:
+        """Paper-style text table of all series."""
+        header = f"== {self.name}: {self.description} =="
+        return header + "\n" + format_cdf_summary(self.series)
+
+
+def capacity_for(
+    scenario: Scenario, h: np.ndarray, precoder: str
+) -> float:
+    """Sum capacity of one channel snapshot under a named precoder.
+
+    ``precoder`` is one of ``"naive"`` (the paper's baseline),
+    ``"balanced"`` (MIDAS power-balanced), or ``"total_power"`` (equal-split
+    ZFBF without the per-antenna repair, the Fig 3 reference).
+    """
+    radio = scenario.radio
+    p = radio.per_antenna_power_mw
+    noise = radio.noise_mw
+    if precoder == "naive":
+        v = naive_scaled_precoder(h, p)
+    elif precoder == "balanced":
+        v = power_balanced_precoder(h, p, noise).v
+    elif precoder == "total_power":
+        from ..core.zfbf import zfbf_equal_power
+
+        v = zfbf_equal_power(h, h.shape[1] * p)
+    else:
+        raise ValueError(f"unknown precoder {precoder!r}")
+    return sum_capacity_bps_hz(stream_sinrs(h, v, noise))
+
+
+def sweep_topologies(
+    n_topologies: int,
+    seed: int,
+    build: Callable[[int], dict],
+) -> list[dict]:
+    """Evaluate ``build(topology_seed)`` over derived per-topology seeds.
+
+    ``build`` may return ``None`` to reject a topology (placement
+    constraints); the sweep keeps drawing seeds until ``n_topologies``
+    results are collected (with a generous attempt cap).
+    """
+    if n_topologies < 1:
+        raise ValueError("need at least one topology")
+    results: list[dict] = []
+    attempts = 0
+    max_attempts = max(200, 80 * n_topologies)
+    stream = rng_mod.seed_stream(seed)
+    while len(results) < n_topologies and attempts < max_attempts:
+        topo_seed = next(stream)
+        attempts += 1
+        outcome = build(topo_seed)
+        if outcome is not None:
+            results.append(outcome)
+    if len(results) < n_topologies:
+        raise RuntimeError(
+            f"only {len(results)}/{n_topologies} topologies satisfied the "
+            f"placement constraints after {attempts} attempts"
+        )
+    return results
+
+
+def channel_for(scenario: Scenario, seed: int) -> ChannelModel:
+    """Channel model bound to a scenario with a derived seed."""
+    return ChannelModel(scenario.deployment, scenario.radio, seed=seed)
+
+
+def greedy_siso_snrs(model: ChannelModel) -> np.ndarray:
+    """Fig 7's greedy client-antenna mapping: repeatedly take the strongest
+    remaining (client, antenna) pair and exclude both from further rounds;
+    returns the per-client link SNR (dB)."""
+    snr = model.snr_db_map(model.deployment.client_positions).copy()
+    n = min(snr.shape)
+    values = np.empty(n)
+    for i in range(n):
+        j, k = np.unravel_index(np.argmax(snr), snr.shape)
+        values[i] = snr[j, k]
+        snr[j, :] = -np.inf
+        snr[:, k] = -np.inf
+    return values
+
+
+MODE_LABEL = {AntennaMode.CAS: "cas", AntennaMode.DAS: "das"}

@@ -1,0 +1,89 @@
+"""Fig 13: deadzone maps and deadspot reduction, MIDAS vs CAS.
+
+Paper protocol (§5.3.3): deploy one AP in CAS and MIDAS modes (DAS antennas
+random around the AP), survey the coverage area on a 0.5 m grid, flag
+deadspots, repeat over 10 deployments.  DAS removes ~91% of deadspots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..channel.pathloss import coverage_range_m
+from ..topology import geometry
+from ..topology.deployment import AntennaMode
+from ..topology.scenarios import OfficeEnvironment, office_b, paired_scenarios
+from .common import ExperimentResult, channel_for, sweep_topologies
+
+
+def deadspot_mask(
+    model, points: np.ndarray, min_snr_db: float, fade_margin_db: float = 6.0
+) -> np.ndarray:
+    """True where the best-antenna SNR (minus a small-scale fade margin)
+    falls below the decode threshold."""
+    snr = model.snr_db_map(points)
+    best = snr.max(axis=1)
+    return best - fade_margin_db < min_snr_db
+
+
+def run(
+    n_topologies: int = 10,
+    seed: int = 0,
+    environment: OfficeEnvironment | None = None,
+    grid_step_m: float = 0.5,
+    fade_margin_db: float = 6.0,
+) -> ExperimentResult:
+    """Regenerate Fig 13's deadspot statistics (plus one example map pair)."""
+    env = environment or office_b()
+    coverage = coverage_range_m(env.radio)
+    grid = geometry.grid_points(
+        (-coverage, coverage), (-coverage, coverage), grid_step_m
+    )
+    in_disk = geometry.points_within(grid, (0.0, 0.0), coverage)
+    survey_points = grid[in_disk]
+
+    cas_counts, das_counts, reductions = [], [], []
+    example_maps: dict = {}
+
+    def build(topo_seed: int) -> dict:
+        pair = paired_scenarios(
+            env, [(0.0, 0.0)], seed=topo_seed, name="fig13"
+        )
+        masks = {}
+        for mode in (AntennaMode.CAS, AntennaMode.DAS):
+            model = channel_for(pair[mode], topo_seed)
+            masks[mode.value] = deadspot_mask(
+                model, survey_points, pair[mode].mac.decode_snr_db, fade_margin_db
+            )
+        return masks
+
+    for index, masks in enumerate(sweep_topologies(n_topologies, seed, build)):
+        cas = int(masks["cas"].sum())
+        das = int(masks["das"].sum())
+        cas_counts.append(cas)
+        das_counts.append(das)
+        reductions.append(1.0 - das / cas if cas > 0 else 0.0)
+        if index == 0:
+            example_maps = {
+                "points": survey_points,
+                "cas_mask": masks["cas"],
+                "das_mask": masks["das"],
+            }
+
+    return ExperimentResult(
+        name="fig13",
+        description="Deadspot counts per deployment (0.5 m grid)",
+        series={
+            "cas_deadspots": np.asarray(cas_counts, dtype=float),
+            "das_deadspots": np.asarray(das_counts, dtype=float),
+            "reduction": np.asarray(reductions),
+        },
+        params={
+            "n_topologies": n_topologies,
+            "seed": seed,
+            "grid_step_m": grid_step_m,
+            "coverage_m": coverage,
+            "fade_margin_db": fade_margin_db,
+        },
+        notes={"example_maps": example_maps},
+    )

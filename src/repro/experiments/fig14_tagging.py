@@ -1,0 +1,95 @@
+"""Fig 14: the effect of virtual packet tagging on client selection.
+
+Paper protocol (§5.3.2): a MIDAS AP with two of four antennas available at
+the MAC and four backlogged clients.  Tagged selection picks the two
+clients whose preference lists match the available antennas; the baseline
+picks two clients at random.  Tagging lifts median capacity ~50%.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import rng as rng_mod
+from ..core.power_balance import power_balanced_precoder
+from ..core.tagging import TagTable
+from ..phy.capacity import stream_sinrs, sum_capacity_bps_hz
+from ..topology.deployment import AntennaMode
+from ..topology.scenarios import OfficeEnvironment, office_b, single_ap_scenario
+from .common import ExperimentResult, channel_for, sweep_topologies
+
+
+def tagged_selection(tags: TagTable, available: np.ndarray, rssi: np.ndarray) -> list[int]:
+    """One client per available antenna, among clients tagged to it; ties on
+    the (all-equal) fairness counters resolve toward the stronger link."""
+    chosen: list[int] = []
+    for antenna in available:
+        candidates = [c for c in tags.clients_tagged_to(int(antenna)) if c not in chosen]
+        if not candidates:
+            continue
+        best = max(candidates, key=lambda c: rssi[c, int(antenna)])
+        chosen.append(int(best))
+    return chosen
+
+
+def capacity_of_selection(
+    scenario, h: np.ndarray, antennas: np.ndarray, clients: list[int]
+) -> float:
+    """Power-balanced MU-MIMO capacity for the chosen clients over the
+    available antennas."""
+    if not clients:
+        return 0.0
+    radio = scenario.radio
+    h_sub = h[np.ix_(np.asarray(clients, dtype=int), antennas)]
+    v = power_balanced_precoder(h_sub, radio.per_antenna_power_mw, radio.noise_mw).v
+    return sum_capacity_bps_hz(stream_sinrs(h_sub, v, radio.noise_mw))
+
+
+def run(
+    n_topologies: int = 60,
+    seed: int = 0,
+    environment: OfficeEnvironment | None = None,
+    n_antennas: int = 4,
+    n_available: int = 2,
+    tag_width: int = 2,
+) -> ExperimentResult:
+    """Regenerate Fig 14's tagged-vs-random capacity CDFs."""
+    env = environment or office_b()
+    tagged_caps, random_caps = [], []
+
+    def build(topo_seed: int) -> dict:
+        scenario = single_ap_scenario(
+            env, AntennaMode.DAS, n_antennas=n_antennas, n_clients=n_antennas, seed=topo_seed
+        )
+        model = channel_for(scenario, topo_seed)
+        rng = rng_mod.make_rng(topo_seed)
+        available = rng.choice(n_antennas, size=n_available, replace=False)
+        h = model.channel_matrix()
+        rssi = model.client_rx_power_dbm()
+        tags = TagTable.from_rssi(rssi, tag_width=tag_width)
+
+        with_tags = tagged_selection(tags, available, rssi)
+        random_clients = list(rng.choice(n_antennas, size=n_available, replace=False))
+        return {
+            "tagged": capacity_of_selection(scenario, h, available, with_tags),
+            "random": capacity_of_selection(scenario, h, available, random_clients),
+        }
+
+    for outcome in sweep_topologies(n_topologies, seed, build):
+        tagged_caps.append(outcome["tagged"])
+        random_caps.append(outcome["random"])
+
+    return ExperimentResult(
+        name="fig14",
+        description="Virtual packet tagging vs random client pick (b/s/Hz)",
+        series={
+            "tagged": np.asarray(tagged_caps),
+            "random": np.asarray(random_caps),
+        },
+        params={
+            "n_topologies": n_topologies,
+            "seed": seed,
+            "n_available": n_available,
+            "tag_width": tag_width,
+        },
+    )

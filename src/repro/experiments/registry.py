@@ -1,0 +1,73 @@
+"""Name -> experiment registry and a small CLI.
+
+Run any figure from the command line::
+
+    python -m repro.experiments fig09 --topologies 60 --seed 0
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable
+
+from . import (
+    ablations,
+    fig03_naive_drop,
+    fig07_link_snr,
+    fig08_09_capacity,
+    fig10_precoding_impact,
+    fig11_vs_optimal,
+    fig12_simultaneous_tx,
+    fig13_deadzones,
+    fig14_tagging,
+    fig15_three_ap,
+    fig16_eight_ap,
+    hidden_terminals,
+)
+from .common import ExperimentResult
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "fig03": fig03_naive_drop.run,
+    "fig07": fig07_link_snr.run,
+    "fig08": fig08_09_capacity.run_office_a,
+    "fig09": fig08_09_capacity.run_office_b,
+    "fig10": fig10_precoding_impact.run,
+    "fig11": fig11_vs_optimal.run,
+    "fig12": fig12_simultaneous_tx.run,
+    "fig13": fig13_deadzones.run,
+    "fig14": fig14_tagging.run,
+    "fig15": fig15_three_ap.run,
+    "fig16": fig16_eight_ap.run,
+    "hidden_terminals": hidden_terminals.run,
+    "ablation_tag_width": ablations.tag_width_sweep,
+    "ablation_das_radius": ablations.das_radius_sweep,
+    "ablation_precoders": ablations.precoder_comparison,
+    "ablation_csi_error": ablations.csi_error_sweep,
+}
+
+
+def get_experiment(name: str) -> Callable[..., ExperimentResult]:
+    """Look up an experiment by registry name."""
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {name!r}; known: {known}") from None
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: run one experiment and print its summary."""
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments", description="Regenerate a MIDAS paper figure"
+    )
+    parser.add_argument("name", choices=sorted(EXPERIMENTS), help="experiment id")
+    parser.add_argument("--topologies", type=int, default=None, help="topology count")
+    parser.add_argument("--seed", type=int, default=0, help="root seed")
+    args = parser.parse_args(argv)
+
+    kwargs: dict = {"seed": args.seed}
+    if args.topologies is not None:
+        kwargs["n_topologies"] = args.topologies
+    result = get_experiment(args.name)(**kwargs)
+    print(result.summary())
+    return 0

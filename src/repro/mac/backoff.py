@@ -1,0 +1,39 @@
+"""CSMA/CA contention state (binary exponential backoff).
+
+One :class:`BackoffState` per contender: the whole AP in a CAS, each antenna
+in MIDAS (paper §3.2.1: "each of the antennas at an AP competes for access
+to the channel independently").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import MacConfig
+
+
+class BackoffState:
+    """Draws backoff delays and tracks the contention window."""
+
+    def __init__(self, mac: MacConfig, rng: np.random.Generator):
+        self._mac = mac
+        self._rng = rng
+        self._cw = mac.cw_min
+
+    @property
+    def contention_window(self) -> int:
+        """Current contention window (slots)."""
+        return self._cw
+
+    def draw_delay_us(self) -> float:
+        """One full deferral: DIFS plus a uniform backoff in [0, CW] slots."""
+        slots = int(self._rng.integers(0, self._cw + 1))
+        return self._mac.difs_us + slots * self._mac.slot_us
+
+    def on_success(self) -> None:
+        """Reset the window after a successful transmission."""
+        self._cw = self._mac.cw_min
+
+    def on_collision(self) -> None:
+        """Double the window (bounded by CWmax) after a collision."""
+        self._cw = min(2 * self._cw + 1, self._mac.cw_max)

@@ -1,0 +1,110 @@
+"""Physical carrier sensing at antenna granularity (paper §3.2.2).
+
+Each antenna senses energy independently: it is *busy* when the aggregate
+received power from all currently-transmitting antennas (of other APs, or
+other antennas of its own AP) exceeds the energy-detect threshold.  A
+transmission additionally sets the NAV when any single transmitter is
+received above the (more sensitive) preamble-decode threshold.
+
+The model is large-scale only: carrier sense in hardware integrates over
+many OFDM symbols, which averages small-scale fading out.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import units
+from ..config import MacConfig
+
+
+class CarrierSenseModel:
+    """Pairwise antenna-to-antenna sensing powers plus threshold logic.
+
+    Parameters
+    ----------
+    cross_power_dbm:
+        ``(n_antennas, n_antennas)`` large-scale received power at antenna
+        *row* when antenna *column* transmits at full per-antenna power
+        (:meth:`repro.channel.model.ChannelModel.antenna_cross_power_dbm`).
+    mac:
+        Thresholds.
+    """
+
+    def __init__(self, cross_power_dbm: np.ndarray, mac: MacConfig):
+        cross = np.asarray(cross_power_dbm, dtype=float)
+        if cross.ndim != 2 or cross.shape[0] != cross.shape[1]:
+            raise ValueError("cross_power_dbm must be square")
+        self._mac = mac
+        # Linear mW for summation; +inf dBm diagonal becomes +inf mW, which is
+        # correct (an antenna always senses itself) but must never be summed,
+        # so keep it masked out of aggregate computations.
+        self._cross_mw = units.dbm_to_mw(np.where(np.isinf(cross), -np.inf, cross))
+        self._decodable = cross >= mac.nav_decode_dbm
+        np.fill_diagonal(self._decodable, True)
+
+    @property
+    def n_antennas(self) -> int:
+        return self._cross_mw.shape[0]
+
+    def sensed_power_mw(self, listener: int, transmitting) -> float:
+        """Aggregate power antenna ``listener`` receives from ``transmitting``
+        antennas (its own transmissions excluded -- self-sensing is handled
+        at the MAC level, a transmitting antenna is trivially busy)."""
+        tx = [t for t in np.asarray(list(transmitting), dtype=int) if t != listener]
+        if not tx:
+            return 0.0
+        return float(self._cross_mw[listener, tx].sum())
+
+    def is_busy(self, listener: int, transmitting) -> bool:
+        """Energy-detect verdict for ``listener`` given active transmitters."""
+        return self.sensed_power_mw(listener, transmitting) >= self._mac.cs_threshold_mw
+
+    def busy_mask(self, transmitting) -> np.ndarray:
+        """Boolean busy verdict for every antenna given active transmitters.
+
+        Transmitting antennas are busy by definition.
+        """
+        tx = np.asarray(list(transmitting), dtype=int)
+        mask = np.zeros(self.n_antennas, dtype=bool)
+        if tx.size == 0:
+            return mask
+        power = self._cross_mw[:, tx].sum(axis=1)
+        mask = power >= self._mac.cs_threshold_mw
+        mask[tx] = True
+        return mask
+
+    def decodes(self, listener: int, transmitter: int, interferers=()) -> bool:
+        """True when ``listener`` can decode ``transmitter``'s preamble and
+        therefore learns the transmission duration (sets its NAV).
+
+        With ``interferers`` already in the air, decoding additionally
+        requires the preamble to *capture*: its power must exceed the
+        aggregate interference by ``preamble_capture_db``.
+        """
+        if not self._decodable[listener, transmitter]:
+            return False
+        others = [
+            i
+            for i in np.asarray(list(interferers), dtype=int)
+            if i != listener and i != transmitter
+        ]
+        if not others:
+            return True
+        signal = self._cross_mw[listener, transmitter]
+        interference = float(self._cross_mw[listener, others].sum())
+        if interference <= 0:
+            return True
+        capture = units.db_to_linear(self._mac.preamble_capture_db)
+        return bool(signal >= capture * interference)
+
+    def nav_listeners(self, transmitter: int, interferers=()) -> np.ndarray:
+        """All antennas that decode ``transmitter`` (including itself),
+        subject to capture against ``interferers``."""
+        base = np.flatnonzero(self._decodable[:, transmitter])
+        if len(base) == 0:
+            return base
+        return np.asarray(
+            [l for l in base if self.decodes(int(l), transmitter, interferers)],
+            dtype=int,
+        )

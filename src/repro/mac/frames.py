@@ -1,0 +1,49 @@
+"""Airtime model for the frames a MU-MIMO TXOP exchanges.
+
+A TXOP spends airtime on: optional sounding (NDPA/NDP/feedback, from
+:mod:`repro.phy.sounding`), the precoded data burst itself (``txop_us``),
+and the block-ack collection from each served client.  The *data fraction*
+of a TXOP is what converts per-stream spectral efficiency into delivered
+throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import MacConfig
+from ..phy.sounding import sounding_overhead_us
+
+#: Block-ack request + block-ack exchange per client, microseconds.
+BLOCK_ACK_US = 46.0
+#: VHT preamble of the data PPDU, microseconds.
+DATA_PREAMBLE_US = 44.0
+
+
+@dataclass(frozen=True)
+class FrameDurations:
+    """Airtime breakdown of one MU-MIMO TXOP."""
+
+    sounding_us: float
+    data_us: float
+    ack_us: float
+
+    @property
+    def total_us(self) -> float:
+        return self.sounding_us + self.data_us + self.ack_us
+
+    @property
+    def data_fraction(self) -> float:
+        """Fraction of the TXOP carrying payload symbols."""
+        return (self.data_us - DATA_PREAMBLE_US) / self.total_us
+
+
+def txop_durations(
+    mac: MacConfig, n_clients: int, n_antennas: int, with_sounding: bool = True
+) -> FrameDurations:
+    """Airtime of a MU-MIMO TXOP serving ``n_clients`` from ``n_antennas``."""
+    if n_clients < 1 or n_antennas < 1:
+        raise ValueError("need at least one client and one antenna")
+    sounding = sounding_overhead_us(n_clients, n_antennas) if with_sounding else 0.0
+    ack = n_clients * (mac.sifs_us + BLOCK_ACK_US)
+    return FrameDurations(sounding_us=sounding, data_us=mac.txop_us, ack_us=ack)

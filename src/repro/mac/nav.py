@@ -1,0 +1,60 @@
+"""Per-antenna network allocation vector (NAV) timers (paper §3.2.2).
+
+802.11ac keeps one NAV for the whole AP; MIDAS provisions one NAV *per
+antenna* so each distributed antenna tracks the medium occupancy around its
+own location.  ``NavTable`` is that bank of timers: times are absolute
+microseconds on the simulation clock.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class NavTable:
+    """A bank of per-antenna NAV expiry times."""
+
+    def __init__(self, n_antennas: int):
+        if n_antennas < 1:
+            raise ValueError("need at least one antenna")
+        self._expiry_us = np.zeros(n_antennas, dtype=float)
+
+    @property
+    def n_antennas(self) -> int:
+        return len(self._expiry_us)
+
+    def set_nav(self, antenna: int, until_us: float) -> None:
+        """Extend antenna's NAV to ``until_us`` (NAVs never shrink: a newer,
+        shorter reservation cannot cancel an older longer one)."""
+        if until_us > self._expiry_us[antenna]:
+            self._expiry_us[antenna] = until_us
+
+    def expiry_us(self, antenna: int) -> float:
+        """Absolute time at which the antenna's NAV expires."""
+        return float(self._expiry_us[antenna])
+
+    def is_clear(self, antenna: int, now_us: float) -> bool:
+        """True if the antenna's virtual carrier sense shows idle at ``now_us``."""
+        return self._expiry_us[antenna] <= now_us
+
+    def clear_antennas(self, now_us: float) -> np.ndarray:
+        """Indices of antennas whose NAV has expired at ``now_us``."""
+        return np.flatnonzero(self._expiry_us <= now_us)
+
+    def expiring_within(self, now_us: float, window_us: float) -> np.ndarray:
+        """Antennas busy now but whose NAV expires within ``window_us``.
+
+        This is the opportunistic-selection query (paper §3.2.3): antennas in
+        this set are worth waiting up to one DIFS for.
+        """
+        if window_us < 0:
+            raise ValueError("window_us must be non-negative")
+        busy = self._expiry_us > now_us
+        soon = self._expiry_us <= now_us + window_us
+        return np.flatnonzero(busy & soon)
+
+    def order_by_expiry(self, antennas) -> np.ndarray:
+        """Sort antenna indices by NAV expiry, earliest first (paper §3.2.5:
+        the primary antenna is the one whose NAV expired first)."""
+        idx = np.asarray(list(antennas), dtype=int)
+        return idx[np.argsort(self._expiry_us[idx], kind="stable")]

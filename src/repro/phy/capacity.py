@@ -1,0 +1,82 @@
+"""SINR and Shannon-capacity computation for precoded MU-MIMO downlinks.
+
+Implements the paper's eq. (4): with channel ``H`` (clients x antennas) and
+precoder ``V`` (antennas x streams, column ``j`` = client ``j``'s stream),
+the *effective channel* is ``E = H @ V`` and
+
+    ``s_ij = |E[j, i]|^2 / No``          (power of stream i at client j)
+    ``rho_j = s_jj / (1 + sum_{i != j} s_ij)``
+
+The paper converts measured SINR directly to capacity with the Shannon
+formula (§5.1); :func:`sum_capacity_bps_hz` does the same.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def effective_channel(h: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """``E = H @ V``; entry ``(j, i)`` is stream ``i``'s amplitude at client ``j``."""
+    h = np.asarray(h)
+    v = np.asarray(v)
+    if h.ndim != 2 or v.ndim != 2:
+        raise ValueError("h and v must be 2-D")
+    if h.shape[1] != v.shape[0]:
+        raise ValueError(
+            f"antenna-dimension mismatch: h is {h.shape}, v is {v.shape}"
+        )
+    return h @ v
+
+
+def sinr_matrix(h: np.ndarray, v: np.ndarray, noise_mw: float) -> np.ndarray:
+    """The paper's ``S`` matrix: ``S[i, j]`` = power of stream ``i`` received
+    at client ``j``, normalized by the noise floor."""
+    if noise_mw <= 0:
+        raise ValueError("noise_mw must be positive")
+    e = effective_channel(h, v)
+    return (np.abs(e) ** 2).T / noise_mw
+
+
+def stream_sinrs(
+    h: np.ndarray,
+    v: np.ndarray,
+    noise_mw: float,
+    external_interference_mw=0.0,
+) -> np.ndarray:
+    """Per-client SINR ``rho_j`` under precoder ``V`` (paper eq. 4).
+
+    ``external_interference_mw`` is extra interference power (scalar or
+    per-client vector) from transmissions outside this precoding group --
+    e.g. concurrent TXOPs of other APs in the network simulations.
+    """
+    s = sinr_matrix(h, v, noise_mw)  # (streams, clients)
+    n_streams, n_clients = s.shape
+    if n_streams != n_clients:
+        raise ValueError("streams and clients must pair one-to-one for SINR")
+    ext = np.broadcast_to(
+        np.asarray(external_interference_mw, dtype=float), (n_clients,)
+    )
+    desired = np.diag(s)
+    intra = s.sum(axis=0) - desired  # interference from other streams at client j
+    return desired / (1.0 + intra + ext / noise_mw)
+
+
+def sum_capacity_bps_hz(sinrs) -> float:
+    """Shannon sum capacity ``sum_j log2(1 + rho_j)`` in bits/s/Hz."""
+    rho = np.asarray(sinrs, dtype=float)
+    if np.any(rho < 0):
+        raise ValueError("SINRs must be non-negative")
+    return float(np.sum(np.log2(1.0 + rho)))
+
+
+def per_antenna_row_power(v: np.ndarray) -> np.ndarray:
+    """Transmit power per antenna: row-wise ``sum_j |v_kj|^2`` (paper eq. 3 LHS)."""
+    v = np.asarray(v)
+    return np.sum(np.abs(v) ** 2, axis=1)
+
+
+def per_stream_column_power(v: np.ndarray) -> np.ndarray:
+    """Transmit power per stream: column-wise ``sum_k |v_kj|^2``."""
+    v = np.asarray(v)
+    return np.sum(np.abs(v) ** 2, axis=0)

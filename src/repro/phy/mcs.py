@@ -1,0 +1,63 @@
+"""802.11ac (VHT) modulation-and-coding table.
+
+The paper's capacity results use the Shannon formula, but a real 802.11ac AP
+quantizes each stream to an MCS.  This table (20 MHz, one spatial stream,
+800 ns GI) lets examples and extension benches report standard-compliant
+rates and required SNRs alongside Shannon capacity.
+
+SNR thresholds are typical receiver-sensitivity-derived values for a 10%
+PER, consistent with common link-abstraction tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class McsEntry:
+    """One row of the VHT MCS table (per spatial stream, 20 MHz)."""
+
+    index: int
+    modulation: str
+    coding_rate: str
+    data_rate_mbps: float
+    min_snr_db: float
+
+    @property
+    def rate_bps_hz(self) -> float:
+        """Spectral efficiency on a 20 MHz channel."""
+        return self.data_rate_mbps * 1e6 / 20e6
+
+
+#: VHT MCS 0-8, 20 MHz, 1 spatial stream, long guard interval.
+MCS_TABLE: tuple[McsEntry, ...] = (
+    McsEntry(0, "BPSK", "1/2", 6.5, 2.0),
+    McsEntry(1, "QPSK", "1/2", 13.0, 5.0),
+    McsEntry(2, "QPSK", "3/4", 19.5, 9.0),
+    McsEntry(3, "16-QAM", "1/2", 26.0, 11.0),
+    McsEntry(4, "16-QAM", "3/4", 39.0, 15.0),
+    McsEntry(5, "64-QAM", "2/3", 52.0, 18.0),
+    McsEntry(6, "64-QAM", "3/4", 58.5, 20.0),
+    McsEntry(7, "64-QAM", "5/6", 65.0, 25.0),
+    McsEntry(8, "256-QAM", "3/4", 78.0, 29.0),
+)
+
+
+def highest_mcs_for_snr(snr_db: float) -> McsEntry | None:
+    """The fastest MCS whose SNR requirement is met, or ``None`` below MCS 0.
+
+    Closed-loop MU-MIMO maps known post-precoding SINR straight to an MCS
+    (paper §5.1: no explicit rate adaptation needed).
+    """
+    best = None
+    for entry in MCS_TABLE:
+        if snr_db >= entry.min_snr_db:
+            best = entry
+    return best
+
+
+def rate_bps_hz_for_snr(snr_db: float) -> float:
+    """Spectral efficiency (bits/s/Hz) of the best decodable MCS, 0 if none."""
+    entry = highest_mcs_for_snr(snr_db)
+    return entry.rate_bps_hz if entry is not None else 0.0

@@ -1,0 +1,40 @@
+"""802.11ac OFDM numerology used by the frame-duration model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OfdmNumerology:
+    """OFDM constants for one channel width."""
+
+    bandwidth_hz: float
+    n_subcarriers_total: int
+    n_subcarriers_data: int
+    n_subcarriers_pilot: int
+    symbol_duration_us: float  # including the 800 ns guard interval
+
+    @property
+    def subcarrier_spacing_hz(self) -> float:
+        """312.5 kHz for all 802.11 OFDM widths."""
+        return self.bandwidth_hz / self.n_subcarriers_total
+
+    def symbols_for_bits(self, n_bits: float, bits_per_symbol: float) -> int:
+        """OFDM symbols needed to carry ``n_bits`` at ``bits_per_symbol``
+        data bits per symbol (already including coding)."""
+        if bits_per_symbol <= 0:
+            raise ValueError("bits_per_symbol must be positive")
+        import math
+
+        return max(1, math.ceil(n_bits / bits_per_symbol))
+
+
+#: 20 MHz VHT numerology: 64 subcarriers, 52 data + 4 pilots, 4 us symbols.
+VHT20 = OfdmNumerology(
+    bandwidth_hz=20e6,
+    n_subcarriers_total=64,
+    n_subcarriers_data=52,
+    n_subcarriers_pilot=4,
+    symbol_duration_us=4.0,
+)

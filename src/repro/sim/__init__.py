@@ -1,0 +1,15 @@
+"""Discrete-event network simulation: CSMA/CA + MU-MIMO TXOPs over the
+channel substrate, in CAS (baseline 802.11ac) or MIDAS mode."""
+
+from .engine import EventQueue
+from .network import MacMode, NetworkSimulation, SimulationResult
+from .radio_state import ActiveTransmission, TransmissionLog
+
+__all__ = [
+    "EventQueue",
+    "MacMode",
+    "NetworkSimulation",
+    "SimulationResult",
+    "ActiveTransmission",
+    "TransmissionLog",
+]

@@ -1,0 +1,425 @@
+"""End-to-end network simulation (Figs 12, 14, 15, 16 substrate).
+
+Assembles topology + channel + MAC + precoding and plays out a downlink,
+full-buffer network for a configured duration:
+
+* **CAS mode** -- the paper's baseline: each AP is one CSMA/CA contender
+  with a single channel state (any antenna busy => AP busy), transmits
+  ``n_antennas``-stream MU-MIMO with the naive globally-scaled ZFBF
+  precoder, and picks clients by plain deficit round-robin.
+* **MIDAS mode** -- each *antenna* contends independently with its own NAV
+  and physical carrier sense; a winning antenna opportunistically gathers
+  sibling antennas whose medium frees within one DIFS (§3.2.3), clients are
+  filtered by virtual packet tags and picked per antenna by DRR (§3.2.4-5),
+  and the burst is precoded with the power-balanced ZFBF (§3.1.2).
+
+SINRs are evaluated post-hoc with interference weighted by TXOP overlap
+(see :mod:`repro.sim.radio_state`), then converted to Shannon capacity as
+the paper does (§5.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import rng as rng_mod
+from ..channel.model import ChannelModel, apply_csi_error
+from ..config import MacConfig, SimConfig
+from ..core.naive import naive_scaled_precoder
+from ..core.power_balance import power_balanced_precoder
+from ..core.selection import DeficitRoundRobin
+from ..core.tagging import TagTable
+from ..mac.backoff import BackoffState
+from ..mac.carrier_sense import CarrierSenseModel
+from ..mac.frames import txop_durations
+from ..mac.nav import NavTable
+from ..topology.scenarios import Scenario
+from .engine import EventQueue
+from .radio_state import ActiveTransmission, TransmissionLog
+
+
+class MacMode(str, enum.Enum):
+    """Which MAC + precoding stack an AP runs."""
+
+    CAS = "cas"
+    MIDAS = "midas"
+
+
+def aps_mutually_overhear(sense: CarrierSenseModel, deployment) -> bool:
+    """True when every AP pair can set NAVs on each other's transmissions.
+
+    The paper's 3-AP experiments (§5.3.1, §5.4) deploy APs "that can overhear
+    each other"; experiments enforce it by resampling topologies until this
+    predicate holds on the *CAS* simulation's own carrier-sense model (so the
+    check sees exactly the shadowing the run will see).
+    """
+    for ap_a in range(deployment.n_aps):
+        for ap_b in range(ap_a + 1, deployment.n_aps):
+            ants_a = deployment.antennas_of(ap_a)
+            ants_b = deployment.antennas_of(ap_b)
+            a_hears_b = any(
+                sense.decodes(int(a), int(b)) for a in ants_a for b in ants_b
+            )
+            b_hears_a = any(
+                sense.decodes(int(b), int(a)) for a in ants_a for b in ants_b
+            )
+            if not (a_hears_b and b_hears_a):
+                return False
+    return True
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one network run."""
+
+    duration_s: float
+    per_client_bits_per_hz: np.ndarray  # delivered bits normalized by bandwidth
+    txop_count: int
+    stream_count: int
+    mean_concurrent_streams: float
+    collision_fraction: float  # TXOPs whose interference degraded any stream > 3 dB
+
+    @property
+    def network_capacity_bps_hz(self) -> float:
+        """Time-averaged network spectral efficiency (the paper's metric)."""
+        return float(self.per_client_bits_per_hz.sum() / self.duration_s)
+
+    def client_throughput_bps_hz(self) -> np.ndarray:
+        """Per-client time-averaged spectral efficiency."""
+        return self.per_client_bits_per_hz / self.duration_s
+
+
+@dataclass
+class _Contender:
+    """One CSMA/CA contention entity (an AP in CAS, an antenna in MIDAS)."""
+
+    ap: int
+    antennas: np.ndarray  # antennas whose state this contender senses
+    backoff: BackoffState
+    in_txop_until_us: float = 0.0
+    scheduled: bool = field(default=False)
+
+
+class NetworkSimulation:
+    """Event-driven downlink simulation of one scenario."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        mode: MacMode,
+        sim: SimConfig | None = None,
+        seed: int | None = 0,
+    ):
+        self.scenario = scenario
+        self.mode = mode
+        self.sim = sim or SimConfig()
+        self.mac: MacConfig = scenario.mac
+        self.deployment = scenario.deployment
+
+        root = rng_mod.make_rng(seed)
+        channel_rng, mac_rng, csi_rng = rng_mod.spawn(root, 3)
+        self.channel = ChannelModel(self.deployment, scenario.radio, seed=channel_rng)
+        self._csi_rng = csi_rng
+        self.carrier_sense = CarrierSenseModel(
+            self.channel.antenna_cross_power_dbm(), self.mac
+        )
+        self.nav = NavTable(self.deployment.n_antennas)
+        self.queue = EventQueue()
+        self.log = TransmissionLog()
+
+        # Per-AP scheduling state: fairness counters and (MIDAS) packet tags.
+        self._drr = {
+            ap: DeficitRoundRobin(len(self.deployment.clients_of(ap)))
+            for ap in range(self.deployment.n_aps)
+        }
+        rssi = self.channel.client_rx_power_dbm()
+        self._tags = {}
+        for ap in range(self.deployment.n_aps):
+            clients = self.deployment.clients_of(ap)
+            antennas = self.deployment.antennas_of(ap)
+            width = min(self.mac.tag_width, len(antennas))
+            self._tags[ap] = TagTable.from_rssi(rssi[np.ix_(clients, antennas)], width)
+
+        contender_rngs = rng_mod.spawn(mac_rng, self.deployment.n_aps * 8)
+        self._contenders: list[_Contender] = []
+        rng_idx = 0
+        for ap in range(self.deployment.n_aps):
+            antennas = self.deployment.antennas_of(ap)
+            if mode is MacMode.CAS:
+                self._contenders.append(
+                    _Contender(ap, antennas, BackoffState(self.mac, contender_rngs[rng_idx]))
+                )
+                rng_idx += 1
+            else:
+                for antenna in antennas:
+                    self._contenders.append(
+                        _Contender(
+                            ap,
+                            np.asarray([antenna]),
+                            BackoffState(self.mac, contender_rngs[rng_idx]),
+                        )
+                    )
+                    rng_idx += 1
+
+        self._last_channel_advance_us = 0.0
+        self._txop_count = 0
+        self._stream_count = 0
+
+    # ------------------------------------------------------------------
+    # Medium state queries
+    # ------------------------------------------------------------------
+    def _medium_busy(self, contender: _Contender, now_us: float) -> bool:
+        """Physical or virtual carrier sense verdict for the contender."""
+        transmitting = self.log.transmitting_antennas()
+        for antenna in contender.antennas:
+            if not self.nav.is_clear(antenna, now_us):
+                return True
+            if self.carrier_sense.is_busy(int(antenna), transmitting):
+                return True
+        return False
+
+    def _busy_until(self, contender: _Contender, now_us: float) -> float:
+        """Best-known time the contender's medium frees (NAV + active TXOPs)."""
+        until = now_us
+        for antenna in contender.antennas:
+            until = max(until, self.nav.expiry_us(antenna))
+        until = max(until, self.log.busy_until_us(now_us))
+        return until
+
+    # ------------------------------------------------------------------
+    # MIDAS antenna/client assembly
+    # ------------------------------------------------------------------
+    def _gather_antennas(self, contender: _Contender, now_us: float) -> tuple[np.ndarray, float]:
+        """Opportunistic antenna selection (§3.2.3).
+
+        The *contending* antenna already passed full CCA (physical + NAV).
+        Sibling antennas are added based on their NAV timers, as the paper
+        specifies: clear NAV joins immediately; a NAV expiring within one
+        DIFS is worth waiting for (the TXOP start is delayed to the latest
+        such expiry).  Residual physical energy without a decodable header
+        does not veto a sibling -- the antenna transmits on the downlink, and
+        any interference consequences land in the clients' SINRs.
+        """
+        own = self.deployment.antennas_of(contender.ap)
+        start_us = now_us
+        available = []
+        for antenna in own:
+            if self.nav.is_clear(antenna, now_us):
+                available.append(antenna)
+            elif self.nav.expiry_us(antenna) <= now_us + self.mac.difs_us:
+                available.append(antenna)
+                start_us = max(start_us, self.nav.expiry_us(antenna))
+        ordered = self.nav.order_by_expiry(available) if available else np.empty(0, dtype=int)
+        return ordered, start_us
+
+    def _select_clients_midas(self, ap: int, antennas_in_order: np.ndarray) -> list[int]:
+        """Per-antenna tagged DRR selection (§3.2.4-5), in local client ids."""
+        tags = self._tags[ap]
+        drr = self._drr[ap]
+        local_antennas = self._local_antenna_ids(ap, antennas_in_order)
+        chosen: list[int] = []
+        for antenna in local_antennas:
+            candidates = [
+                c for c in tags.clients_tagged_to(int(antenna)) if c not in chosen
+            ]
+            pick = drr.pick(candidates)
+            if pick is not None:
+                chosen.append(pick)
+        return chosen
+
+    def _local_antenna_ids(self, ap: int, global_ids: np.ndarray) -> np.ndarray:
+        own = self.deployment.antennas_of(ap)
+        index_of = {int(g): i for i, g in enumerate(own)}
+        return np.asarray([index_of[int(g)] for g in global_ids], dtype=int)
+
+    # ------------------------------------------------------------------
+    # TXOP execution
+    # ------------------------------------------------------------------
+    def _advance_channel(self, now_us: float) -> None:
+        dt_s = (now_us - self._last_channel_advance_us) * 1e-6
+        if dt_s > 0:
+            self.channel.advance(dt_s)
+            self._last_channel_advance_us = now_us
+
+    def _begin_txop(self, contender: _Contender, now_us: float) -> None:
+        ap = contender.ap
+        own_clients = self.deployment.clients_of(ap)
+        if self.mode is MacMode.CAS:
+            antennas = self.deployment.antennas_of(ap)
+            n_streams = min(len(antennas), len(own_clients))
+            drr = self._drr[ap]
+            chosen_local: list[int] = []
+            for __ in range(n_streams):
+                pick = drr.pick([c for c in range(len(own_clients)) if c not in chosen_local])
+                if pick is None:
+                    break
+                chosen_local.append(pick)
+            start_us = now_us
+        else:
+            antennas, start_us = self._gather_antennas(contender, now_us)
+            if len(antennas) == 0:
+                self._schedule_attempt(contender, now_us + self.mac.difs_us)
+                return
+            chosen_local = self._select_clients_midas(ap, antennas)
+            if not chosen_local:
+                # No tagged backlog for any available antenna: skip this
+                # opportunity and recontend.
+                self._schedule_attempt(
+                    contender, now_us + self.mac.difs_us + contender.backoff.draw_delay_us()
+                )
+                return
+            # All gathered antennas precode the selected streams (§3.2.5:
+            # "the data streams are transmitted from all the antennas to all
+            # the clients with precoding"), even when fewer clients than
+            # antennas were tagged -- the spare antennas contribute array gain.
+
+        if not chosen_local:
+            self._schedule_attempt(
+                contender, now_us + self.mac.difs_us + contender.backoff.draw_delay_us()
+            )
+            return
+
+        clients_global = own_clients[np.asarray(chosen_local, dtype=int)]
+        self._advance_channel(start_us)
+        h_full = self.channel.channel_matrix()
+        h_rows = h_full[clients_global, :]
+        h_sub = h_rows[:, antennas]
+        h_est = apply_csi_error(h_sub, self.sim.csi_error_std, self._csi_rng)
+
+        radio = self.scenario.radio
+        if self.mode is MacMode.CAS:
+            v = naive_scaled_precoder(h_est, radio.per_antenna_power_mw)
+        else:
+            v = power_balanced_precoder(
+                h_est, radio.per_antenna_power_mw, radio.noise_mw
+            ).v
+
+        durations = txop_durations(
+            self.mac, len(clients_global), len(antennas), self.sim.sounding_overhead
+        )
+        tx = ActiveTransmission(
+            ap=ap,
+            antennas=np.asarray(antennas, dtype=int),
+            clients=clients_global,
+            v=v,
+            h_rows=h_rows,
+            start_us=start_us,
+            end_us=start_us + durations.total_us,
+            data_fraction=durations.data_fraction,
+        )
+        self.log.start(tx)
+        self._txop_count += 1
+        self._stream_count += len(clients_global)
+
+        # Virtual carrier sense: every antenna that decodes any of our
+        # transmitting antennas (subject to capture against transmissions
+        # already in the air) reserves the medium until the TXOP ends.
+        already_active = np.asarray(
+            [a for a in self.log.transmitting_antennas() if a not in tx.antennas],
+            dtype=int,
+        )
+        for antenna in tx.antennas:
+            for listener in self.carrier_sense.nav_listeners(int(antenna), already_active):
+                if listener not in tx.antennas:
+                    self.nav.set_nav(int(listener), tx.end_us)
+
+        # Contenders of the transmitting antennas hold until the TXOP ends.
+        for other in self._contenders:
+            if other.ap == ap and np.intersect1d(other.antennas, tx.antennas).size:
+                other.in_txop_until_us = tx.end_us
+
+        # DRR settlement: losers are backlogged clients that were not served.
+        drr = self._drr[ap]
+        losers = [c for c in range(len(own_clients)) if c not in chosen_local]
+        drr.settle(chosen_local, losers, txop_units=1.0)
+
+        self.queue.schedule(tx.end_us, lambda t, tx=tx: self._end_txop(tx, t))
+
+    def _end_txop(self, tx: ActiveTransmission, now_us: float) -> None:
+        self.log.finish(tx)
+        for contender in self._contenders:
+            if contender.ap == tx.ap and np.intersect1d(
+                contender.antennas, tx.antennas
+            ).size:
+                contender.backoff.on_success()
+                self._schedule_attempt(
+                    contender, now_us + contender.backoff.draw_delay_us()
+                )
+
+    # ------------------------------------------------------------------
+    # Contention scheduling
+    # ------------------------------------------------------------------
+    def _schedule_attempt(self, contender: _Contender, when_us: float) -> None:
+        contender.scheduled = True
+        self.queue.schedule(when_us, lambda t, c=contender: self._attempt(c, t))
+
+    def _attempt(self, contender: _Contender, now_us: float) -> None:
+        contender.scheduled = False
+        if now_us < contender.in_txop_until_us:
+            return  # our antenna is mid-TXOP; _end_txop reschedules us
+        if self._medium_busy(contender, now_us):
+            resume = max(self._busy_until(contender, now_us), now_us)
+            self._schedule_attempt(contender, resume + contender.backoff.draw_delay_us())
+            return
+        self._begin_txop(contender, now_us)
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def _score(self, duration_us: float) -> SimulationResult:
+        noise_mw = self.scenario.radio.noise_mw
+        per_client = np.zeros(self.deployment.n_clients)
+        transmissions = self.log.all_transmissions()
+        degraded = 0
+        concurrency_weighted = 0.0
+        for tx in transmissions:
+            effective_end = min(tx.end_us, duration_us)
+            effective_duration = max(0.0, effective_end - tx.start_us)
+            if effective_duration <= 0:
+                continue
+            own = np.abs(tx.h_rows[:, tx.antennas] @ tx.v) ** 2  # (clients, streams)
+            desired = np.diag(own)
+            intra = own.sum(axis=1) - desired
+            external = np.zeros(len(tx.clients))
+            for other in transmissions:
+                if other is tx:
+                    continue
+                overlap = tx.overlap_us(other)
+                if overlap <= 0:
+                    continue
+                cross = np.abs(tx.h_rows[:, other.antennas] @ other.v) ** 2
+                external += cross.sum(axis=1) * (overlap / tx.duration_us)
+            sinr = desired / (noise_mw + intra + external)
+            snr_clean = desired / (noise_mw + intra)
+            if np.any(snr_clean / np.maximum(sinr, 1e-30) > 2.0):
+                degraded += 1
+            rates = np.log2(1.0 + sinr)
+            per_client[tx.clients] += rates * tx.data_fraction * effective_duration * 1e-6
+            concurrency_weighted += len(tx.clients) * effective_duration
+        duration_s = duration_us * 1e-6
+        mean_concurrent = concurrency_weighted / duration_us if duration_us > 0 else 0.0
+        return SimulationResult(
+            duration_s=duration_s,
+            per_client_bits_per_hz=per_client,
+            txop_count=self._txop_count,
+            stream_count=self._stream_count,
+            mean_concurrent_streams=float(mean_concurrent),
+            collision_fraction=degraded / max(1, len(transmissions)),
+        )
+
+    def run(self, duration_s: float | None = None) -> SimulationResult:
+        """Simulate ``duration_s`` (default from :class:`SimConfig`) and
+        return aggregate statistics."""
+        duration_us = (duration_s or self.sim.duration_s) * 1e6
+        start_rng = rng_mod.make_rng(self.scenario.seed)
+        for contender in self._contenders:
+            # Stagger initial attempts over one contention window.
+            self._schedule_attempt(
+                contender,
+                self.mac.difs_us + float(start_rng.uniform(0, 1)) * self.mac.cw_min * self.mac.slot_us,
+            )
+        self.queue.run_until(duration_us)
+        return self._score(duration_us)

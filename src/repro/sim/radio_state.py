@@ -1,0 +1,69 @@
+"""Shared radio state: who is transmitting, and what everyone hears.
+
+:class:`TransmissionLog` records every TXOP for post-hoc SINR evaluation:
+interference between overlapping TXOPs is weighted by their time overlap,
+which captures partial collisions without re-evaluating SINR at every event
+boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(eq=False)
+class ActiveTransmission:
+    """One MU-MIMO TXOP in the air (identity semantics: each instance is a
+    distinct on-air burst, so equality is object identity)."""
+
+    ap: int
+    antennas: np.ndarray  # global antenna indices used for precoding
+    clients: np.ndarray  # global client indices served (one per stream)
+    v: np.ndarray  # precoder (len(antennas), len(clients))
+    h_rows: np.ndarray  # channel snapshot (len(clients), n_all_antennas)
+    start_us: float
+    end_us: float
+    data_fraction: float  # payload share of the airtime
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+    def overlap_us(self, other: "ActiveTransmission") -> float:
+        """Temporal overlap with another transmission, microseconds."""
+        return max(0.0, min(self.end_us, other.end_us) - max(self.start_us, other.start_us))
+
+
+@dataclass
+class TransmissionLog:
+    """All TXOPs of a run: active set for sensing + archive for scoring."""
+
+    active: list[ActiveTransmission] = field(default_factory=list)
+    completed: list[ActiveTransmission] = field(default_factory=list)
+
+    def start(self, tx: ActiveTransmission) -> None:
+        """Register a TXOP going on air."""
+        self.active.append(tx)
+
+    def finish(self, tx: ActiveTransmission) -> None:
+        """Move a TXOP from the air to the archive."""
+        self.active.remove(tx)
+        self.completed.append(tx)
+
+    def transmitting_antennas(self) -> np.ndarray:
+        """Global indices of all antennas currently radiating."""
+        if not self.active:
+            return np.empty(0, dtype=int)
+        return np.concatenate([tx.antennas for tx in self.active])
+
+    def busy_until_us(self, now_us: float) -> float:
+        """Latest end time among transmissions in the air (or ``now_us``)."""
+        if not self.active:
+            return now_us
+        return max(tx.end_us for tx in self.active)
+
+    def all_transmissions(self) -> list[ActiveTransmission]:
+        """Archive plus anything still in the air (for end-of-run scoring)."""
+        return self.completed + self.active

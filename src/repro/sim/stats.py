@@ -1,0 +1,49 @@
+"""Aggregation helpers over multiple simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .network import SimulationResult
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Summary statistics across a batch of simulation results."""
+
+    network_capacities_bps_hz: np.ndarray
+    mean_concurrent_streams: np.ndarray
+    collision_fractions: np.ndarray
+
+    @property
+    def median_capacity(self) -> float:
+        return float(np.median(self.network_capacities_bps_hz))
+
+    @property
+    def median_concurrency(self) -> float:
+        return float(np.median(self.mean_concurrent_streams))
+
+
+def summarize(results: list[SimulationResult]) -> RunSummary:
+    """Collect the headline series from a batch of runs."""
+    if not results:
+        raise ValueError("need at least one result")
+    return RunSummary(
+        network_capacities_bps_hz=np.asarray(
+            [r.network_capacity_bps_hz for r in results]
+        ),
+        mean_concurrent_streams=np.asarray([r.mean_concurrent_streams for r in results]),
+        collision_fractions=np.asarray([r.collision_fraction for r in results]),
+    )
+
+
+def jain_fairness(per_client_throughput: np.ndarray) -> float:
+    """Jain's fairness index of a per-client throughput vector."""
+    x = np.asarray(per_client_throughput, dtype=float)
+    if x.size == 0:
+        raise ValueError("need at least one client")
+    if np.all(x == 0):
+        return 1.0
+    return float((x.sum() ** 2) / (x.size * np.sum(x**2)))

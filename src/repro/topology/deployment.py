@@ -1,0 +1,277 @@
+"""Deployments: access points, their (co-located or distributed) antennas,
+and clients.
+
+A :class:`Deployment` is pure geometry -- positions and ownership -- with no
+radio state.  The channel model consumes it to produce channel matrices, and
+the MAC simulation consumes it for carrier-sensing distances.
+
+Placement rules implemented here come straight from the paper's methodology
+(§5.1, §5.3.1, §5.5, §7):
+
+* CAS antennas sit half a wavelength apart at the AP.
+* DAS antennas are distributed 5-10 m from the AP (configurable annulus).
+* Optionally no two DAS antennas of one AP may fall in a 60° sector (Fig 12).
+* Optionally DAS antennas keep a minimum mutual separation (Fig 16: 5 m).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from . import geometry
+
+
+class AntennaMode(str, enum.Enum):
+    """Whether an AP's antennas are co-located (CAS) or distributed (DAS)."""
+
+    CAS = "cas"
+    DAS = "das"
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """Positions of APs, antennas and clients for one topology.
+
+    Attributes
+    ----------
+    ap_positions:
+        ``(n_aps, 2)`` AP (central processing node) locations in meters.
+    antenna_positions:
+        ``(n_antennas_total, 2)`` antenna locations.
+    antenna_ap:
+        ``(n_antennas_total,)`` index of the owning AP for each antenna.
+    client_positions:
+        ``(n_clients, 2)`` client locations.
+    client_ap:
+        ``(n_clients,)`` index of the serving AP for each client.
+    mode:
+        CAS or DAS (informational; geometry already reflects it).
+    """
+
+    ap_positions: np.ndarray
+    antenna_positions: np.ndarray
+    antenna_ap: np.ndarray
+    client_positions: np.ndarray
+    client_ap: np.ndarray
+    mode: AntennaMode = AntennaMode.CAS
+    extras: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self):
+        object.__setattr__(self, "ap_positions", geometry.as_points(self.ap_positions))
+        object.__setattr__(self, "antenna_positions", geometry.as_points(self.antenna_positions))
+        object.__setattr__(self, "antenna_ap", np.asarray(self.antenna_ap, dtype=int))
+        object.__setattr__(self, "client_positions", geometry.as_points(self.client_positions))
+        object.__setattr__(self, "client_ap", np.asarray(self.client_ap, dtype=int))
+        if len(self.antenna_positions) != len(self.antenna_ap):
+            raise ValueError("antenna_positions and antenna_ap length mismatch")
+        if len(self.client_positions) != len(self.client_ap):
+            raise ValueError("client_positions and client_ap length mismatch")
+        if len(self.antenna_ap) and (
+            self.antenna_ap.min() < 0 or self.antenna_ap.max() >= self.n_aps
+        ):
+            raise ValueError("antenna_ap references an unknown AP")
+        if len(self.client_ap) and (
+            self.client_ap.min() < 0 or self.client_ap.max() >= self.n_aps
+        ):
+            raise ValueError("client_ap references an unknown AP")
+
+    @property
+    def n_aps(self) -> int:
+        """Number of access points."""
+        return len(self.ap_positions)
+
+    @property
+    def n_antennas(self) -> int:
+        """Total number of antennas across all APs."""
+        return len(self.antenna_positions)
+
+    @property
+    def n_clients(self) -> int:
+        """Total number of clients."""
+        return len(self.client_positions)
+
+    def antennas_of(self, ap: int) -> np.ndarray:
+        """Global antenna indices owned by AP ``ap``."""
+        return np.flatnonzero(self.antenna_ap == ap)
+
+    def clients_of(self, ap: int) -> np.ndarray:
+        """Client indices served by AP ``ap``."""
+        return np.flatnonzero(self.client_ap == ap)
+
+    def antenna_client_distances(self) -> np.ndarray:
+        """Distance matrix of shape ``(n_clients, n_antennas)``."""
+        return geometry.pairwise_distances(self.client_positions, self.antenna_positions)
+
+    def antenna_antenna_distances(self) -> np.ndarray:
+        """Distance matrix of shape ``(n_antennas, n_antennas)``."""
+        return geometry.pairwise_distances(self.antenna_positions, self.antenna_positions)
+
+    def subset_for_ap(self, ap: int) -> "Deployment":
+        """Single-AP view of this deployment (its antennas and clients only)."""
+        ant_idx = self.antennas_of(ap)
+        cli_idx = self.clients_of(ap)
+        return Deployment(
+            ap_positions=self.ap_positions[ap : ap + 1],
+            antenna_positions=self.antenna_positions[ant_idx],
+            antenna_ap=np.zeros(len(ant_idx), dtype=int),
+            client_positions=self.client_positions[cli_idx],
+            client_ap=np.zeros(len(cli_idx), dtype=int),
+            mode=self.mode,
+            extras=dict(self.extras),
+        )
+
+
+def cas_antenna_layout(
+    ap_position, n_antennas: int, wavelength_m: float
+) -> np.ndarray:
+    """Co-located antenna positions: a uniform linear array at half-wavelength
+    spacing centered on the AP (paper §5.1)."""
+    if n_antennas < 1:
+        raise ValueError("need at least one antenna")
+    cx, cy = np.asarray(ap_position, dtype=float)
+    spacing = wavelength_m / 2.0
+    offsets = (np.arange(n_antennas) - (n_antennas - 1) / 2.0) * spacing
+    return np.column_stack((cx + offsets, np.full(n_antennas, cy)))
+
+
+def das_antenna_layout(
+    rng: np.random.Generator,
+    ap_position,
+    n_antennas: int,
+    radius_min_m: float = 5.0,
+    radius_max_m: float = 10.0,
+    min_sector_deg: float = 0.0,
+    min_separation_m: float = 0.0,
+    within_center=None,
+    within_radius_m: float = np.inf,
+    max_attempts: int = 20_000,
+) -> np.ndarray:
+    """Distributed antenna positions around an AP under the paper's rules.
+
+    Rejection-samples positions in the ``[radius_min_m, radius_max_m]``
+    annulus around the AP until all active constraints hold:
+
+    * ``min_sector_deg`` -- Fig 12's 60° no-clustering rule;
+    * ``min_separation_m`` -- Fig 16's 5 m antenna separation rule;
+    * ``within_center/within_radius_m`` -- Fig 16's rule that antennas stay
+      inside the original AP coverage area.
+    """
+    if n_antennas < 1:
+        raise ValueError("need at least one antenna")
+    center = np.asarray(ap_position, dtype=float)
+    bound_center = center if within_center is None else np.asarray(within_center, dtype=float)
+    for _ in range(max_attempts):
+        pts = geometry.random_point_in_annulus(rng, center, radius_min_m, radius_max_m, n_antennas)
+        if min_separation_m > 0 and geometry.min_pairwise_distance(pts) < min_separation_m:
+            continue
+        if min_sector_deg > 0 and not geometry.sector_angles_ok(center, pts, min_sector_deg):
+            continue
+        if np.isfinite(within_radius_m) and not np.all(
+            geometry.points_within(pts, bound_center, within_radius_m)
+        ):
+            continue
+        return pts
+    raise RuntimeError(
+        "could not satisfy DAS placement constraints after "
+        f"{max_attempts} attempts (radius {radius_min_m}-{radius_max_m} m, "
+        f"sector {min_sector_deg} deg, separation {min_separation_m} m)"
+    )
+
+
+def build_single_ap(
+    rng: np.random.Generator,
+    *,
+    mode: AntennaMode,
+    n_antennas: int,
+    n_clients: int,
+    wavelength_m: float,
+    ap_position=(0.0, 0.0),
+    client_radius_m: float = 25.0,
+    client_radius_min_m: float = 2.0,
+    das_radius_min_m: float = 5.0,
+    das_radius_max_m: float = 10.0,
+    min_sector_deg: float = 0.0,
+    min_separation_m: float = 0.0,
+) -> Deployment:
+    """One AP with ``n_antennas`` (CAS or DAS) and clients in its coverage disk."""
+    ap = np.asarray(ap_position, dtype=float)
+    if mode is AntennaMode.CAS:
+        antennas = cas_antenna_layout(ap, n_antennas, wavelength_m)
+    else:
+        antennas = das_antenna_layout(
+            rng,
+            ap,
+            n_antennas,
+            radius_min_m=das_radius_min_m,
+            radius_max_m=das_radius_max_m,
+            min_sector_deg=min_sector_deg,
+            min_separation_m=min_separation_m,
+        )
+    clients = geometry.random_point_in_annulus(
+        rng, ap, client_radius_min_m, client_radius_m, n_clients
+    )
+    return Deployment(
+        ap_positions=ap[None, :],
+        antenna_positions=antennas,
+        antenna_ap=np.zeros(n_antennas, dtype=int),
+        client_positions=clients,
+        client_ap=np.zeros(n_clients, dtype=int),
+        mode=mode,
+    )
+
+
+def build_multi_ap(
+    rng: np.random.Generator,
+    ap_positions,
+    *,
+    mode: AntennaMode,
+    antennas_per_ap: int,
+    clients_per_ap: int,
+    wavelength_m: float,
+    client_radius_m: float = 20.0,
+    client_radius_min_m: float = 2.0,
+    das_radius_min_m: float = 5.0,
+    das_radius_max_m: float = 10.0,
+    min_sector_deg: float = 0.0,
+    min_separation_m: float = 0.0,
+    coverage_radius_m: float = np.inf,
+) -> Deployment:
+    """Multiple APs, each with its own antenna cluster and client population."""
+    aps = geometry.as_points(ap_positions)
+    antenna_chunks = []
+    antenna_ap = []
+    client_chunks = []
+    client_ap = []
+    for ap_index, ap in enumerate(aps):
+        if mode is AntennaMode.CAS:
+            ants = cas_antenna_layout(ap, antennas_per_ap, wavelength_m)
+        else:
+            ants = das_antenna_layout(
+                rng,
+                ap,
+                antennas_per_ap,
+                radius_min_m=das_radius_min_m,
+                radius_max_m=das_radius_max_m,
+                min_sector_deg=min_sector_deg,
+                min_separation_m=min_separation_m,
+                within_center=ap,
+                within_radius_m=coverage_radius_m,
+            )
+        antenna_chunks.append(ants)
+        antenna_ap.extend([ap_index] * antennas_per_ap)
+        clients = geometry.random_point_in_annulus(
+            rng, ap, client_radius_min_m, client_radius_m, clients_per_ap
+        )
+        client_chunks.append(clients)
+        client_ap.extend([ap_index] * clients_per_ap)
+    return Deployment(
+        ap_positions=aps,
+        antenna_positions=np.vstack(antenna_chunks),
+        antenna_ap=np.asarray(antenna_ap, dtype=int),
+        client_positions=np.vstack(client_chunks),
+        client_ap=np.asarray(client_ap, dtype=int),
+        mode=mode,
+    )

@@ -1,0 +1,99 @@
+"""Unit conversions and physical constants used throughout the library.
+
+All internal computation is done in *linear* units (milliwatts for power,
+meters for distance, seconds / microseconds for time).  Decibel scales are
+only used at the API boundary because they are the units the paper (and the
+802.11 standard) reports.
+
+Conventions
+-----------
+* ``*_dbm``  -- power relative to 1 mW, in decibels.
+* ``*_db``   -- dimensionless ratio in decibels (gains, SNRs, path loss).
+* ``*_mw``   -- linear power in milliwatts.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+#: Speed of light (m/s).
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: Boltzmann constant (J/K).
+BOLTZMANN = 1.380649e-23
+
+#: Reference temperature used for thermal noise (Kelvin).
+ROOM_TEMPERATURE_K = 290.0
+
+#: Thermal noise power spectral density at 290 K, in dBm/Hz (~ -173.98).
+THERMAL_NOISE_DBM_PER_HZ = 10.0 * math.log10(BOLTZMANN * ROOM_TEMPERATURE_K * 1e3)
+
+
+def db_to_linear(value_db):
+    """Convert a dB ratio to a linear ratio.
+
+    Works element-wise on numpy arrays as well as on scalars.
+    """
+    return 10.0 ** (np.asarray(value_db, dtype=float) / 10.0) if isinstance(
+        value_db, np.ndarray
+    ) else 10.0 ** (value_db / 10.0)
+
+
+def linear_to_db(value):
+    """Convert a linear ratio to dB.  Raises ``ValueError`` on non-positive input."""
+    arr = np.asarray(value, dtype=float)
+    if np.any(arr <= 0):
+        raise ValueError("linear_to_db requires strictly positive input")
+    out = 10.0 * np.log10(arr)
+    return out if isinstance(value, np.ndarray) else float(out)
+
+
+def dbm_to_mw(power_dbm):
+    """Convert dBm to milliwatts."""
+    return db_to_linear(power_dbm)
+
+
+def mw_to_dbm(power_mw):
+    """Convert milliwatts to dBm.  Raises ``ValueError`` on non-positive input."""
+    return linear_to_db(power_mw)
+
+
+def wavelength(carrier_hz: float) -> float:
+    """Wavelength in meters for a carrier frequency in Hz."""
+    if carrier_hz <= 0:
+        raise ValueError("carrier frequency must be positive")
+    return SPEED_OF_LIGHT / carrier_hz
+
+
+def thermal_noise_mw(bandwidth_hz: float, noise_figure_db: float = 0.0) -> float:
+    """Thermal noise power over ``bandwidth_hz`` including a receiver noise figure.
+
+    ``kTB`` noise at 290 K plus the noise figure, returned in milliwatts.
+    """
+    if bandwidth_hz <= 0:
+        raise ValueError("bandwidth must be positive")
+    noise_dbm = THERMAL_NOISE_DBM_PER_HZ + 10.0 * math.log10(bandwidth_hz) + noise_figure_db
+    return dbm_to_mw(noise_dbm)
+
+
+def free_space_path_loss_db(distance_m: float, carrier_hz: float) -> float:
+    """Friis free-space path loss in dB for ``distance_m`` >= a small epsilon.
+
+    Used as the reference loss at the path-loss model's reference distance.
+    """
+    if distance_m <= 0:
+        raise ValueError("distance must be positive")
+    lam = wavelength(carrier_hz)
+    return 20.0 * math.log10(4.0 * math.pi * distance_m / lam)
+
+
+def microseconds(seconds: float) -> float:
+    """Seconds -> microseconds."""
+    return seconds * 1e6
+
+
+def seconds(microsec: float) -> float:
+    """Microseconds -> seconds."""
+    return microsec * 1e-6

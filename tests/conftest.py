@@ -1,0 +1,52 @@
+"""Shared fixtures: environments, scenarios, and channel matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.model import ChannelModel
+from repro.config import MacConfig, RadioConfig
+from repro.topology.deployment import AntennaMode
+from repro.topology.scenarios import office_b, single_ap_scenario
+
+
+@pytest.fixture(scope="session")
+def radio() -> RadioConfig:
+    return RadioConfig()
+
+
+@pytest.fixture(scope="session")
+def mac() -> MacConfig:
+    return MacConfig()
+
+
+@pytest.fixture(scope="session")
+def das_scenario():
+    return single_ap_scenario(office_b(), AntennaMode.DAS, seed=11)
+
+
+@pytest.fixture(scope="session")
+def cas_scenario():
+    return single_ap_scenario(office_b(), AntennaMode.CAS, seed=11)
+
+
+@pytest.fixture(scope="session")
+def das_channel(das_scenario):
+    return ChannelModel(das_scenario.deployment, das_scenario.radio, seed=11)
+
+
+@pytest.fixture(scope="session")
+def h_das(das_channel) -> np.ndarray:
+    return das_channel.channel_matrix()
+
+
+def random_channel(seed: int, n_clients: int = 4, n_antennas: int = 4) -> np.ndarray:
+    """A well-conditioned random complex channel with DAS-like row scales."""
+    rng = np.random.default_rng(seed)
+    scales = 10 ** rng.uniform(-5.0, -3.0, size=(n_clients, 1))
+    fading = (
+        rng.standard_normal((n_clients, n_antennas))
+        + 1j * rng.standard_normal((n_clients, n_antennas))
+    ) / np.sqrt(2)
+    return scales * fading

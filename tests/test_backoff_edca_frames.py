@@ -1,0 +1,120 @@
+"""Backoff, EDCA queue, and frame-duration tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import MacConfig
+from repro.mac.backoff import BackoffState
+from repro.mac.edca import (
+    EDCA_PARAMETERS,
+    AccessCategory,
+    EdcaQueueSet,
+    QueuedPacket,
+)
+from repro.mac.frames import txop_durations
+
+
+class TestBackoff:
+    def test_delay_within_bounds(self):
+        mac = MacConfig()
+        backoff = BackoffState(mac, np.random.default_rng(0))
+        for __ in range(100):
+            delay = backoff.draw_delay_us()
+            assert mac.difs_us <= delay <= mac.difs_us + mac.cw_min * mac.slot_us
+
+    def test_collision_doubles_window(self):
+        mac = MacConfig()
+        backoff = BackoffState(mac, np.random.default_rng(0))
+        backoff.on_collision()
+        assert backoff.contention_window == 2 * mac.cw_min + 1
+
+    def test_window_bounded_by_cw_max(self):
+        mac = MacConfig()
+        backoff = BackoffState(mac, np.random.default_rng(0))
+        for __ in range(20):
+            backoff.on_collision()
+        assert backoff.contention_window == mac.cw_max
+
+    def test_success_resets(self):
+        mac = MacConfig()
+        backoff = BackoffState(mac, np.random.default_rng(0))
+        backoff.on_collision()
+        backoff.on_success()
+        assert backoff.contention_window == mac.cw_min
+
+
+class TestEdca:
+    def test_priority_order(self):
+        mac = MacConfig()
+        voice = EDCA_PARAMETERS[AccessCategory.VOICE]
+        background = EDCA_PARAMETERS[AccessCategory.BACKGROUND]
+        assert voice.aifs_us(mac) < background.aifs_us(mac)
+        assert voice.cw_min(mac) < background.cw_min(mac)
+
+    def test_primary_class_highest_priority_nonempty(self):
+        queues = EdcaQueueSet()
+        queues.enqueue(QueuedPacket(client=0, category=AccessCategory.BACKGROUND))
+        queues.enqueue(QueuedPacket(client=1, category=AccessCategory.VIDEO))
+        assert queues.primary_class() is AccessCategory.VIDEO
+
+    def test_primary_class_empty(self):
+        assert EdcaQueueSet().primary_class() is None
+
+    def test_backlog_counts(self):
+        queues = EdcaQueueSet()
+        queues.enqueue(QueuedPacket(client=0))
+        queues.enqueue(QueuedPacket(client=0))
+        queues.enqueue(QueuedPacket(client=1, category=AccessCategory.VOICE))
+        assert queues.backlog() == 3
+        assert queues.backlog(AccessCategory.VOICE) == 1
+
+    def test_backlogged_clients_distinct(self):
+        queues = EdcaQueueSet()
+        queues.enqueue(QueuedPacket(client=2))
+        queues.enqueue(QueuedPacket(client=2))
+        queues.enqueue(QueuedPacket(client=0))
+        np.testing.assert_array_equal(queues.backlogged_clients(), [0, 2])
+
+    def test_pop_for_client_fifo(self):
+        queues = EdcaQueueSet()
+        first = QueuedPacket(client=1, enqueued_us=1.0)
+        second = QueuedPacket(client=1, enqueued_us=2.0)
+        queues.enqueue(first)
+        queues.enqueue(second)
+        assert queues.pop_for_client(1) is first
+        assert queues.pop_for_client(1) is second
+        assert queues.pop_for_client(1) is None
+
+    def test_pop_searches_higher_class_first(self):
+        queues = EdcaQueueSet()
+        low = QueuedPacket(client=1, category=AccessCategory.BACKGROUND)
+        high = QueuedPacket(client=1, category=AccessCategory.VOICE)
+        queues.enqueue(low)
+        queues.enqueue(high)
+        assert queues.pop_for_client(1) is high
+
+
+class TestFrameDurations:
+    def test_components_positive(self):
+        durations = txop_durations(MacConfig(), 4, 4)
+        assert durations.sounding_us > 0
+        assert durations.data_us > 0
+        assert durations.ack_us > 0
+
+    def test_data_fraction_below_one(self):
+        durations = txop_durations(MacConfig(), 4, 4)
+        assert 0 < durations.data_fraction < 1
+
+    def test_sounding_optional(self):
+        durations = txop_durations(MacConfig(), 4, 4, with_sounding=False)
+        assert durations.sounding_us == 0.0
+
+    def test_more_clients_more_overhead(self):
+        one = txop_durations(MacConfig(), 1, 4)
+        four = txop_durations(MacConfig(), 4, 4)
+        assert four.total_us > one.total_us
+        assert four.data_fraction < one.data_fraction
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            txop_durations(MacConfig(), 0, 4)

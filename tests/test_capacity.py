@@ -1,0 +1,101 @@
+"""SINR / capacity math tests (paper eq. 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.capacity import (
+    effective_channel,
+    per_antenna_row_power,
+    per_stream_column_power,
+    sinr_matrix,
+    stream_sinrs,
+    sum_capacity_bps_hz,
+)
+
+
+class TestEffectiveChannel:
+    def test_identity_channel(self):
+        h = np.eye(2, dtype=complex)
+        v = np.array([[2.0, 0.0], [0.0, 3.0]], dtype=complex)
+        np.testing.assert_allclose(effective_channel(h, v), v)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            effective_channel(np.ones((2, 3)), np.ones((2, 2)))
+
+
+class TestSinr:
+    def test_diagonal_channel_no_interference(self):
+        h = np.diag([2.0, 3.0]).astype(complex)
+        v = np.eye(2, dtype=complex)
+        rho = stream_sinrs(h, v, noise_mw=1.0)
+        np.testing.assert_allclose(rho, [4.0, 9.0])
+
+    def test_interference_lowers_sinr(self):
+        h = np.array([[1.0, 0.5], [0.5, 1.0]], dtype=complex)
+        v = np.eye(2, dtype=complex)
+        rho = stream_sinrs(h, v, noise_mw=1.0)
+        # Desired power 1, interference power 0.25 at each client.
+        np.testing.assert_allclose(rho, [1.0 / 1.25, 1.0 / 1.25])
+
+    def test_external_interference_vector(self):
+        h = np.diag([2.0, 2.0]).astype(complex)
+        v = np.eye(2, dtype=complex)
+        clean = stream_sinrs(h, v, 1.0)
+        dirty = stream_sinrs(h, v, 1.0, external_interference_mw=np.array([0.0, 3.0]))
+        assert dirty[0] == pytest.approx(clean[0])
+        assert dirty[1] == pytest.approx(clean[1] / 4.0)
+
+    def test_sinr_matrix_orientation(self):
+        # S[i, j] = power of stream i at client j (paper's convention).
+        h = np.array([[1.0, 0.0], [0.0, 2.0]], dtype=complex)
+        v = np.eye(2, dtype=complex)
+        s = sinr_matrix(h, v, 1.0)
+        np.testing.assert_allclose(s, [[1.0, 0.0], [0.0, 4.0]])
+
+    def test_nonpositive_noise_rejected(self):
+        with pytest.raises(ValueError):
+            stream_sinrs(np.eye(2, dtype=complex), np.eye(2, dtype=complex), 0.0)
+
+    def test_nonsquare_pairing_rejected(self):
+        with pytest.raises(ValueError):
+            stream_sinrs(np.ones((3, 4), dtype=complex), np.ones((4, 2), dtype=complex), 1.0)
+
+
+class TestCapacity:
+    def test_known_value(self):
+        # SINR 1 -> 1 bit, SINR 3 -> 2 bits.
+        assert sum_capacity_bps_hz([1.0, 3.0]) == pytest.approx(3.0)
+
+    def test_zero_sinr_contributes_zero(self):
+        assert sum_capacity_bps_hz([0.0]) == 0.0
+
+    def test_negative_sinr_rejected(self):
+        with pytest.raises(ValueError):
+            sum_capacity_bps_hz([-0.5])
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=8))
+    @settings(max_examples=50)
+    def test_monotone_in_each_sinr(self, sinrs):
+        base = sum_capacity_bps_hz(sinrs)
+        bumped = sum_capacity_bps_hz([s + 1.0 for s in sinrs])
+        assert bumped > base
+
+
+class TestPowerAccounting:
+    def test_row_power(self):
+        v = np.array([[1.0, 2.0], [0.0, 2.0]], dtype=complex)
+        np.testing.assert_allclose(per_antenna_row_power(v), [5.0, 4.0])
+
+    def test_column_power(self):
+        v = np.array([[1.0, 2.0], [0.0, 2.0]], dtype=complex)
+        np.testing.assert_allclose(per_stream_column_power(v), [1.0, 8.0])
+
+    def test_total_power_consistency(self):
+        rng = np.random.default_rng(0)
+        v = rng.standard_normal((4, 4)) + 1j * rng.standard_normal((4, 4))
+        assert per_antenna_row_power(v).sum() == pytest.approx(
+            per_stream_column_power(v).sum()
+        )

@@ -1,0 +1,97 @@
+"""Physical carrier sensing tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import MacConfig
+from repro.mac.carrier_sense import CarrierSenseModel
+
+
+def model(cross_dbm, **mac_kwargs):
+    mac = MacConfig(**mac_kwargs) if mac_kwargs else MacConfig()
+    return CarrierSenseModel(np.asarray(cross_dbm, dtype=float), mac)
+
+
+class TestBusyVerdicts:
+    def test_loud_neighbor_is_busy(self):
+        cross = [[np.inf, -60.0], [-60.0, np.inf]]
+        cs = model(cross)
+        assert cs.is_busy(0, [1])
+
+    def test_quiet_neighbor_is_idle(self):
+        cross = [[np.inf, -95.0], [-95.0, np.inf]]
+        cs = model(cross)
+        assert not cs.is_busy(0, [1])
+
+    def test_aggregation_crosses_threshold(self):
+        # Two signals each 2 dB below threshold sum to ~1 dB above it.
+        mac = MacConfig()
+        below = mac.cs_threshold_dbm - 2.0
+        cross = [
+            [np.inf, below, below],
+            [below, np.inf, below],
+            [below, below, np.inf],
+        ]
+        cs = model(cross)
+        assert not cs.is_busy(0, [1])
+        assert cs.is_busy(0, [1, 2])
+
+    def test_own_transmission_ignored_in_sensing(self):
+        cross = [[np.inf, -95.0], [-95.0, np.inf]]
+        cs = model(cross)
+        assert cs.sensed_power_mw(0, [0]) == 0.0
+
+    def test_busy_mask_marks_transmitters(self):
+        cross = [[np.inf, -95.0], [-95.0, np.inf]]
+        cs = model(cross)
+        mask = cs.busy_mask([0])
+        assert mask[0]
+        assert not mask[1]
+
+    def test_empty_transmitters(self):
+        cross = [[np.inf, -60.0], [-60.0, np.inf]]
+        cs = model(cross)
+        assert not cs.busy_mask([]).any()
+
+
+class TestNavDecoding:
+    def test_decodable_above_threshold(self):
+        mac = MacConfig()
+        cross = [[np.inf, mac.nav_decode_dbm + 1], [mac.nav_decode_dbm + 1, np.inf]]
+        cs = model(cross)
+        assert cs.decodes(0, 1)
+
+    def test_not_decodable_below_threshold(self):
+        mac = MacConfig()
+        cross = [[np.inf, mac.nav_decode_dbm - 1], [mac.nav_decode_dbm - 1, np.inf]]
+        cs = model(cross)
+        assert not cs.decodes(0, 1)
+
+    def test_capture_blocks_decoding_under_interference(self):
+        # Transmitter at -70, interferer also at -70: 0 dB SINR < capture.
+        cross = [
+            [np.inf, -70.0, -70.0],
+            [-70.0, np.inf, -60.0],
+            [-70.0, -60.0, np.inf],
+        ]
+        cs = model(cross)
+        assert cs.decodes(0, 1)  # clean medium
+        assert not cs.decodes(0, 1, interferers=[2])
+
+    def test_strong_preamble_captures(self):
+        cross = [
+            [np.inf, -55.0, -75.0],
+            [-55.0, np.inf, -60.0],
+            [-75.0, -60.0, np.inf],
+        ]
+        cs = model(cross)
+        assert cs.decodes(0, 1, interferers=[2])  # 20 dB SINR
+
+    def test_nav_listeners_includes_self(self):
+        cross = [[np.inf, -60.0], [-60.0, np.inf]]
+        cs = model(cross)
+        assert 1 in cs.nav_listeners(1)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            CarrierSenseModel(np.zeros((2, 3)), MacConfig())

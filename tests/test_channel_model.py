@@ -1,0 +1,119 @@
+"""Composite channel model tests."""
+
+import numpy as np
+import pytest
+
+from repro.channel.model import ChannelModel, apply_csi_error
+from repro.config import RadioConfig
+from repro.topology.deployment import AntennaMode
+from repro.topology.scenarios import office_b, single_ap_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return single_ap_scenario(office_b(), AntennaMode.DAS, seed=5)
+
+
+@pytest.fixture(scope="module")
+def model(scenario):
+    return ChannelModel(scenario.deployment, scenario.radio, seed=5)
+
+
+class TestChannelMatrix:
+    def test_shape(self, scenario, model):
+        h = model.channel_matrix()
+        assert h.shape == (scenario.deployment.n_clients, scenario.deployment.n_antennas)
+
+    def test_complex_dtype(self, model):
+        assert np.iscomplexobj(model.channel_matrix())
+
+    def test_deterministic_by_seed(self, scenario):
+        a = ChannelModel(scenario.deployment, scenario.radio, seed=9).channel_matrix()
+        b = ChannelModel(scenario.deployment, scenario.radio, seed=9).channel_matrix()
+        np.testing.assert_array_equal(a, b)
+
+    def test_advance_changes_matrix(self, scenario):
+        m = ChannelModel(scenario.deployment, scenario.radio, seed=9)
+        before = m.channel_matrix().copy()
+        m.advance(0.5)
+        assert not np.allclose(before, m.channel_matrix())
+
+    def test_advance_tracks_time(self, scenario):
+        m = ChannelModel(scenario.deployment, scenario.radio, seed=9)
+        m.advance(0.25)
+        assert m.time_s == pytest.approx(0.25)
+
+    def test_magnitude_matches_large_scale_gain(self, scenario):
+        m = ChannelModel(scenario.deployment, scenario.radio, seed=9)
+        h = m.channel_matrix()
+        gain_linear = 10 ** (m.client_gain_db() / 10.0)
+        # Fading is unit power, so |h|^2 should be the right order of magnitude.
+        ratio = np.abs(h) ** 2 / gain_linear
+        assert np.median(ratio) == pytest.approx(1.0, abs=0.9)
+
+
+class TestLargeScaleMaps:
+    def test_gain_decreases_with_distance(self, scenario):
+        radio = scenario.radio.with_(shadowing_sigma_db=0.0, cable_loss_db_per_m=0.0)
+        m = ChannelModel(scenario.deployment, radio, seed=1)
+        antenna = scenario.deployment.antenna_positions[0]
+        near = antenna + np.array([1.0, 0.0])
+        far = antenna + np.array([12.0, 0.0])
+        gain = m.large_scale_gain_db([near, far])
+        assert gain[0, 0] > gain[1, 0]
+
+    def test_rx_power_offsets_gain_by_tx_power(self, model, scenario):
+        pts = [(1.0, 1.0)]
+        gain = model.large_scale_gain_db(pts)
+        rx = model.rx_power_dbm(pts)
+        np.testing.assert_allclose(rx - gain, scenario.radio.per_antenna_power_dbm)
+
+    def test_snr_map_offsets_by_noise(self, model, scenario):
+        from repro import units
+
+        pts = [(2.0, 2.0)]
+        snr = model.snr_db_map(pts)
+        rx = model.rx_power_dbm(pts)
+        np.testing.assert_allclose(
+            snr, rx - units.mw_to_dbm(scenario.radio.noise_mw)
+        )
+
+    def test_cable_loss_zero_for_cas(self):
+        cas = single_ap_scenario(office_b(), AntennaMode.CAS, seed=5)
+        m = ChannelModel(cas.deployment, cas.radio, seed=5)
+        assert np.all(m.cable_loss_db < 0.1)
+
+    def test_cable_loss_positive_for_das(self, model, scenario):
+        expected_min = 5.0 * scenario.radio.cable_loss_db_per_m
+        assert np.all(model.cable_loss_db >= expected_min - 1e-9)
+
+    def test_antenna_cross_power_diagonal_infinite(self, model):
+        cross = model.antenna_cross_power_dbm()
+        assert np.all(np.isinf(np.diag(cross)))
+
+    def test_antenna_cross_power_shape(self, model, scenario):
+        n = scenario.deployment.n_antennas
+        assert model.antenna_cross_power_dbm().shape == (n, n)
+
+    def test_client_rx_power_uses_cached_gains(self, model, scenario):
+        rssi = model.client_rx_power_dbm()
+        np.testing.assert_allclose(
+            rssi, scenario.radio.per_antenna_power_dbm + model.client_gain_db()
+        )
+
+
+class TestCsiError:
+    def test_zero_error_returns_same_object(self):
+        h = np.ones((2, 2), dtype=complex)
+        assert apply_csi_error(h, 0.0, np.random.default_rng(0)) is h
+
+    def test_error_scales_with_magnitude(self):
+        rng = np.random.default_rng(0)
+        h = np.full((200, 200), 10.0 + 0j)
+        noisy = apply_csi_error(h, 0.1, rng)
+        rel = np.abs(noisy - h) / np.abs(h)
+        assert np.mean(rel) == pytest.approx(0.1, rel=0.25)
+
+    def test_negative_error_rejected(self):
+        with pytest.raises(ValueError):
+            apply_csi_error(np.ones((1, 1), dtype=complex), -0.1, np.random.default_rng(0))

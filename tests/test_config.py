@@ -1,0 +1,66 @@
+"""Configuration dataclass tests."""
+
+import math
+
+import pytest
+
+from repro import units
+from repro.config import MacConfig, MidasConfig, RadioConfig, SimConfig
+
+
+class TestRadioConfig:
+    def test_per_antenna_power_conversion(self):
+        radio = RadioConfig(per_antenna_power_dbm=10.0)
+        assert radio.per_antenna_power_mw == pytest.approx(10.0)
+
+    def test_noise_includes_noise_figure(self):
+        quiet = RadioConfig(noise_figure_db=0.0)
+        noisy = RadioConfig(noise_figure_db=10.0)
+        assert noisy.noise_mw == pytest.approx(10.0 * quiet.noise_mw)
+
+    def test_wavelength(self):
+        radio = RadioConfig(carrier_hz=5.25e9)
+        assert radio.wavelength_m == pytest.approx(units.wavelength(5.25e9))
+
+    def test_coherence_time_infinite_without_doppler(self):
+        assert math.isinf(RadioConfig(doppler_hz=0.0).coherence_time_s)
+
+    def test_coherence_time_jakes_rule(self):
+        radio = RadioConfig(doppler_hz=10.0)
+        assert radio.coherence_time_s == pytest.approx(0.0423)
+
+    def test_with_replaces_field(self):
+        radio = RadioConfig().with_(pathloss_exponent=2.0)
+        assert radio.pathloss_exponent == 2.0
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            RadioConfig().pathloss_exponent = 1.0  # type: ignore[misc]
+
+
+class TestMacConfig:
+    def test_difs_is_sifs_plus_two_slots(self):
+        mac = MacConfig()
+        assert mac.difs_us == pytest.approx(mac.sifs_us + 2 * mac.slot_us)
+
+    def test_nav_threshold_more_sensitive_than_cs(self):
+        mac = MacConfig()
+        assert mac.nav_decode_dbm < mac.cs_threshold_dbm
+
+    def test_threshold_conversions(self):
+        mac = MacConfig(cs_threshold_dbm=-80.0)
+        assert mac.cs_threshold_mw == pytest.approx(1e-8)
+
+    def test_with_replaces_field(self):
+        assert MacConfig().with_(tag_width=3).tag_width == 3
+
+
+class TestSimAndBundle:
+    def test_sim_with(self):
+        assert SimConfig().with_(duration_s=1.0).duration_s == 1.0
+
+    def test_bundle_defaults(self):
+        bundle = MidasConfig()
+        assert bundle.radio == RadioConfig()
+        assert bundle.mac == MacConfig()
+        assert bundle.sim == SimConfig()

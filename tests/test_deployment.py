@@ -1,0 +1,152 @@
+"""Deployment builder tests (CAS/DAS placement rules)."""
+
+import numpy as np
+import pytest
+
+from repro.topology import geometry
+from repro.topology.deployment import (
+    AntennaMode,
+    Deployment,
+    build_multi_ap,
+    build_single_ap,
+    cas_antenna_layout,
+    das_antenna_layout,
+)
+
+WAVELENGTH = 0.057
+
+
+class TestCasLayout:
+    def test_half_wavelength_spacing(self):
+        ants = cas_antenna_layout((0, 0), 4, WAVELENGTH)
+        gaps = np.diff(ants[:, 0])
+        np.testing.assert_allclose(gaps, WAVELENGTH / 2)
+
+    def test_centered_on_ap(self):
+        ants = cas_antenna_layout((3.0, -1.0), 4, WAVELENGTH)
+        np.testing.assert_allclose(ants.mean(axis=0), [3.0, -1.0])
+
+    def test_rejects_zero_antennas(self):
+        with pytest.raises(ValueError):
+            cas_antenna_layout((0, 0), 0, WAVELENGTH)
+
+
+class TestDasLayout:
+    def test_radii_within_annulus(self):
+        rng = np.random.default_rng(0)
+        ants = das_antenna_layout(rng, (0, 0), 4, radius_min_m=5, radius_max_m=10)
+        radii = np.linalg.norm(ants, axis=1)
+        assert np.all((radii >= 5) & (radii <= 10))
+
+    def test_min_separation_respected(self):
+        rng = np.random.default_rng(1)
+        ants = das_antenna_layout(
+            rng, (0, 0), 4, radius_min_m=5, radius_max_m=10, min_separation_m=5.0
+        )
+        assert geometry.min_pairwise_distance(ants) >= 5.0
+
+    def test_sector_rule_respected(self):
+        rng = np.random.default_rng(2)
+        ants = das_antenna_layout(
+            rng, (0, 0), 4, radius_min_m=5, radius_max_m=10, min_sector_deg=60.0
+        )
+        assert geometry.sector_angles_ok((0, 0), ants, 60.0)
+
+    def test_coverage_bound_respected(self):
+        rng = np.random.default_rng(3)
+        ants = das_antenna_layout(
+            rng,
+            (10, 10),
+            4,
+            radius_min_m=5,
+            radius_max_m=10,
+            within_center=(10, 10),
+            within_radius_m=9.0,
+        )
+        assert np.all(geometry.points_within(ants, (10, 10), 9.0))
+
+    def test_impossible_constraints_raise(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(RuntimeError):
+            das_antenna_layout(
+                rng,
+                (0, 0),
+                4,
+                radius_min_m=5,
+                radius_max_m=6,
+                min_separation_m=50.0,
+                max_attempts=50,
+            )
+
+
+class TestDeploymentInvariants:
+    def test_antenna_ap_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Deployment(
+                ap_positions=[(0, 0)],
+                antenna_positions=[(1, 1), (2, 2)],
+                antenna_ap=[0],
+                client_positions=[(3, 3)],
+                client_ap=[0],
+            )
+
+    def test_unknown_ap_reference_raises(self):
+        with pytest.raises(ValueError):
+            Deployment(
+                ap_positions=[(0, 0)],
+                antenna_positions=[(1, 1)],
+                antenna_ap=[1],
+                client_positions=[(3, 3)],
+                client_ap=[0],
+            )
+
+    def test_counts(self):
+        dep = build_single_ap(
+            np.random.default_rng(0),
+            mode=AntennaMode.DAS,
+            n_antennas=4,
+            n_clients=3,
+            wavelength_m=WAVELENGTH,
+        )
+        assert dep.n_aps == 1
+        assert dep.n_antennas == 4
+        assert dep.n_clients == 3
+
+    def test_distance_matrix_shapes(self):
+        dep = build_single_ap(
+            np.random.default_rng(0),
+            mode=AntennaMode.CAS,
+            n_antennas=4,
+            n_clients=3,
+            wavelength_m=WAVELENGTH,
+        )
+        assert dep.antenna_client_distances().shape == (3, 4)
+        assert dep.antenna_antenna_distances().shape == (4, 4)
+
+    def test_multi_ap_ownership(self):
+        dep = build_multi_ap(
+            np.random.default_rng(0),
+            [(0, 0), (20, 0)],
+            mode=AntennaMode.DAS,
+            antennas_per_ap=4,
+            clients_per_ap=2,
+            wavelength_m=WAVELENGTH,
+        )
+        assert len(dep.antennas_of(0)) == 4
+        assert len(dep.antennas_of(1)) == 4
+        assert len(dep.clients_of(1)) == 2
+
+    def test_subset_for_ap(self):
+        dep = build_multi_ap(
+            np.random.default_rng(0),
+            [(0, 0), (20, 0)],
+            mode=AntennaMode.DAS,
+            antennas_per_ap=4,
+            clients_per_ap=2,
+            wavelength_m=WAVELENGTH,
+        )
+        sub = dep.subset_for_ap(1)
+        assert sub.n_aps == 1
+        assert sub.n_antennas == 4
+        assert sub.n_clients == 2
+        np.testing.assert_allclose(sub.ap_positions[0], [20, 0])

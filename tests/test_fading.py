@@ -1,0 +1,154 @@
+"""Small-scale fading model tests."""
+
+import numpy as np
+import pytest
+from scipy.special import j0
+
+from repro.channel.fading import (
+    FadingProcess,
+    angular_spread_correlation,
+    correlation_for,
+    correlation_sqrt,
+    jakes_correlation,
+    sample_fading,
+)
+
+WAVELENGTH = 0.057
+
+
+class TestSampleFading:
+    def test_shape(self):
+        h = sample_fading(np.random.default_rng(0), 3, 5)
+        assert h.shape == (3, 5)
+
+    def test_unit_average_power(self):
+        h = sample_fading(np.random.default_rng(0), 200, 200)
+        assert np.mean(np.abs(h) ** 2) == pytest.approx(1.0, rel=0.05)
+
+    def test_rician_k_preserves_power(self):
+        h = sample_fading(np.random.default_rng(0), 200, 200, rician_k=5.0)
+        assert np.mean(np.abs(h) ** 2) == pytest.approx(1.0, rel=0.05)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            sample_fading(np.random.default_rng(0), 2, 2, rician_k=-1.0)
+
+
+class TestCorrelationModels:
+    def test_jakes_diagonal_is_one(self):
+        pts = [(0, 0), (WAVELENGTH / 2, 0)]
+        corr = jakes_correlation(pts, WAVELENGTH)
+        np.testing.assert_allclose(np.diag(corr), 1.0, atol=1e-9)
+
+    def test_jakes_matches_bessel(self):
+        d = WAVELENGTH / 2
+        corr = jakes_correlation([(0, 0), (d, 0)], WAVELENGTH)
+        assert corr[0, 1] == pytest.approx(float(j0(np.pi)), abs=0.05)
+
+    def test_angular_spread_decreases_with_distance(self):
+        pts = [(0, 0), (WAVELENGTH / 2, 0), (5 * WAVELENGTH, 0)]
+        corr = angular_spread_correlation(pts, WAVELENGTH, 15.0)
+        assert corr[0, 1] > corr[0, 2]
+
+    def test_angular_spread_higher_correlation_for_narrow_spread(self):
+        pts = [(0, 0), (WAVELENGTH / 2, 0)]
+        narrow = angular_spread_correlation(pts, WAVELENGTH, 8.0)
+        wide = angular_spread_correlation(pts, WAVELENGTH, 40.0)
+        assert narrow[0, 1] > wide[0, 1]
+
+    def test_distributed_antennas_nearly_uncorrelated(self):
+        pts = [(0, 0), (5.0, 0)]
+        corr = angular_spread_correlation(pts, WAVELENGTH, 15.0)
+        assert abs(corr[0, 1]) < 0.01
+
+    def test_psd(self):
+        pts = [(0, 0), (WAVELENGTH / 2, 0), (WAVELENGTH, 0), (3 * WAVELENGTH / 2, 0)]
+        for corr in (
+            jakes_correlation(pts, WAVELENGTH),
+            angular_spread_correlation(pts, WAVELENGTH, 15.0),
+        ):
+            eigvals = np.linalg.eigvalsh(corr)
+            assert np.all(eigvals >= -1e-9)
+
+    def test_correlation_for_selects_model(self):
+        pts = [(0, 0), (WAVELENGTH / 2, 0)]
+        np.testing.assert_allclose(
+            correlation_for(pts, WAVELENGTH, None), jakes_correlation(pts, WAVELENGTH)
+        )
+        np.testing.assert_allclose(
+            correlation_for(pts, WAVELENGTH, 15.0),
+            angular_spread_correlation(pts, WAVELENGTH, 15.0),
+        )
+
+    def test_sqrt_squares_back(self):
+        pts = [(0, 0), (WAVELENGTH / 2, 0), (WAVELENGTH, 0)]
+        corr = angular_spread_correlation(pts, WAVELENGTH, 15.0)
+        root = correlation_sqrt(corr)
+        np.testing.assert_allclose(root @ root.conj().T, corr, atol=1e-9)
+
+    def test_invalid_spread_rejected(self):
+        with pytest.raises(ValueError):
+            angular_spread_correlation([(0, 0)], WAVELENGTH, 0.0)
+
+
+class TestFadingProcess:
+    def _process(self, doppler=10.0):
+        return FadingProcess(
+            np.random.default_rng(0),
+            n_rx=3,
+            antenna_positions=[(0, 0), (6, 0), (0, 7)],
+            wavelength_m=WAVELENGTH,
+            doppler_hz=doppler,
+        )
+
+    def test_current_shape(self):
+        assert self._process().current.shape == (3, 3)
+
+    def test_zero_dt_is_identity(self):
+        proc = self._process()
+        before = proc.current.copy()
+        proc.advance(0.0)
+        np.testing.assert_array_equal(proc.current, before)
+
+    def test_zero_doppler_freezes(self):
+        proc = self._process(doppler=0.0)
+        before = proc.current.copy()
+        proc.advance(10.0)
+        np.testing.assert_array_equal(proc.current, before)
+
+    def test_small_dt_high_correlation(self):
+        proc = self._process(doppler=5.0)
+        before = proc.current.copy()
+        proc.advance(1e-4)
+        corr = np.abs(np.vdot(before, proc.current)) / (
+            np.linalg.norm(before) * np.linalg.norm(proc.current)
+        )
+        assert corr > 0.99
+
+    def test_long_dt_decorrelates(self):
+        proc = self._process(doppler=10.0)
+        before = proc.current.copy()
+        for __ in range(20):
+            proc.advance(1.0)
+        corr = np.abs(np.vdot(before, proc.current)) / (
+            np.linalg.norm(before) * np.linalg.norm(proc.current)
+        )
+        assert corr < 0.5
+
+    def test_negative_dt_rejected(self):
+        with pytest.raises(ValueError):
+            self._process().advance(-1.0)
+
+    def test_correlated_cas_array(self):
+        # Antennas half a wavelength apart must produce correlated columns.
+        spacing = WAVELENGTH / 2
+        proc = FadingProcess(
+            np.random.default_rng(1),
+            n_rx=4000,
+            antenna_positions=[(0, 0), (spacing, 0)],
+            wavelength_m=WAVELENGTH,
+            angular_spread_deg=10.0,
+        )
+        g = proc.current
+        sample_corr = np.abs(np.mean(g[:, 0] * np.conj(g[:, 1])))
+        assert sample_corr > 0.5

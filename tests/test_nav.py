@@ -1,0 +1,66 @@
+"""Per-antenna NAV timer tests (paper §3.2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.mac.nav import NavTable
+
+
+class TestNavBasics:
+    def test_initially_clear(self):
+        nav = NavTable(4)
+        assert nav.is_clear(0, 0.0)
+        np.testing.assert_array_equal(nav.clear_antennas(0.0), [0, 1, 2, 3])
+
+    def test_set_and_expire(self):
+        nav = NavTable(2)
+        nav.set_nav(0, 100.0)
+        assert not nav.is_clear(0, 50.0)
+        assert nav.is_clear(0, 100.0)
+        assert nav.is_clear(1, 50.0)
+
+    def test_nav_never_shrinks(self):
+        nav = NavTable(1)
+        nav.set_nav(0, 100.0)
+        nav.set_nav(0, 60.0)
+        assert nav.expiry_us(0) == 100.0
+
+    def test_nav_extends(self):
+        nav = NavTable(1)
+        nav.set_nav(0, 100.0)
+        nav.set_nav(0, 150.0)
+        assert nav.expiry_us(0) == 150.0
+
+    def test_rejects_zero_antennas(self):
+        with pytest.raises(ValueError):
+            NavTable(0)
+
+
+class TestOpportunisticQueries:
+    def test_expiring_within_window(self):
+        nav = NavTable(4)
+        nav.set_nav(0, 100.0)
+        nav.set_nav(1, 500.0)
+        nav.set_nav(2, 120.0)
+        # At t=90 with a 34 us window: antennas 0 (100) and 2 (120) qualify.
+        np.testing.assert_array_equal(nav.expiring_within(90.0, 34.0), [0, 2])
+
+    def test_already_clear_not_in_expiring(self):
+        nav = NavTable(2)
+        nav.set_nav(0, 100.0)
+        assert 1 not in nav.expiring_within(90.0, 34.0)
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            NavTable(1).expiring_within(0.0, -1.0)
+
+    def test_order_by_expiry(self):
+        nav = NavTable(3)
+        nav.set_nav(0, 300.0)
+        nav.set_nav(1, 100.0)
+        nav.set_nav(2, 200.0)
+        np.testing.assert_array_equal(nav.order_by_expiry([0, 1, 2]), [1, 2, 0])
+
+    def test_order_stable_for_equal_expiry(self):
+        nav = NavTable(3)
+        np.testing.assert_array_equal(nav.order_by_expiry([2, 0, 1]), [2, 0, 1])

@@ -1,0 +1,96 @@
+"""End-to-end discrete-event simulation tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimConfig
+from repro.sim.network import MacMode, NetworkSimulation, aps_mutually_overhear
+from repro.topology.deployment import AntennaMode
+from repro.topology.scenarios import office_b, single_ap_scenario, three_ap_scenario
+
+SIM = SimConfig(duration_s=0.05)
+
+
+@pytest.fixture(scope="module")
+def three_ap_pair():
+    return three_ap_scenario(office_b(), seed=3)
+
+
+class TestSingleAp:
+    def test_cas_run_produces_throughput(self):
+        scenario = single_ap_scenario(office_b(), AntennaMode.CAS, seed=1)
+        result = NetworkSimulation(scenario, MacMode.CAS, SIM, seed=1).run()
+        assert result.txop_count > 0
+        assert result.network_capacity_bps_hz > 0
+
+    def test_midas_run_produces_throughput(self):
+        scenario = single_ap_scenario(office_b(), AntennaMode.DAS, seed=1)
+        result = NetworkSimulation(scenario, MacMode.MIDAS, SIM, seed=1).run()
+        assert result.txop_count > 0
+        assert result.network_capacity_bps_hz > 0
+
+    def test_per_client_nonnegative(self):
+        scenario = single_ap_scenario(office_b(), AntennaMode.DAS, seed=2)
+        result = NetworkSimulation(scenario, MacMode.MIDAS, SIM, seed=2).run()
+        assert np.all(result.per_client_bits_per_hz >= 0)
+
+    def test_concurrency_bounded_by_antennas(self):
+        scenario = single_ap_scenario(office_b(), AntennaMode.DAS, seed=2)
+        result = NetworkSimulation(scenario, MacMode.MIDAS, SIM, seed=2).run()
+        assert result.mean_concurrent_streams <= scenario.deployment.n_antennas
+
+    def test_deterministic_by_seed(self):
+        scenario = single_ap_scenario(office_b(), AntennaMode.DAS, seed=4)
+        a = NetworkSimulation(scenario, MacMode.MIDAS, SIM, seed=7).run()
+        b = NetworkSimulation(scenario, MacMode.MIDAS, SIM, seed=7).run()
+        np.testing.assert_allclose(a.per_client_bits_per_hz, b.per_client_bits_per_hz)
+        assert a.txop_count == b.txop_count
+
+    def test_different_seeds_differ(self):
+        scenario = single_ap_scenario(office_b(), AntennaMode.DAS, seed=4)
+        a = NetworkSimulation(scenario, MacMode.MIDAS, SIM, seed=1).run()
+        b = NetworkSimulation(scenario, MacMode.MIDAS, SIM, seed=2).run()
+        assert not np.allclose(a.per_client_bits_per_hz, b.per_client_bits_per_hz)
+
+    def test_cas_single_ap_serializes(self):
+        # One CAS AP alone: streams per TXOP equals antennas, airtime < 100%.
+        scenario = single_ap_scenario(office_b(), AntennaMode.CAS, seed=5)
+        result = NetworkSimulation(scenario, MacMode.CAS, SIM, seed=5).run()
+        assert result.stream_count == 4 * result.txop_count
+
+
+class TestThreeAp:
+    def test_both_modes_run(self, three_ap_pair):
+        cas = NetworkSimulation(
+            three_ap_pair[AntennaMode.CAS], MacMode.CAS, SIM, seed=3
+        ).run()
+        midas = NetworkSimulation(
+            three_ap_pair[AntennaMode.DAS], MacMode.MIDAS, SIM, seed=3
+        ).run()
+        assert cas.txop_count > 0 and midas.txop_count > 0
+
+    def test_all_clients_eventually_served(self, three_ap_pair):
+        sim_cfg = SimConfig(duration_s=0.15)
+        result = NetworkSimulation(
+            three_ap_pair[AntennaMode.DAS], MacMode.MIDAS, sim_cfg, seed=3
+        ).run()
+        served = result.per_client_bits_per_hz > 0
+        # DRR fairness should reach nearly every client within 150 ms.
+        assert served.mean() > 0.7
+
+
+class TestOverhearPredicate:
+    def test_colocated_aps_overhear(self):
+        pair = three_ap_scenario(office_b(), seed=0, inter_ap_m=2.0)
+        sim = NetworkSimulation(pair[AntennaMode.CAS], MacMode.CAS, SIM, seed=0)
+        assert aps_mutually_overhear(sim.carrier_sense, sim.deployment)
+
+    def test_distant_aps_do_not_overhear(self):
+        pair = three_ap_scenario(office_b(), seed=0, inter_ap_m=500.0)
+        sim = NetworkSimulation(pair[AntennaMode.CAS], MacMode.CAS, SIM, seed=0)
+        assert not aps_mutually_overhear(sim.carrier_sense, sim.deployment)
+
+    def test_single_ap_trivially_true(self):
+        scenario = single_ap_scenario(office_b(), AntennaMode.CAS, seed=0)
+        sim = NetworkSimulation(scenario, MacMode.CAS, SIM, seed=0)
+        assert aps_mutually_overhear(sim.carrier_sense, sim.deployment)

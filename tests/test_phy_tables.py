@@ -1,0 +1,64 @@
+"""MCS table, OFDM numerology, and sounding overhead tests."""
+
+import pytest
+
+from repro.phy.mcs import MCS_TABLE, highest_mcs_for_snr, rate_bps_hz_for_snr
+from repro.phy.ofdm import VHT20, OfdmNumerology
+from repro.phy.sounding import sounding_overhead_us
+
+
+class TestMcs:
+    def test_table_rates_increase(self):
+        rates = [m.data_rate_mbps for m in MCS_TABLE]
+        assert rates == sorted(rates)
+
+    def test_table_snrs_increase(self):
+        snrs = [m.min_snr_db for m in MCS_TABLE]
+        assert snrs == sorted(snrs)
+
+    def test_below_mcs0_returns_none(self):
+        assert highest_mcs_for_snr(-5.0) is None
+        assert rate_bps_hz_for_snr(-5.0) == 0.0
+
+    def test_very_high_snr_gets_top_mcs(self):
+        assert highest_mcs_for_snr(50.0).index == MCS_TABLE[-1].index
+
+    def test_boundary_inclusive(self):
+        entry = MCS_TABLE[3]
+        assert highest_mcs_for_snr(entry.min_snr_db).index == entry.index
+
+    def test_rate_bps_hz_consistency(self):
+        entry = MCS_TABLE[4]
+        assert entry.rate_bps_hz == pytest.approx(entry.data_rate_mbps * 1e6 / 20e6)
+
+
+class TestOfdm:
+    def test_vht20_subcarrier_spacing(self):
+        assert VHT20.subcarrier_spacing_hz == pytest.approx(312.5e3)
+
+    def test_symbols_for_bits_rounds_up(self):
+        assert VHT20.symbols_for_bits(100, 52) == 2
+
+    def test_symbols_minimum_one(self):
+        assert VHT20.symbols_for_bits(1, 1000) == 1
+
+    def test_invalid_bits_per_symbol(self):
+        with pytest.raises(ValueError):
+            VHT20.symbols_for_bits(10, 0)
+
+
+class TestSounding:
+    def test_grows_with_clients(self):
+        assert sounding_overhead_us(4, 4) > sounding_overhead_us(1, 4)
+
+    def test_grows_with_antennas(self):
+        assert sounding_overhead_us(2, 8) > sounding_overhead_us(2, 2)
+
+    def test_order_of_magnitude(self):
+        # A 4-client sounding exchange is a few hundred microseconds.
+        total = sounding_overhead_us(4, 4)
+        assert 300 < total < 1500
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            sounding_overhead_us(0, 4)

@@ -1,0 +1,74 @@
+"""Transmission registry tests."""
+
+import numpy as np
+import pytest
+
+from repro.sim.radio_state import ActiveTransmission, TransmissionLog
+
+
+def make_tx(start, end, antennas=(0,), ap=0):
+    n = len(antennas)
+    return ActiveTransmission(
+        ap=ap,
+        antennas=np.asarray(antennas),
+        clients=np.asarray([0]),
+        v=np.ones((n, 1), dtype=complex),
+        h_rows=np.ones((1, 4), dtype=complex),
+        start_us=start,
+        end_us=end,
+        data_fraction=0.8,
+    )
+
+
+class TestOverlap:
+    def test_disjoint_zero(self):
+        assert make_tx(0, 10).overlap_us(make_tx(20, 30)) == 0.0
+
+    def test_partial_overlap(self):
+        assert make_tx(0, 10).overlap_us(make_tx(5, 30)) == 5.0
+
+    def test_containment(self):
+        assert make_tx(0, 100).overlap_us(make_tx(20, 30)) == 10.0
+
+    def test_symmetry(self):
+        a, b = make_tx(0, 10), make_tx(5, 30)
+        assert a.overlap_us(b) == b.overlap_us(a)
+
+    def test_duration(self):
+        assert make_tx(5, 30).duration_us == 25.0
+
+
+class TestLog:
+    def test_start_finish_lifecycle(self):
+        log = TransmissionLog()
+        tx = make_tx(0, 10)
+        log.start(tx)
+        assert log.active == [tx]
+        log.finish(tx)
+        assert log.active == []
+        assert log.completed == [tx]
+
+    def test_transmitting_antennas_concatenates(self):
+        log = TransmissionLog()
+        log.start(make_tx(0, 10, antennas=(0, 1)))
+        log.start(make_tx(0, 10, antennas=(3,)))
+        np.testing.assert_array_equal(log.transmitting_antennas(), [0, 1, 3])
+
+    def test_empty_log(self):
+        log = TransmissionLog()
+        assert log.transmitting_antennas().size == 0
+        assert log.busy_until_us(5.0) == 5.0
+
+    def test_busy_until(self):
+        log = TransmissionLog()
+        log.start(make_tx(0, 10))
+        log.start(make_tx(0, 25))
+        assert log.busy_until_us(5.0) == 25.0
+
+    def test_all_transmissions(self):
+        log = TransmissionLog()
+        a, b = make_tx(0, 10), make_tx(5, 15)
+        log.start(a)
+        log.start(b)
+        log.finish(a)
+        assert set(map(id, log.all_transmissions())) == {id(a), id(b)}

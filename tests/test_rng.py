@@ -1,0 +1,49 @@
+"""Determinism plumbing tests."""
+
+import itertools
+
+import numpy as np
+
+from repro import rng as rng_mod
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = rng_mod.make_rng(42).random(8)
+        b = rng_mod.make_rng(42).random(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(1)
+        assert rng_mod.make_rng(gen) is gen
+
+
+class TestSpawn:
+    def test_children_are_independent_of_count(self):
+        first = rng_mod.spawn(rng_mod.make_rng(7), 2)[0].random(4)
+        again = rng_mod.spawn(rng_mod.make_rng(7), 5)[0].random(4)
+        np.testing.assert_array_equal(first, again)
+
+    def test_children_differ_from_each_other(self):
+        kids = rng_mod.spawn(rng_mod.make_rng(7), 2)
+        assert not np.allclose(kids[0].random(8), kids[1].random(8))
+
+    def test_negative_count_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            rng_mod.spawn(rng_mod.make_rng(0), -1)
+
+
+class TestSeedStream:
+    def test_stable_per_index(self):
+        assert rng_mod.derived_seed(3, 10) == rng_mod.derived_seed(3, 10)
+
+    def test_stream_matches_derived(self):
+        stream = list(itertools.islice(rng_mod.seed_stream(3), 5))
+        assert stream == [rng_mod.derived_seed(3, i) for i in range(5)]
+
+    def test_different_roots_differ(self):
+        a = list(itertools.islice(rng_mod.seed_stream(1), 4))
+        b = list(itertools.islice(rng_mod.seed_stream(2), 4))
+        assert a != b

@@ -1,0 +1,73 @@
+"""Round-based (quasi-static) evaluator tests."""
+
+import numpy as np
+import pytest
+
+from repro.sim.network import MacMode, aps_mutually_overhear
+from repro.sim.rounds import RoundBasedEvaluator
+from repro.topology.deployment import AntennaMode
+from repro.topology.scenarios import office_b, three_ap_scenario
+
+
+@pytest.fixture(scope="module")
+def overhearing_pair():
+    # Find a topology where the CAS APs mutually overhear (the paper's rule).
+    for seed in range(200):
+        pair = three_ap_scenario(office_b(), seed=seed)
+        ev = RoundBasedEvaluator(pair[AntennaMode.CAS], MacMode.CAS, seed=seed)
+        if aps_mutually_overhear(ev.carrier_sense, ev.deployment):
+            return pair, seed
+    pytest.skip("no overhearing topology found in 200 seeds")
+
+
+class TestCasRounds:
+    def test_serialization_under_full_overhearing(self, overhearing_pair):
+        pair, seed = overhearing_pair
+        ev = RoundBasedEvaluator(pair[AntennaMode.CAS], MacMode.CAS, seed=seed)
+        result = ev.run(6)
+        for rnd in result.rounds:
+            # Exactly one AP transmits its four streams per round.
+            assert rnd.n_streams == 4
+            assert (rnd.per_ap_streams > 0).sum() == 1
+
+    def test_primary_rotates(self, overhearing_pair):
+        pair, seed = overhearing_pair
+        ev = RoundBasedEvaluator(pair[AntennaMode.CAS], MacMode.CAS, seed=seed)
+        result = ev.run(6)
+        actives = [int(np.argmax(r.per_ap_streams)) for r in result.rounds]
+        assert set(actives) == {0, 1, 2}
+
+
+class TestMidasRounds:
+    def test_primary_always_full(self, overhearing_pair):
+        pair, seed = overhearing_pair
+        ev = RoundBasedEvaluator(pair[AntennaMode.DAS], MacMode.MIDAS, seed=seed)
+        result = ev.run(6)
+        for index, rnd in enumerate(result.rounds):
+            primary = index % 3
+            assert rnd.per_ap_streams[primary] >= 1
+
+    def test_streams_at_least_cas(self, overhearing_pair):
+        pair, seed = overhearing_pair
+        cas = RoundBasedEvaluator(pair[AntennaMode.CAS], MacMode.CAS, seed=seed).run(12)
+        midas = RoundBasedEvaluator(pair[AntennaMode.DAS], MacMode.MIDAS, seed=seed).run(12)
+        assert midas.mean_streams >= cas.mean_streams * 0.9
+
+    def test_capacity_positive(self, overhearing_pair):
+        pair, seed = overhearing_pair
+        result = RoundBasedEvaluator(
+            pair[AntennaMode.DAS], MacMode.MIDAS, seed=seed
+        ).run(4)
+        assert result.mean_capacity_bps_hz > 0
+
+    def test_rejects_zero_rounds(self, overhearing_pair):
+        pair, seed = overhearing_pair
+        ev = RoundBasedEvaluator(pair[AntennaMode.DAS], MacMode.MIDAS, seed=seed)
+        with pytest.raises(ValueError):
+            ev.run(0)
+
+    def test_deterministic(self, overhearing_pair):
+        pair, seed = overhearing_pair
+        a = RoundBasedEvaluator(pair[AntennaMode.DAS], MacMode.MIDAS, seed=seed).run(5)
+        b = RoundBasedEvaluator(pair[AntennaMode.DAS], MacMode.MIDAS, seed=seed).run(5)
+        assert a.mean_capacity_bps_hz == pytest.approx(b.mean_capacity_bps_hz)

@@ -1,0 +1,147 @@
+"""Scenario factory tests: the paper's deployment rules."""
+
+import numpy as np
+import pytest
+
+from repro.channel.pathloss import coverage_range_m, cs_range_m
+from repro.topology import geometry
+from repro.topology.deployment import AntennaMode
+from repro.topology.scenarios import (
+    eight_ap_scenario,
+    hidden_terminal_scenario,
+    office_a,
+    office_b,
+    paired_scenarios,
+    single_ap_scenario,
+    three_ap_scenario,
+)
+
+
+class TestOffices:
+    def test_office_b_is_lossier(self):
+        assert (
+            office_b().radio.pathloss_exponent >= office_a().radio.pathloss_exponent
+        )
+        assert (
+            office_b().radio.shadowing_sigma_db > office_a().radio.shadowing_sigma_db
+        )
+
+    def test_names(self):
+        assert office_a().name == "office_a"
+        assert office_b().name == "office_b"
+
+
+class TestPairedScenarios:
+    def test_modes_share_clients_and_aps(self):
+        pair = paired_scenarios(office_b(), [(0, 0)], seed=3)
+        cas = pair[AntennaMode.CAS].deployment
+        das = pair[AntennaMode.DAS].deployment
+        np.testing.assert_array_equal(cas.client_positions, das.client_positions)
+        np.testing.assert_array_equal(cas.ap_positions, das.ap_positions)
+
+    def test_modes_differ_in_antennas(self):
+        pair = paired_scenarios(office_b(), [(0, 0)], seed=3)
+        cas = pair[AntennaMode.CAS].deployment
+        das = pair[AntennaMode.DAS].deployment
+        assert not np.allclose(cas.antenna_positions, das.antenna_positions)
+
+    def test_cas_antennas_colocated(self):
+        pair = paired_scenarios(office_b(), [(0, 0)], seed=3)
+        ants = pair[AntennaMode.CAS].deployment.antenna_positions
+        assert geometry.pairwise_distances(ants, ants).max() < 0.2
+
+    def test_das_antennas_in_ring(self):
+        pair = paired_scenarios(
+            office_b(), [(0, 0)], seed=3, das_radius_min_m=5, das_radius_max_m=10
+        )
+        radii = np.linalg.norm(pair[AntennaMode.DAS].deployment.antenna_positions, axis=1)
+        assert np.all((radii >= 5) & (radii <= 10))
+
+    def test_clients_in_annulus(self):
+        env = office_b()
+        pair = paired_scenarios(
+            env, [(0, 0)], seed=4, client_radius_fraction=0.9, client_radius_min_fraction=0.25
+        )
+        coverage = coverage_range_m(env.radio, pair[AntennaMode.CAS].mac.decode_snr_db)
+        radii = np.linalg.norm(pair[AntennaMode.CAS].deployment.client_positions, axis=1)
+        assert np.all(radii <= 0.9 * coverage + 1e-9)
+        assert np.all(radii >= 0.25 * coverage - 1e-9)
+
+    def test_deterministic_by_seed(self):
+        a = paired_scenarios(office_b(), [(0, 0)], seed=5)
+        b = paired_scenarios(office_b(), [(0, 0)], seed=5)
+        np.testing.assert_array_equal(
+            a[AntennaMode.DAS].deployment.antenna_positions,
+            b[AntennaMode.DAS].deployment.antenna_positions,
+        )
+
+
+class TestSingleAp:
+    def test_counts(self):
+        sc = single_ap_scenario(office_b(), AntennaMode.DAS, n_antennas=3, n_clients=2, seed=0)
+        assert sc.deployment.n_antennas == 3
+        assert sc.deployment.n_clients == 2
+
+    def test_mode_tag(self):
+        sc = single_ap_scenario(office_b(), AntennaMode.CAS, seed=0)
+        assert sc.mode is AntennaMode.CAS
+
+
+class TestThreeAp:
+    def test_equilateral_geometry(self):
+        pair = three_ap_scenario(office_b(), seed=0, inter_ap_m=15.0)
+        aps = pair[AntennaMode.CAS].deployment.ap_positions
+        d = geometry.pairwise_distances(aps, aps)
+        sides = d[np.triu_indices(3, k=1)]
+        np.testing.assert_allclose(sides, 15.0, rtol=1e-9)
+
+    def test_sector_rule_on_das(self):
+        pair = three_ap_scenario(office_b(), seed=0)
+        das = pair[AntennaMode.DAS].deployment
+        for ap in range(3):
+            ants = das.antenna_positions[das.antennas_of(ap)]
+            assert geometry.sector_angles_ok(das.ap_positions[ap], ants, 60.0)
+
+
+class TestEightAp:
+    def test_counts_and_region(self):
+        pair = eight_ap_scenario(office_b(), seed=1)
+        dep = pair[AntennaMode.DAS].deployment
+        assert dep.n_aps == 8
+        assert dep.n_antennas == 32
+        assert np.all(dep.ap_positions >= 0) and np.all(dep.ap_positions <= 60)
+
+    def test_antenna_separation_rule(self):
+        pair = eight_ap_scenario(office_b(), seed=1)
+        dep = pair[AntennaMode.DAS].deployment
+        for ap in range(8):
+            ants = dep.antenna_positions[dep.antennas_of(ap)]
+            assert geometry.min_pairwise_distance(ants) >= 5.0
+
+    def test_overhearing_limit_median(self):
+        pair = eight_ap_scenario(office_b(), seed=1, max_overhearers=3)
+        dep = pair[AntennaMode.CAS].deployment
+        sense = cs_range_m(office_b().radio, pair[AntennaMode.CAS].mac)
+        d = geometry.pairwise_distances(dep.ap_positions, dep.ap_positions)
+        np.fill_diagonal(d, np.inf)
+        assert np.all((d < sense).sum(axis=1) <= 3)
+
+
+class TestHiddenTerminal:
+    def test_aps_beyond_median_sense_range(self):
+        env = office_b()
+        pair = hidden_terminal_scenario(env, seed=0)
+        dep = pair[AntennaMode.CAS].deployment
+        separation = np.linalg.norm(dep.ap_positions[1] - dep.ap_positions[0])
+        assert separation > cs_range_m(env.radio, pair[AntennaMode.CAS].mac)
+
+    def test_das_ring_is_50_to_75_percent_of_range(self):
+        env = office_b()
+        pair = hidden_terminal_scenario(env, seed=0)
+        dep = pair[AntennaMode.DAS].deployment
+        coverage = coverage_range_m(env.radio, pair[AntennaMode.DAS].mac.decode_snr_db)
+        for ap in range(2):
+            ants = dep.antenna_positions[dep.antennas_of(ap)]
+            radii = np.linalg.norm(ants - dep.ap_positions[ap], axis=1)
+            assert np.all(radii >= 0.5 * coverage - 1e-9)
+            assert np.all(radii <= 0.75 * coverage + 1e-9)

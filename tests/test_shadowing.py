@@ -1,0 +1,57 @@
+"""Shadowing field tests."""
+
+import numpy as np
+import pytest
+
+from repro.channel.shadowing import ShadowingField, group_antenna_sites
+
+
+class TestShadowingField:
+    def test_zero_sigma_is_zero_everywhere(self):
+        field = ShadowingField(np.random.default_rng(0), 0.0, 8.0)
+        np.testing.assert_array_equal(field.sample([(1, 2), (3, 4)]), [0.0, 0.0])
+
+    def test_consistent_resampling(self):
+        field = ShadowingField(np.random.default_rng(0), 6.0, 8.0)
+        pts = [(1.0, 2.0), (-3.0, 0.5)]
+        np.testing.assert_array_equal(field.sample(pts), field.sample(pts))
+
+    def test_marginal_std_close_to_sigma(self):
+        field = ShadowingField(np.random.default_rng(1), 6.0, 8.0)
+        rng = np.random.default_rng(2)
+        # Sample far-apart points so they are nearly independent draws.
+        pts = rng.uniform(-500, 500, (600, 2))
+        values = field.sample(pts)
+        assert np.std(values) == pytest.approx(6.0, rel=0.15)
+
+    def test_nearby_points_are_correlated(self):
+        sigma = 6.0
+        diffs_near, diffs_far = [], []
+        for seed in range(60):
+            field = ShadowingField(np.random.default_rng(seed), sigma, 8.0)
+            base, near, far = field.sample([(10.0, 10.0), (10.5, 10.0), (300.0, 300.0)])
+            diffs_near.append(base - near)
+            diffs_far.append(base - far)
+        assert np.std(diffs_near) < np.std(diffs_far) * 0.5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ShadowingField(np.random.default_rng(0), -1.0, 8.0)
+        with pytest.raises(ValueError):
+            ShadowingField(np.random.default_rng(0), 5.0, 0.0)
+
+
+class TestSiteGrouping:
+    def test_colocated_antennas_share_site(self):
+        sites = group_antenna_sites([(0, 0), (0.03, 0), (0.06, 0)])
+        assert len(set(sites)) == 1
+
+    def test_distributed_antennas_get_distinct_sites(self):
+        sites = group_antenna_sites([(0, 0), (8, 0), (0, 9)])
+        assert len(set(sites)) == 3
+
+    def test_mixed_grouping(self):
+        sites = group_antenna_sites([(0, 0), (0.05, 0), (10, 0), (10.05, 0)])
+        assert sites[0] == sites[1]
+        assert sites[2] == sites[3]
+        assert sites[0] != sites[2]

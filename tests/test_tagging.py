@@ -1,0 +1,69 @@
+"""Virtual packet tagging tests (paper §3.2.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.tagging import TagTable, antenna_preferences
+
+
+class TestPreferences:
+    def test_descending_rssi_order(self):
+        rssi = np.array([[-60.0, -50.0, -70.0]])
+        prefs = antenna_preferences(rssi)
+        np.testing.assert_array_equal(prefs[0], [1, 0, 2])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            antenna_preferences(np.array([-60.0, -50.0]))
+
+    def test_stable_ties(self):
+        rssi = np.array([[-60.0, -60.0, -70.0]])
+        prefs = antenna_preferences(rssi)
+        np.testing.assert_array_equal(prefs[0], [0, 1, 2])
+
+
+class TestTagTable:
+    RSSI = np.array(
+        [
+            [-50.0, -60.0, -70.0, -80.0],  # client 0 prefers antennas 0, 1
+            [-80.0, -50.0, -60.0, -70.0],  # client 1 prefers antennas 1, 2
+            [-70.0, -80.0, -50.0, -60.0],  # client 2 prefers antennas 2, 3
+            [-60.0, -70.0, -80.0, -50.0],  # client 3 prefers antennas 3, 0
+        ]
+    )
+
+    def test_two_tags_per_client(self):
+        tags = TagTable.from_rssi(self.RSSI, tag_width=2)
+        np.testing.assert_array_equal(tags.tags.sum(axis=1), 2)
+
+    def test_tags_are_top_rssi(self):
+        tags = TagTable.from_rssi(self.RSSI, tag_width=2)
+        assert tags.tags[0, 0] and tags.tags[0, 1]
+        assert tags.tags[3, 3] and tags.tags[3, 0]
+
+    def test_clients_tagged_to(self):
+        tags = TagTable.from_rssi(self.RSSI, tag_width=2)
+        np.testing.assert_array_equal(tags.clients_tagged_to(0), [0, 3])
+
+    def test_eligible_clients_filtering(self):
+        tags = TagTable.from_rssi(self.RSSI, tag_width=2)
+        # Antenna 1 free: clients 0 and 1 tagged it.
+        np.testing.assert_array_equal(tags.eligible_clients([1]), [0, 1])
+
+    def test_eligible_clients_union(self):
+        tags = TagTable.from_rssi(self.RSSI, tag_width=2)
+        np.testing.assert_array_equal(tags.eligible_clients([0, 2]), [0, 1, 2, 3])
+
+    def test_best_antenna(self):
+        tags = TagTable.from_rssi(self.RSSI, tag_width=2)
+        assert tags.best_antenna(2) == 2
+
+    def test_tag_width_bounds(self):
+        with pytest.raises(ValueError):
+            TagTable.from_rssi(self.RSSI, tag_width=0)
+        with pytest.raises(ValueError):
+            TagTable.from_rssi(self.RSSI, tag_width=5)
+
+    def test_full_width_tags_everything(self):
+        tags = TagTable.from_rssi(self.RSSI, tag_width=4)
+        assert tags.tags.all()

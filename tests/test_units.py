@@ -1,0 +1,96 @@
+"""Unit-conversion and physical-constant tests."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestDbConversions:
+    def test_db_to_linear_zero_db_is_unity(self):
+        assert units.db_to_linear(0.0) == pytest.approx(1.0)
+
+    def test_db_to_linear_ten_db_is_ten(self):
+        assert units.db_to_linear(10.0) == pytest.approx(10.0)
+
+    def test_linear_to_db_rejects_zero(self):
+        with pytest.raises(ValueError):
+            units.linear_to_db(0.0)
+
+    def test_linear_to_db_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.linear_to_db(-3.0)
+
+    @given(st.floats(min_value=-100, max_value=100))
+    def test_roundtrip(self, value_db):
+        assert units.linear_to_db(units.db_to_linear(value_db)) == pytest.approx(
+            value_db, abs=1e-9
+        )
+
+    def test_array_roundtrip(self):
+        arr = np.array([-30.0, 0.0, 17.5])
+        back = units.linear_to_db(units.db_to_linear(arr))
+        np.testing.assert_allclose(back, arr)
+
+    def test_dbm_mw_aliases(self):
+        assert units.dbm_to_mw(0.0) == pytest.approx(1.0)
+        assert units.mw_to_dbm(100.0) == pytest.approx(20.0)
+
+
+class TestThermalNoise:
+    def test_20mhz_noise_floor_without_nf(self):
+        # kTB over 20 MHz at 290 K is about -101 dBm.
+        noise = units.thermal_noise_mw(20e6)
+        assert units.mw_to_dbm(noise) == pytest.approx(-100.98, abs=0.1)
+
+    def test_noise_figure_adds_db(self):
+        base = units.thermal_noise_mw(20e6, 0.0)
+        with_nf = units.thermal_noise_mw(20e6, 10.0)
+        assert units.mw_to_dbm(with_nf) - units.mw_to_dbm(base) == pytest.approx(10.0)
+
+    def test_noise_scales_with_bandwidth(self):
+        assert units.thermal_noise_mw(40e6) == pytest.approx(
+            2.0 * units.thermal_noise_mw(20e6)
+        )
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            units.thermal_noise_mw(0.0)
+
+
+class TestWavelengthAndFspl:
+    def test_wavelength_5ghz(self):
+        assert units.wavelength(5.25e9) == pytest.approx(0.0571, abs=1e-3)
+
+    def test_wavelength_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.wavelength(0.0)
+
+    def test_fspl_increases_with_distance(self):
+        f = 5.25e9
+        assert units.free_space_path_loss_db(10.0, f) > units.free_space_path_loss_db(
+            1.0, f
+        )
+
+    def test_fspl_20db_per_decade(self):
+        f = 5.25e9
+        delta = units.free_space_path_loss_db(10.0, f) - units.free_space_path_loss_db(
+            1.0, f
+        )
+        assert delta == pytest.approx(20.0)
+
+    def test_fspl_rejects_nonpositive_distance(self):
+        with pytest.raises(ValueError):
+            units.free_space_path_loss_db(0.0, 5e9)
+
+
+class TestTimeHelpers:
+    def test_microseconds_roundtrip(self):
+        assert units.seconds(units.microseconds(1.5)) == pytest.approx(1.5)
+
+    def test_one_second_is_1e6_us(self):
+        assert units.microseconds(1.0) == pytest.approx(1e6)

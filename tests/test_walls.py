@@ -1,0 +1,69 @@
+"""Wall-grid attenuation model tests."""
+
+import numpy as np
+import pytest
+
+from repro.channel.walls import (
+    MEAN_CROSSING_FACTOR,
+    mean_wall_loss_db,
+    wall_crossings,
+    wall_loss_db,
+)
+
+
+class TestCrossings:
+    def test_same_cell_zero(self):
+        assert wall_crossings([(1, 1)], [(2, 2)], 5.0)[0, 0] == 0
+
+    def test_one_wall_in_x(self):
+        assert wall_crossings([(1, 1)], [(6, 1)], 5.0)[0, 0] == 1
+
+    def test_diagonal_counts_both_axes(self):
+        assert wall_crossings([(1, 1)], [(6, 6)], 5.0)[0, 0] == 2
+
+    def test_symmetry(self):
+        a = [(1, 1), (12, 3)]
+        b = [(6, 1), (1, 9)]
+        ab = wall_crossings(a, b, 5.0)
+        ba = wall_crossings(b, a, 5.0)
+        np.testing.assert_array_equal(ab, ba.T)
+
+    def test_rejects_nonpositive_spacing(self):
+        with pytest.raises(ValueError):
+            wall_crossings([(0, 0)], [(1, 1)], 0.0)
+
+
+class TestWallLoss:
+    def test_zero_loss_shortcut(self):
+        loss = wall_loss_db([(0, 0)], [(100, 100)], 5.0, 0.0)
+        assert loss[0, 0] == 0.0
+
+    def test_loss_per_wall(self):
+        loss = wall_loss_db([(1, 1)], [(6, 1)], 5.0, 6.0)
+        assert loss[0, 0] == pytest.approx(6.0)
+
+    def test_saturation(self):
+        loss = wall_loss_db([(1, 1)], [(100, 100)], 5.0, 6.0, max_walls=2)
+        assert loss[0, 0] == pytest.approx(12.0)
+
+    def test_invalid_max_walls(self):
+        with pytest.raises(ValueError):
+            wall_loss_db([(0, 0)], [(1, 1)], 5.0, 6.0, max_walls=0)
+
+    def test_negative_loss_rejected(self):
+        with pytest.raises(ValueError):
+            wall_loss_db([(0, 0)], [(1, 1)], 5.0, -1.0)
+
+
+class TestMeanModel:
+    def test_monotone_until_saturation(self):
+        d = np.array([1.0, 5.0, 10.0])
+        losses = mean_wall_loss_db(d, 5.0, 6.0, max_walls=10)
+        assert np.all(np.diff(losses) > 0)
+
+    def test_saturates(self):
+        far = mean_wall_loss_db(1000.0, 5.0, 6.0, max_walls=2)
+        assert far == pytest.approx(12.0)
+
+    def test_crossing_factor_value(self):
+        assert MEAN_CROSSING_FACTOR == pytest.approx(4.0 / np.pi)
