@@ -10,18 +10,50 @@ substrates (indoor channel model, topology generators, discrete-event
 
 Quickstart
 ----------
->>> from repro import (AntennaMode, ChannelModel, office_b,
-...                    power_balanced_precoder, single_ap_scenario)
->>> scenario = single_ap_scenario(office_b(), AntennaMode.DAS, seed=7)
->>> model = ChannelModel(scenario.deployment, scenario.radio, seed=7)
->>> h = model.channel_matrix()
->>> result = power_balanced_precoder(
-...     h, scenario.radio.per_antenna_power_mw, scenario.radio.noise_mw)
->>> result.converged
-True
+Every workload is a declarative :class:`RunSpec` executed by a
+:class:`Runner` -- scenarios, precoders, and experiments are looked up by
+name in pluggable registries:
+
+>>> from repro import RunSpec, Runner
+>>> result = Runner().run(RunSpec("fig03", n_topologies=2, seed=1))
+>>> sorted(result.series)
+['cas_drop', 'das_drop']
+>>> result.spec.experiment
+'fig03'
+
+Scale up with worker processes and cache results on disk keyed by a hash
+of the fully resolved parameters::
+
+    runner = Runner(jobs=8, cache_dir="results/cache")
+    result = runner.run(RunSpec("fig09", n_topologies=60, precoder="wmmse"))
+    result.save("results/fig09.npz")          # or .json; round-trips losslessly
+
+New algorithms plug in by registration, no runner changes needed::
+
+    from repro import register_precoder
+
+    @register_precoder("my_precoder")
+    def my_precoder(h, per_antenna_power_mw, noise_mw): ...
+
+The low-level library surface (channel models, precoders, topology
+factories) remains importable directly for custom studies; see
+``examples/quickstart.py``.
 """
 
 from .analysis import EmpiricalCdf, median_gain
+from .api import (
+    ExperimentDef,
+    ExperimentResult,
+    RunResult,
+    Runner,
+    RunSpec,
+    UnknownNameError,
+    experiment_names,
+    register_environment,
+    register_experiment,
+    register_precoder,
+    register_scenario,
+)
 from .channel import ChannelModel, ChannelTrace, coverage_range_m, cs_range_m, record_trace
 from .config import MacConfig, MidasConfig, RadioConfig, SimConfig
 from .core import (
@@ -49,11 +81,22 @@ from .topology import (
     three_ap_scenario,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "EmpiricalCdf",
     "median_gain",
+    "ExperimentDef",
+    "ExperimentResult",
+    "RunResult",
+    "Runner",
+    "RunSpec",
+    "UnknownNameError",
+    "experiment_names",
+    "register_environment",
+    "register_experiment",
+    "register_precoder",
+    "register_scenario",
     "ChannelModel",
     "ChannelTrace",
     "coverage_range_m",

@@ -1,0 +1,72 @@
+"""The precoder zoo as a registry.
+
+Every precoder shares one signature::
+
+    precoder(h, per_antenna_power_mw, noise_mw) -> v   # (n_antennas, n_streams)
+
+replacing the if/elif string dispatch that used to live in
+``repro.experiments.common.capacity_for``.  Unknown names raise
+:class:`~repro.api.registry.UnknownNameError` listing every registered
+precoder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.naive import naive_scaled_precoder
+from ..core.optimal import full_optimal_precoder, optimal_power_allocation
+from ..core.power_balance import power_balanced_precoder
+from ..core.wmmse import wmmse_precoder
+from ..core.zfbf import zfbf_equal_power
+from ..phy.capacity import stream_sinrs, sum_capacity_bps_hz
+from .registry import PRECODERS, register_precoder
+
+
+@register_precoder("naive")
+def naive(h: np.ndarray, p: float, noise: float) -> np.ndarray:
+    """The paper's baseline: ZFBF globally scaled to the per-antenna cap."""
+    return naive_scaled_precoder(h, p)
+
+
+@register_precoder("balanced")
+def balanced(h: np.ndarray, p: float, noise: float) -> np.ndarray:
+    """MIDAS power-balanced precoding (§3.1)."""
+    return power_balanced_precoder(h, p, noise).v
+
+
+@register_precoder("total_power")
+def total_power(h: np.ndarray, p: float, noise: float) -> np.ndarray:
+    """Equal-split ZFBF under a *total* power budget only (the Fig 3
+    reference, ignoring the per-antenna repair)."""
+    return zfbf_equal_power(h, h.shape[1] * p)
+
+
+@register_precoder("optimal_zf")
+def optimal_zf(h: np.ndarray, p: float, noise: float) -> np.ndarray:
+    """Convex-optimal per-stream power over ZFBF directions."""
+    return optimal_power_allocation(h, p, noise).v
+
+
+@register_precoder("wmmse")
+def wmmse(h: np.ndarray, p: float, noise: float) -> np.ndarray:
+    """WMMSE iterative precoder under per-antenna constraints."""
+    return wmmse_precoder(h, p, noise).v
+
+
+@register_precoder("full_optimal")
+def full_optimal(h: np.ndarray, p: float, noise: float) -> np.ndarray:
+    """Full numerical optimum (slow; Fig 11's comparator)."""
+    return full_optimal_precoder(h, p, noise).v
+
+
+def precoder_matrix(name: str, h: np.ndarray, p: float, noise: float) -> np.ndarray:
+    """Precoding matrix of the registered precoder ``name``."""
+    return PRECODERS.get(name)(h, p, noise)
+
+
+def capacity_for(scenario, h: np.ndarray, precoder: str) -> float:
+    """Sum capacity of one channel snapshot under a registered precoder."""
+    radio = scenario.radio
+    v = precoder_matrix(precoder, h, radio.per_antenna_power_mw, radio.noise_mw)
+    return sum_capacity_bps_hz(stream_sinrs(h, v, radio.noise_mw))

@@ -1,0 +1,190 @@
+"""The session runner: executes a :class:`RunSpec` into a :class:`RunResult`.
+
+The runner owns everything the declarative spec deliberately leaves out:
+
+* **parallelism** -- per-topology evaluations fan out over a
+  ``ProcessPoolExecutor`` when ``jobs > 1``; topology seeds are drawn in
+  vectorized batches from the same derived-seed stream the serial path
+  walks, and outcomes are accepted in stream order, so ``jobs=1`` and
+  ``jobs=N`` produce bit-identical series for a fixed seed;
+* **rejection sampling** -- experiments may reject topologies (placement
+  constraints); the runner keeps drawing seed batches until the requested
+  count is met (with the classic generous attempt cap);
+* **caching** -- with a ``cache_dir``, results are persisted as JSON keyed
+  by a hash of the fully resolved parameters and reloaded on a hit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from itertools import repeat
+from pathlib import Path
+
+from .. import rng as rng_mod
+from .experiments import ExperimentDef, get_experiment_def, load_builtin_experiments
+from .registry import ENVIRONMENTS, PRECODERS
+from .result import RunResult
+from .spec import RunSpec, normalize_params
+
+
+def resolve_params(defn: ExperimentDef, spec: RunSpec) -> dict:
+    """Merge a spec over an experiment's declared defaults.
+
+    Spec-level overrides (``environment``, ``precoder``) and every key in
+    ``spec.params`` must be parameters the experiment declares; anything
+    else raises with the allowed names so typos fail loudly.
+    """
+    allowed = set(defn.defaults)
+    params = dict(defn.defaults)
+    params["seed"] = spec.seed
+    if spec.n_topologies is not None:
+        params["n_topologies"] = spec.n_topologies
+    if spec.environment is not None:
+        if "environment" not in allowed:
+            raise ValueError(
+                f"experiment {defn.name!r} does not take an environment override"
+            )
+        ENVIRONMENTS.get(spec.environment)  # fail early, listing registered names
+        params["environment"] = spec.environment
+    if spec.precoder is not None:
+        if "precoder" not in allowed:
+            raise ValueError(
+                f"experiment {defn.name!r} does not take a precoder override; "
+                f"experiments with a 'precoder' parameter do"
+            )
+        PRECODERS.get(spec.precoder)  # fail early, listing registered names
+        params["precoder"] = spec.precoder
+    unknown = set(spec.params) - allowed
+    if unknown:
+        raise ValueError(
+            f"unknown parameter(s) {sorted(unknown)} for experiment "
+            f"{defn.name!r}; allowed: {sorted(allowed)}"
+        )
+    params.update(spec.params)
+    return params
+
+
+def _build_one(experiment: str, topo_seed: int, params: dict):
+    """Worker entry point: evaluate one topology of one experiment.
+
+    Module-level (picklable) and self-bootstrapping so it works under both
+    ``fork`` and ``spawn`` start methods.
+    """
+    load_builtin_experiments()
+    defn = get_experiment_def(experiment)
+    return defn.build(topo_seed, params)
+
+
+@dataclass
+class Runner:
+    """Executes :class:`RunSpec`\\ s; one instance can serve many specs.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; ``1`` (default) runs in-process.
+    cache_dir:
+        Directory for on-disk result caching keyed by spec hash, or
+        ``None`` (default) to disable caching.
+    batch_size:
+        Upper bound on topology seeds scheduled per round; defaults to
+        ``max(8, 4*jobs)``.  Affects scheduling only, never results.
+    """
+
+    jobs: int = 1
+    cache_dir: str | Path | None = None
+    batch_size: int | None = None
+
+    def __post_init__(self):
+        if self.jobs < 1:
+            raise ValueError("Runner.jobs must be >= 1")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError("Runner.batch_size must be >= 1")
+
+    def run(self, spec: RunSpec) -> RunResult:
+        """Execute ``spec`` (or load it from cache) into a :class:`RunResult`."""
+        defn = get_experiment_def(spec.experiment)
+        params = resolve_params(defn, spec)
+
+        cache_path = self._cache_path(spec, params)
+        if cache_path is not None and cache_path.exists():
+            return RunResult.load(cache_path)
+
+        outcomes = self._sweep(defn, params)
+        base = defn.finalize(outcomes, params)
+        result = RunResult.from_experiment_result(base, spec)
+
+        if cache_path is not None:
+            result.save(cache_path)
+        return result
+
+    def run_many(self, specs) -> list[RunResult]:
+        """Execute several specs in order (shared cache, shared pool sizing)."""
+        return [self.run(spec) for spec in specs]
+
+    # ------------------------------------------------------------------
+    def _cache_path(self, spec: RunSpec, params: dict) -> Path | None:
+        """Cache file keyed by the *resolved* parameters.
+
+        Hashing the resolved params (experiment defaults merged in) rather
+        than the raw spec means a spec relying on a default and a spec
+        stating it explicitly share one entry, and editing an experiment's
+        registered defaults invalidates stale cached results.
+        """
+        if self.cache_dir is None:
+            return None
+        payload = json.dumps(
+            {"experiment": spec.experiment, "params": normalize_params(params)},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        digest = hashlib.sha256(payload.encode()).hexdigest()[:16]
+        return Path(self.cache_dir) / f"{spec.experiment}-{digest}.json"
+
+    def _sweep(self, defn: ExperimentDef, params: dict) -> list:
+        """Accepted per-topology outcomes, in derived-seed-stream order."""
+        n = int(params["n_topologies"])
+        if n < 1:
+            raise ValueError("need at least one topology")
+        root_seed = int(params["seed"])
+        max_attempts = max(200, 80 * n)
+        batch_cap = self.batch_size or max(8, 4 * self.jobs)
+
+        accepted: list = []
+        attempts = 0
+        executor: ProcessPoolExecutor | None = None
+        try:
+            while len(accepted) < n and attempts < max_attempts:
+                # Aim for exactly what is still needed (padded to keep every
+                # worker busy) so a parallel run schedules no more builds
+                # than a serial one; the cap only bounds a single round.
+                target = max(n - len(accepted), min(self.jobs, batch_cap))
+                count = min(target, batch_cap, max_attempts - attempts)
+                seeds = rng_mod.derived_seeds(root_seed, attempts, count)
+                attempts += count
+                if self.jobs > 1:
+                    if executor is None:
+                        executor = ProcessPoolExecutor(max_workers=self.jobs)
+                    outcomes = executor.map(
+                        _build_one, repeat(defn.name), seeds, repeat(params)
+                    )
+                else:
+                    outcomes = (defn.build(s, params) for s in seeds)
+                for outcome in outcomes:
+                    if outcome is None:
+                        continue
+                    accepted.append(outcome)
+                    if len(accepted) == n:
+                        break
+        finally:
+            if executor is not None:
+                executor.shutdown()
+        if len(accepted) < n:
+            raise RuntimeError(
+                f"only {len(accepted)}/{n} topologies satisfied the "
+                f"placement constraints after {attempts} attempts"
+            )
+        return accepted

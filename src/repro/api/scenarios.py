@@ -1,0 +1,56 @@
+"""Environment and scenario factories as registries.
+
+The paper's two office environments and five deployment generators are
+registered by name so specs, CLIs, and user code can select them with a
+string instead of importing factory functions.  Third-party environments
+and scenario generators plug in with the same decorators::
+
+    @register_environment("warehouse")
+    def warehouse() -> OfficeEnvironment: ...
+"""
+
+from __future__ import annotations
+
+from ..topology.scenarios import (
+    OfficeEnvironment,
+    eight_ap_scenario,
+    hidden_terminal_scenario,
+    office_a,
+    office_b,
+    paired_scenarios,
+    single_ap_scenario,
+    three_ap_scenario,
+)
+from .registry import ENVIRONMENTS, SCENARIOS, register_environment, register_scenario
+
+register_environment("office_a")(office_a)
+register_environment("office_b")(office_b)
+
+register_scenario("single_ap")(single_ap_scenario)
+register_scenario("paired")(paired_scenarios)
+register_scenario("three_ap")(three_ap_scenario)
+register_scenario("eight_ap")(eight_ap_scenario)
+register_scenario("hidden_terminal")(hidden_terminal_scenario)
+
+
+def environment_named(name: str) -> OfficeEnvironment:
+    """Instantiate the registered environment ``name``."""
+    return ENVIRONMENTS.get(name)()
+
+
+def resolve_environment(value, default: str = "office_b") -> OfficeEnvironment:
+    """Resolve an environment given as a name, an instance, or ``None``.
+
+    ``None`` falls back to ``default``; :class:`OfficeEnvironment` instances
+    pass through unchanged (legacy call sites construct them directly).
+    """
+    if value is None:
+        return environment_named(default)
+    if isinstance(value, OfficeEnvironment):
+        return value
+    return environment_named(value)
+
+
+def scenario_factory(name: str):
+    """Look up the registered scenario factory ``name``."""
+    return SCENARIOS.get(name)

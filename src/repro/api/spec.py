@@ -1,0 +1,122 @@
+"""Declarative run specifications.
+
+A :class:`RunSpec` names *what* to compute -- a registered experiment, the
+topology count, the root seed, and optional environment/precoder overrides --
+without saying anything about *how* (serial vs. parallel, caching); that is
+the :class:`~repro.api.runner.Runner`'s job.  Specs are JSON-serializable
+and content-hashable so results can be cached and reloaded by spec.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+
+def normalize_params(value: Any) -> Any:
+    """Coerce parameter values to canonical JSON-safe types.
+
+    Tuples become lists, numpy scalars become Python scalars, mappings are
+    normalized recursively.  Anything else non-JSON raises ``TypeError`` so
+    un-hashable specs are rejected at construction, not at cache time.
+    """
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [normalize_params(v) for v in value]
+    if isinstance(value, Mapping):
+        return {str(k): normalize_params(v) for k, v in value.items()}
+    item = getattr(value, "item", None)
+    if callable(item):  # numpy scalar
+        return normalize_params(item())
+    raise TypeError(
+        f"RunSpec parameters must be JSON-serializable; got {type(value).__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One declarative unit of work: ``Runner.run(spec) -> RunResult``.
+
+    Parameters
+    ----------
+    experiment:
+        Name of a registered experiment (see ``repro.api.EXPERIMENTS``).
+    n_topologies:
+        Topology count; ``None`` uses the experiment's registered default.
+    seed:
+        Root seed; per-topology seeds derive deterministically from it.
+    environment:
+        Registered environment name (e.g. ``"office_a"``) overriding the
+        experiment default, or ``None``.
+    precoder:
+        Registered precoder name overriding the experiment default (only
+        valid for experiments that declare a ``precoder`` parameter).
+    params:
+        Extra experiment keyword parameters; keys must be declared by the
+        experiment's defaults.
+    """
+
+    experiment: str
+    n_topologies: int | None = None
+    seed: int = 0
+    environment: str | None = None
+    precoder: str | None = None
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not isinstance(self.experiment, str) or not self.experiment:
+            raise ValueError("RunSpec.experiment must be a non-empty string")
+        if self.n_topologies is not None:
+            if not isinstance(self.n_topologies, int) or isinstance(self.n_topologies, bool):
+                raise ValueError("RunSpec.n_topologies must be an int or None")
+            if self.n_topologies < 1:
+                raise ValueError("RunSpec.n_topologies must be >= 1")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ValueError("RunSpec.seed must be an int")
+        for label in ("environment", "precoder"):
+            value = getattr(self, label)
+            if value is not None and (not isinstance(value, str) or not value):
+                raise ValueError(f"RunSpec.{label} must be a non-empty string or None")
+        if not isinstance(self.params, Mapping):
+            raise ValueError("RunSpec.params must be a mapping")
+        object.__setattr__(self, "params", normalize_params(dict(self.params)))
+
+    def replace(self, **changes) -> "RunSpec":
+        """A copy of this spec with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment": self.experiment,
+            "n_topologies": self.n_topologies,
+            "seed": self.seed,
+            "environment": self.environment,
+            "precoder": self.precoder,
+            "params": self.params,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RunSpec":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown RunSpec fields: {sorted(unknown)}")
+        return cls(**{k: data[k] for k in known if k in data})
+
+    def canonical_json(self) -> str:
+        """Stable JSON encoding (sorted keys, no whitespace)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def spec_hash(self) -> str:
+        """SHA-256 hex digest of the canonical encoding (spec identity)."""
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
+
+    def __hash__(self) -> int:
+        # The generated frozen-dataclass __hash__ would choke on the dict
+        # params field; hash the canonical encoding instead (consistent
+        # with the generated field-wise __eq__).
+        return hash(self.canonical_json())

@@ -1,11 +1,14 @@
-"""Experiment harness: one module per figure of the paper's evaluation.
+"""Experiment harness: registered specs, one module per paper figure.
 
-Every experiment exposes ``run(...) -> ExperimentResult`` with a seedable,
-size-reducible interface so benchmarks can regenerate paper figures at
-full scale or smoke-test them quickly.
+Every figure of the paper's evaluation is a registered experiment executed
+through the declarative :class:`repro.api.RunSpec` /
+:class:`repro.api.Runner` pipeline; the per-module ``run(...)`` functions
+remain as deprecated shims.  Benchmarks regenerate figures at full scale,
+tests smoke them at reduced sizes, and ``python -m repro.experiments``
+runs any of them from the command line.
 """
 
-from .common import ExperimentResult
+from .common import ExperimentResult, legacy_run
 from .registry import EXPERIMENTS, get_experiment
 
-__all__ = ["ExperimentResult", "EXPERIMENTS", "get_experiment"]
+__all__ = ["ExperimentResult", "legacy_run", "EXPERIMENTS", "get_experiment"]

@@ -2,14 +2,14 @@
 
 * **Tag width** -- the paper argues one tag under-utilizes antennas and
   tagging all antennas picks far clients; two is the medium-density sweet
-  spot.  :func:`tag_width_sweep` measures capacity against tag width.
+  spot.  ``ablation_tag_width`` measures capacity against tag width.
 * **DAS radius** -- §7 recommends placing antennas at 50-75% of the CAS
-  coverage range; :func:`das_radius_sweep` sweeps the ring.
+  coverage range; ``ablation_das_radius`` sweeps the ring.
 * **Precoder zoo** -- naive / power-balanced / convex-optimal / WMMSE /
   full numerical optimum on identical DAS channels
-  (:func:`precoder_comparison`).
+  (``ablation_precoders``).
 * **CSI error** -- robustness of the precoders to sounding error
-  (:func:`csi_error_sweep`).
+  (``ablation_csi_error``).
 """
 
 from __future__ import annotations
@@ -17,177 +17,280 @@ from __future__ import annotations
 import numpy as np
 
 from .. import rng as rng_mod
+from ..api.experiments import register_experiment
+from ..api.precoders import precoder_matrix
+from ..api.scenarios import resolve_environment
 from ..channel.model import ChannelModel, apply_csi_error
 from ..channel.pathloss import coverage_range_m
-from ..core.naive import naive_scaled_precoder
-from ..core.optimal import full_optimal_precoder, optimal_power_allocation
 from ..core.power_balance import power_balanced_precoder
 from ..core.tagging import TagTable
-from ..core.wmmse import wmmse_precoder
 from ..phy.capacity import stream_sinrs, sum_capacity_bps_hz
 from ..topology.deployment import AntennaMode
-from ..topology.scenarios import OfficeEnvironment, office_b, paired_scenarios, single_ap_scenario
-from .common import ExperimentResult, channel_for, sweep_topologies
+from ..topology.scenarios import paired_scenarios, single_ap_scenario
+from .common import ExperimentResult, channel_for, legacy_run
 from .fig14_tagging import capacity_of_selection, tagged_selection
+
+
+def _series_from(outcomes: list[dict], keys) -> dict[str, np.ndarray]:
+    return {k: np.asarray([o[k] for o in outcomes]) for k in keys}
+
+
+# ----------------------------------------------------------------------
+# Tag width
+# ----------------------------------------------------------------------
+def _tag_width_build(topo_seed: int, params: dict) -> dict:
+    env = resolve_environment(params["environment"])
+    scenario = single_ap_scenario(env, AntennaMode.DAS, seed=topo_seed)
+    model = channel_for(scenario, topo_seed)
+    rng = rng_mod.make_rng(topo_seed)
+    available = rng.choice(4, size=params["n_available"], replace=False)
+    h = model.channel_matrix()
+    rssi = model.client_rx_power_dbm()
+    out = {}
+    for width in params["widths"]:
+        tags = TagTable.from_rssi(rssi, tag_width=width)
+        clients = tagged_selection(tags, available, rssi)
+        out[f"width_{width}"] = capacity_of_selection(scenario, h, available, clients)
+    return out
+
+
+def _tag_width_finalize(outcomes: list[dict], params: dict) -> ExperimentResult:
+    return ExperimentResult(
+        name="ablation_tag_width",
+        description="Tagged-selection capacity vs tag width (b/s/Hz)",
+        series=_series_from(outcomes, [f"width_{w}" for w in params["widths"]]),
+        params={
+            "n_topologies": params["n_topologies"],
+            "seed": params["seed"],
+            "widths": tuple(params["widths"]),
+        },
+    )
+
+
+@register_experiment
+class TagWidthAblation:
+    name = "ablation_tag_width"
+    description = "Tagged-selection capacity vs tag width"
+    defaults = {
+        "n_topologies": 40,
+        "environment": "office_b",
+        "widths": [1, 2, 3, 4],
+        "n_available": 2,
+    }
+    build = staticmethod(_tag_width_build)
+    finalize = staticmethod(_tag_width_finalize)
 
 
 def tag_width_sweep(
     n_topologies: int = 40,
     seed: int = 0,
-    environment: OfficeEnvironment | None = None,
+    environment=None,
     widths: tuple[int, ...] = (1, 2, 3, 4),
     n_available: int = 2,
 ) -> ExperimentResult:
-    """Capacity of tag-filtered selection as the tag width varies."""
-    env = environment or office_b()
-    series: dict[str, list[float]] = {f"width_{w}": [] for w in widths}
-
-    def build(topo_seed: int) -> dict:
-        scenario = single_ap_scenario(env, AntennaMode.DAS, seed=topo_seed)
-        model = channel_for(scenario, topo_seed)
-        rng = rng_mod.make_rng(topo_seed)
-        available = rng.choice(4, size=n_available, replace=False)
-        h = model.channel_matrix()
-        rssi = model.client_rx_power_dbm()
-        out = {}
-        for width in widths:
-            tags = TagTable.from_rssi(rssi, tag_width=width)
-            clients = tagged_selection(tags, available, rssi)
-            out[f"width_{width}"] = capacity_of_selection(scenario, h, available, clients)
-        return out
-
-    for outcome in sweep_topologies(n_topologies, seed, build):
-        for key in series:
-            series[key].append(outcome[key])
-
-    return ExperimentResult(
-        name="ablation_tag_width",
-        description="Tagged-selection capacity vs tag width (b/s/Hz)",
-        series={k: np.asarray(v) for k, v in series.items()},
-        params={"n_topologies": n_topologies, "seed": seed, "widths": widths},
+    """Deprecated shim: run the registered ``ablation_tag_width`` spec."""
+    return legacy_run(
+        "ablation_tag_width",
+        n_topologies=n_topologies,
+        seed=seed,
+        environment=environment,
+        widths=widths,
+        n_available=n_available,
     )
+
+
+# ----------------------------------------------------------------------
+# DAS placement radius
+# ----------------------------------------------------------------------
+def _ring_key(low: float, high: float) -> str:
+    return f"ring_{int(low * 100)}_{int(high * 100)}"
+
+
+def _das_radius_build(topo_seed: int, params: dict) -> dict:
+    env = resolve_environment(params["environment"])
+    coverage = coverage_range_m(env.radio)
+    out = {}
+    for low, high in params["fractions"]:
+        pair = paired_scenarios(
+            env,
+            [(0.0, 0.0)],
+            seed=topo_seed,
+            das_radius_min_m=low * coverage,
+            das_radius_max_m=high * coverage,
+            name="ablation_radius",
+        )
+        scenario = pair[AntennaMode.DAS]
+        h = channel_for(scenario, topo_seed).channel_matrix()
+        radio = scenario.radio
+        v = power_balanced_precoder(h, radio.per_antenna_power_mw, radio.noise_mw).v
+        out[_ring_key(low, high)] = sum_capacity_bps_hz(
+            stream_sinrs(h, v, radio.noise_mw)
+        )
+    return out
+
+
+def _das_radius_finalize(outcomes: list[dict], params: dict) -> ExperimentResult:
+    keys = [_ring_key(low, high) for low, high in params["fractions"]]
+    return ExperimentResult(
+        name="ablation_das_radius",
+        description="MIDAS capacity vs DAS ring radius (b/s/Hz)",
+        series=_series_from(outcomes, keys),
+        params={
+            "n_topologies": params["n_topologies"],
+            "seed": params["seed"],
+            "fractions": tuple(tuple(f) for f in params["fractions"]),
+        },
+    )
+
+
+@register_experiment
+class DasRadiusAblation:
+    name = "ablation_das_radius"
+    description = "MIDAS capacity vs DAS placement ring"
+    defaults = {
+        "n_topologies": 40,
+        "environment": "office_b",
+        "fractions": [[0.2, 0.4], [0.5, 0.75], [0.8, 1.0]],
+    }
+    build = staticmethod(_das_radius_build)
+    finalize = staticmethod(_das_radius_finalize)
 
 
 def das_radius_sweep(
     n_topologies: int = 40,
     seed: int = 0,
-    environment: OfficeEnvironment | None = None,
+    environment=None,
     fractions: tuple[tuple[float, float], ...] = ((0.2, 0.4), (0.5, 0.75), (0.8, 1.0)),
 ) -> ExperimentResult:
-    """MIDAS capacity as the DAS ring moves outward (§7 placement advice)."""
-    env = environment or office_b()
-    coverage = coverage_range_m(env.radio)
-    series: dict[str, list[float]] = {
-        f"ring_{int(low*100)}_{int(high*100)}": [] for low, high in fractions
+    """Deprecated shim: run the registered ``ablation_das_radius`` spec."""
+    return legacy_run(
+        "ablation_das_radius",
+        n_topologies=n_topologies,
+        seed=seed,
+        environment=environment,
+        fractions=fractions,
+    )
+
+
+# ----------------------------------------------------------------------
+# Precoder zoo
+# ----------------------------------------------------------------------
+def _precoder_names(params: dict) -> list[str]:
+    names = ["naive", "balanced", "optimal_zf", "wmmse"]
+    if params["include_full_optimal"]:
+        names.append("full_optimal")
+    return names
+
+
+def _precoders_build(topo_seed: int, params: dict) -> dict:
+    env = resolve_environment(params["environment"])
+    scenario = single_ap_scenario(env, AntennaMode.DAS, seed=topo_seed)
+    h = channel_for(scenario, topo_seed).channel_matrix()
+    p = scenario.radio.per_antenna_power_mw
+    noise = scenario.radio.noise_mw
+    return {
+        name: sum_capacity_bps_hz(
+            stream_sinrs(h, precoder_matrix(name, h, p, noise), noise)
+        )
+        for name in _precoder_names(params)
     }
 
-    def build(topo_seed: int) -> dict:
-        out = {}
-        for low, high in fractions:
-            pair = paired_scenarios(
-                env,
-                [(0.0, 0.0)],
-                seed=topo_seed,
-                das_radius_min_m=low * coverage,
-                das_radius_max_m=high * coverage,
-                name="ablation_radius",
-            )
-            scenario = pair[AntennaMode.DAS]
-            h = channel_for(scenario, topo_seed).channel_matrix()
-            radio = scenario.radio
-            v = power_balanced_precoder(h, radio.per_antenna_power_mw, radio.noise_mw).v
-            out[f"ring_{int(low*100)}_{int(high*100)}"] = sum_capacity_bps_hz(
-                stream_sinrs(h, v, radio.noise_mw)
-            )
-        return out
 
-    for outcome in sweep_topologies(n_topologies, seed, build):
-        for key in series:
-            series[key].append(outcome[key])
-
+def _precoders_finalize(outcomes: list[dict], params: dict) -> ExperimentResult:
     return ExperimentResult(
-        name="ablation_das_radius",
-        description="MIDAS capacity vs DAS ring radius (b/s/Hz)",
-        series={k: np.asarray(v) for k, v in series.items()},
-        params={"n_topologies": n_topologies, "seed": seed, "fractions": fractions},
+        name="ablation_precoders",
+        description="Precoder zoo on identical DAS channels (b/s/Hz)",
+        series=_series_from(outcomes, _precoder_names(params)),
+        params={"n_topologies": params["n_topologies"], "seed": params["seed"]},
     )
+
+
+@register_experiment
+class PrecoderAblation:
+    name = "ablation_precoders"
+    description = "Precoder zoo on identical DAS channels"
+    defaults = {
+        "n_topologies": 12,
+        "environment": "office_b",
+        "include_full_optimal": True,
+    }
+    build = staticmethod(_precoders_build)
+    finalize = staticmethod(_precoders_finalize)
 
 
 def precoder_comparison(
     n_topologies: int = 12,
     seed: int = 0,
-    environment: OfficeEnvironment | None = None,
+    environment=None,
     include_full_optimal: bool = True,
 ) -> ExperimentResult:
-    """All precoders on identical DAS channels (extension comparison)."""
-    env = environment or office_b()
-    names = ["naive", "balanced", "optimal_zf", "wmmse"] + (
-        ["full_optimal"] if include_full_optimal else []
+    """Deprecated shim: run the registered ``ablation_precoders`` spec."""
+    return legacy_run(
+        "ablation_precoders",
+        n_topologies=n_topologies,
+        seed=seed,
+        environment=environment,
+        include_full_optimal=include_full_optimal,
     )
-    series: dict[str, list[float]] = {name: [] for name in names}
 
-    def build(topo_seed: int) -> dict:
-        scenario = single_ap_scenario(env, AntennaMode.DAS, seed=topo_seed)
-        h = channel_for(scenario, topo_seed).channel_matrix()
-        p = scenario.radio.per_antenna_power_mw
-        noise = scenario.radio.noise_mw
-        out = {
-            "naive": sum_capacity_bps_hz(
-                stream_sinrs(h, naive_scaled_precoder(h, p), noise)
-            ),
-            "balanced": sum_capacity_bps_hz(
-                stream_sinrs(h, power_balanced_precoder(h, p, noise).v, noise)
-            ),
-            "optimal_zf": optimal_power_allocation(h, p, noise).capacity_bps_hz,
-            "wmmse": wmmse_precoder(h, p, noise).capacity_bps_hz,
-        }
-        if include_full_optimal:
-            out["full_optimal"] = full_optimal_precoder(h, p, noise).capacity_bps_hz
-        return out
 
-    for outcome in sweep_topologies(n_topologies, seed, build):
-        for key in series:
-            series[key].append(outcome[key])
+# ----------------------------------------------------------------------
+# CSI error
+# ----------------------------------------------------------------------
+def _csi_error_build(topo_seed: int, params: dict) -> dict:
+    env = resolve_environment(params["environment"])
+    scenario = single_ap_scenario(env, AntennaMode.DAS, seed=topo_seed)
+    model = ChannelModel(scenario.deployment, scenario.radio, seed=topo_seed)
+    h = model.channel_matrix()
+    p = scenario.radio.per_antenna_power_mw
+    noise = scenario.radio.noise_mw
+    rng = rng_mod.make_rng(topo_seed)
+    out = {}
+    for err in params["error_stds"]:
+        h_est = apply_csi_error(h, err, rng)
+        v = power_balanced_precoder(h_est, p, noise).v
+        out[f"err_{err:g}"] = sum_capacity_bps_hz(stream_sinrs(h, v, noise))
+    return out
 
+
+def _csi_error_finalize(outcomes: list[dict], params: dict) -> ExperimentResult:
+    keys = [f"err_{e:g}" for e in params["error_stds"]]
     return ExperimentResult(
-        name="ablation_precoders",
-        description="Precoder zoo on identical DAS channels (b/s/Hz)",
-        series={k: np.asarray(v) for k, v in series.items()},
-        params={"n_topologies": n_topologies, "seed": seed},
+        name="ablation_csi_error",
+        description="Power-balanced capacity vs CSI error (b/s/Hz)",
+        series=_series_from(outcomes, keys),
+        params={
+            "n_topologies": params["n_topologies"],
+            "seed": params["seed"],
+            "error_stds": tuple(params["error_stds"]),
+        },
     )
+
+
+@register_experiment
+class CsiErrorAblation:
+    name = "ablation_csi_error"
+    description = "Power-balanced capacity vs CSI sounding error"
+    defaults = {
+        "n_topologies": 30,
+        "environment": "office_b",
+        "error_stds": [0.0, 0.05, 0.1, 0.2],
+    }
+    build = staticmethod(_csi_error_build)
+    finalize = staticmethod(_csi_error_finalize)
 
 
 def csi_error_sweep(
     n_topologies: int = 30,
     seed: int = 0,
-    environment: OfficeEnvironment | None = None,
+    environment=None,
     error_stds: tuple[float, ...] = (0.0, 0.05, 0.1, 0.2),
 ) -> ExperimentResult:
-    """Capacity of the power-balanced precoder under CSI estimation error."""
-    env = environment or office_b()
-    series: dict[str, list[float]] = {f"err_{e:g}": [] for e in error_stds}
-
-    def build(topo_seed: int) -> dict:
-        scenario = single_ap_scenario(env, AntennaMode.DAS, seed=topo_seed)
-        model = ChannelModel(scenario.deployment, scenario.radio, seed=topo_seed)
-        h = model.channel_matrix()
-        p = scenario.radio.per_antenna_power_mw
-        noise = scenario.radio.noise_mw
-        rng = rng_mod.make_rng(topo_seed)
-        out = {}
-        for err in error_stds:
-            h_est = apply_csi_error(h, err, rng)
-            v = power_balanced_precoder(h_est, p, noise).v
-            out[f"err_{err:g}"] = sum_capacity_bps_hz(stream_sinrs(h, v, noise))
-        return out
-
-    for outcome in sweep_topologies(n_topologies, seed, build):
-        for key in series:
-            series[key].append(outcome[key])
-
-    return ExperimentResult(
-        name="ablation_csi_error",
-        description="Power-balanced capacity vs CSI error (b/s/Hz)",
-        series={k: np.asarray(v) for k, v in series.items()},
-        params={"n_topologies": n_topologies, "seed": seed, "error_stds": error_stds},
+    """Deprecated shim: run the registered ``ablation_csi_error`` spec."""
+    return legacy_run(
+        "ablation_csi_error",
+        n_topologies=n_topologies,
+        seed=seed,
+        environment=environment,
+        error_stds=error_stds,
     )

@@ -1,73 +1,91 @@
-"""Shared experiment plumbing: results, sweeps, and the precoder zoo."""
+"""Shared experiment plumbing: results, sweeps, and the precoder zoo.
+
+The result type and precoder dispatch now live in :mod:`repro.api`
+(:class:`~repro.api.result.ExperimentResult`,
+:func:`~repro.api.precoders.capacity_for` over the precoder registry); this
+module re-exports them for backwards compatibility and keeps the
+serial-sweep helpers plus the :func:`legacy_run` shim that adapts the old
+per-figure ``run(...)`` signatures onto ``RunSpec``/``Runner``.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 from typing import Callable
 
 import numpy as np
 
+import hashlib
+
 from .. import rng as rng_mod
-from ..analysis.cdf import EmpiricalCdf, median_gain
-from ..analysis.report import format_cdf_summary
+from ..api.precoders import capacity_for  # noqa: F401  (re-export)
+from ..api.registry import ENVIRONMENTS
+from ..api.result import ExperimentResult, RunResult  # noqa: F401  (re-export)
+from ..api.runner import Runner
+from ..api.scenarios import environment_named
+from ..api.spec import RunSpec
 from ..channel.model import ChannelModel
-from ..core.naive import naive_scaled_precoder
-from ..core.power_balance import power_balanced_precoder
-from ..phy.capacity import stream_sinrs, sum_capacity_bps_hz
 from ..topology.deployment import AntennaMode
-from ..topology.scenarios import Scenario
+from ..topology.scenarios import OfficeEnvironment, Scenario
 
 
-@dataclass(frozen=True)
-class ExperimentResult:
-    """Named data series regenerating one paper figure."""
+def legacy_run(
+    experiment: str,
+    *,
+    n_topologies: int | None = None,
+    seed: int = 0,
+    environment=None,
+    precoder: str | None = None,
+    **params,
+) -> RunResult:
+    """Run a registered experiment through the modern ``RunSpec`` pipeline.
 
-    name: str
-    description: str
-    series: dict[str, np.ndarray]
-    params: dict = field(default_factory=dict)
-    notes: dict = field(default_factory=dict)
-
-    def cdf(self, series_name: str) -> EmpiricalCdf:
-        """Empirical CDF of one series (most paper figures are CDFs)."""
-        return EmpiricalCdf(self.series[series_name])
-
-    def median(self, series_name: str) -> float:
-        return float(np.median(self.series[series_name]))
-
-    def gain(self, treatment: str, baseline: str) -> float:
-        """Median relative gain between two series."""
-        return median_gain(self.series[treatment], self.series[baseline])
-
-    def summary(self) -> str:
-        """Paper-style text table of all series."""
-        header = f"== {self.name}: {self.description} =="
-        return header + "\n" + format_cdf_summary(self.series)
-
-
-def capacity_for(
-    scenario: Scenario, h: np.ndarray, precoder: str
-) -> float:
-    """Sum capacity of one channel snapshot under a named precoder.
-
-    ``precoder`` is one of ``"naive"`` (the paper's baseline),
-    ``"balanced"`` (MIDAS power-balanced), or ``"total_power"`` (equal-split
-    ZFBF without the per-antenna repair, the Fig 3 reference).
+    This backs the deprecated per-module ``run(...)`` entry points: it
+    accepts their old keyword arguments (including ``environment`` given as
+    an :class:`OfficeEnvironment` instance) and forwards everything to a
+    serial :class:`~repro.api.runner.Runner`.
     """
-    radio = scenario.radio
-    p = radio.per_antenna_power_mw
-    noise = radio.noise_mw
-    if precoder == "naive":
-        v = naive_scaled_precoder(h, p)
-    elif precoder == "balanced":
-        v = power_balanced_precoder(h, p, noise).v
-    elif precoder == "total_power":
-        from ..core.zfbf import zfbf_equal_power
+    warnings.warn(
+        f"calling the legacy run() entry point for {experiment!r}; build a "
+        "repro.api.RunSpec and use repro.api.Runner instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    if isinstance(environment, OfficeEnvironment):
+        environment = _environment_name(environment)
+    spec = RunSpec(
+        experiment=experiment,
+        n_topologies=n_topologies,
+        seed=seed,
+        environment=environment,
+        precoder=precoder,
+        params=params,
+    )
+    return Runner().run(spec)
 
-        v = zfbf_equal_power(h, h.shape[1] * p)
-    else:
-        raise ValueError(f"unknown precoder {precoder!r}")
-    return sum_capacity_bps_hz(stream_sinrs(h, v, noise))
+
+def _environment_name(environment: OfficeEnvironment) -> str:
+    """Registry name for an environment given as an instance.
+
+    An instance matching its registered factory resolves to that name.  A
+    customized instance (old call sites could pass any
+    :class:`OfficeEnvironment`) is registered in-process under a
+    content-derived alias so the spec stays a plain string and the runner
+    reproduces the caller's exact environment.
+    """
+    name = environment.name
+    if name in ENVIRONMENTS and environment_named(name) == environment:
+        return name
+    digest = hashlib.sha256(repr(environment).encode()).hexdigest()[:8]
+    alias = f"{name}#{digest}"
+    if alias not in ENVIRONMENTS:
+        ENVIRONMENTS.add(alias, lambda environment=environment: environment)
+    elif environment_named(alias) != environment:
+        raise ValueError(
+            f"environment alias collision for {alias!r}; register the "
+            "environment explicitly with repro.register_environment"
+        )
+    return alias
 
 
 def sweep_topologies(
@@ -80,6 +98,10 @@ def sweep_topologies(
     ``build`` may return ``None`` to reject a topology (placement
     constraints); the sweep keeps drawing seeds until ``n_topologies``
     results are collected (with a generous attempt cap).
+
+    :class:`~repro.api.runner.Runner` subsumes this helper (same seed
+    stream, plus batching and process parallelism); it remains for direct
+    library use and the old call sites.
     """
     if n_topologies < 1:
         raise ValueError("need at least one topology")

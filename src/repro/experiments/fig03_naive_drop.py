@@ -10,49 +10,70 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..api.experiments import register_experiment
+from ..api.scenarios import resolve_environment
 from ..topology.deployment import AntennaMode
-from ..topology.scenarios import OfficeEnvironment, office_b, paired_scenarios
-from .common import ExperimentResult, capacity_for, channel_for, sweep_topologies
+from ..topology.scenarios import paired_scenarios
+from .common import ExperimentResult, capacity_for, channel_for, legacy_run
+
+
+def _build(topo_seed: int, params: dict) -> dict:
+    env = resolve_environment(params["environment"])
+    n = params["n_antennas"]
+    pair = paired_scenarios(
+        env,
+        [(0.0, 0.0)],
+        antennas_per_ap=n,
+        clients_per_ap=n,
+        seed=topo_seed,
+        name="fig03",
+    )
+    out = {}
+    for mode in (AntennaMode.CAS, AntennaMode.DAS):
+        scenario = pair[mode]
+        h = channel_for(scenario, topo_seed).channel_matrix()
+        reference = capacity_for(scenario, h, "total_power")
+        naive = capacity_for(scenario, h, "naive")
+        out[mode.value] = max(0.0, reference - naive)
+    return out
+
+
+def _finalize(outcomes: list[dict], params: dict) -> ExperimentResult:
+    return ExperimentResult(
+        name="fig03",
+        description="Capacity drop of naive power scaling (b/s/Hz), 4x4 MU-MIMO",
+        series={
+            "cas_drop": np.asarray([o["cas"] for o in outcomes]),
+            "das_drop": np.asarray([o["das"] for o in outcomes]),
+        },
+        params={
+            "n_topologies": params["n_topologies"],
+            "seed": params["seed"],
+            "n_antennas": params["n_antennas"],
+        },
+    )
+
+
+@register_experiment
+class Fig03Experiment:
+    name = "fig03"
+    description = "Capacity drop of naive power scaling, CAS vs DAS (Fig 3)"
+    defaults = {"n_topologies": 60, "environment": "office_b", "n_antennas": 4}
+    build = staticmethod(_build)
+    finalize = staticmethod(_finalize)
 
 
 def run(
     n_topologies: int = 60,
     seed: int = 0,
-    environment: OfficeEnvironment | None = None,
+    environment=None,
     n_antennas: int = 4,
 ) -> ExperimentResult:
-    """Regenerate Fig 3's capacity-drop CDFs."""
-    env = environment or office_b()
-    drops: dict[str, list[float]] = {"cas": [], "das": []}
-
-    def build(topo_seed: int) -> dict:
-        pair = paired_scenarios(
-            env,
-            [(0.0, 0.0)],
-            antennas_per_ap=n_antennas,
-            clients_per_ap=n_antennas,
-            seed=topo_seed,
-            name="fig03",
-        )
-        out = {}
-        for mode in (AntennaMode.CAS, AntennaMode.DAS):
-            scenario = pair[mode]
-            h = channel_for(scenario, topo_seed).channel_matrix()
-            reference = capacity_for(scenario, h, "total_power")
-            naive = capacity_for(scenario, h, "naive")
-            out[mode.value] = max(0.0, reference - naive)
-        return out
-
-    for outcome in sweep_topologies(n_topologies, seed, build):
-        drops["cas"].append(outcome["cas"])
-        drops["das"].append(outcome["das"])
-
-    return ExperimentResult(
-        name="fig03",
-        description="Capacity drop of naive power scaling (b/s/Hz), 4x4 MU-MIMO",
-        series={
-            "cas_drop": np.asarray(drops["cas"]),
-            "das_drop": np.asarray(drops["das"]),
-        },
-        params={"n_topologies": n_topologies, "seed": seed, "n_antennas": n_antennas},
+    """Deprecated shim: run the registered ``fig03`` spec."""
+    return legacy_run(
+        "fig03",
+        n_topologies=n_topologies,
+        seed=seed,
+        environment=environment,
+        n_antennas=n_antennas,
     )

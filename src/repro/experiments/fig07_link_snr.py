@@ -9,39 +9,35 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..api.experiments import register_experiment
+from ..api.scenarios import resolve_environment
 from ..topology.deployment import AntennaMode
-from ..topology.scenarios import OfficeEnvironment, office_b, paired_scenarios
-from .common import ExperimentResult, channel_for, greedy_siso_snrs, sweep_topologies
+from ..topology.scenarios import paired_scenarios
+from .common import ExperimentResult, channel_for, greedy_siso_snrs, legacy_run
 
 
-def run(
-    n_topologies: int = 60,
-    seed: int = 0,
-    environment: OfficeEnvironment | None = None,
-    n_antennas: int = 4,
-) -> ExperimentResult:
-    """Regenerate Fig 7's per-client link SNR CDFs."""
-    env = environment or office_b()
+def _build(topo_seed: int, params: dict) -> dict:
+    env = resolve_environment(params["environment"])
+    n = params["n_antennas"]
+    pair = paired_scenarios(
+        env,
+        [(0.0, 0.0)],
+        antennas_per_ap=n,
+        clients_per_ap=n,
+        seed=topo_seed,
+        name="fig07",
+    )
+    return {
+        mode.value: greedy_siso_snrs(channel_for(pair[mode], topo_seed))
+        for mode in (AntennaMode.CAS, AntennaMode.DAS)
+    }
+
+
+def _finalize(outcomes: list[dict], params: dict) -> ExperimentResult:
     snrs: dict[str, list[float]] = {"cas": [], "das": []}
-
-    def build(topo_seed: int) -> dict:
-        pair = paired_scenarios(
-            env,
-            [(0.0, 0.0)],
-            antennas_per_ap=n_antennas,
-            clients_per_ap=n_antennas,
-            seed=topo_seed,
-            name="fig07",
-        )
-        return {
-            mode.value: greedy_siso_snrs(channel_for(pair[mode], topo_seed))
-            for mode in (AntennaMode.CAS, AntennaMode.DAS)
-        }
-
-    for outcome in sweep_topologies(n_topologies, seed, build):
+    for outcome in outcomes:
         snrs["cas"].extend(outcome["cas"])
         snrs["das"].extend(outcome["das"])
-
     return ExperimentResult(
         name="fig07",
         description="Link-layer SISO SNR across clients (dB)",
@@ -49,5 +45,34 @@ def run(
             "cas_snr_db": np.asarray(snrs["cas"]),
             "das_snr_db": np.asarray(snrs["das"]),
         },
-        params={"n_topologies": n_topologies, "seed": seed, "n_antennas": n_antennas},
+        params={
+            "n_topologies": params["n_topologies"],
+            "seed": params["seed"],
+            "n_antennas": params["n_antennas"],
+        },
+    )
+
+
+@register_experiment
+class Fig07Experiment:
+    name = "fig07"
+    description = "Link-layer SISO SNR, CAS vs DAS (Fig 7)"
+    defaults = {"n_topologies": 60, "environment": "office_b", "n_antennas": 4}
+    build = staticmethod(_build)
+    finalize = staticmethod(_finalize)
+
+
+def run(
+    n_topologies: int = 60,
+    seed: int = 0,
+    environment=None,
+    n_antennas: int = 4,
+) -> ExperimentResult:
+    """Deprecated shim: run the registered ``fig07`` spec."""
+    return legacy_run(
+        "fig07",
+        n_topologies=n_topologies,
+        seed=seed,
+        environment=environment,
+        n_antennas=n_antennas,
     )

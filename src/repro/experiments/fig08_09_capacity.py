@@ -3,77 +3,117 @@
 
 Paper: MIDAS gains 40-67% (two antennas) rising to 45-80% (four) in median
 capacity over the conventional CAS system.
+
+The registered specs expose a ``precoder`` parameter (default
+``"balanced"``) so any registered precoder can play the MIDAS role, e.g.
+``RunSpec("fig09", precoder="wmmse")``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..api.experiments import register_experiment
+from ..api.scenarios import resolve_environment
 from ..topology.deployment import AntennaMode
-from ..topology.scenarios import (
-    OfficeEnvironment,
-    office_a,
-    office_b,
-    paired_scenarios,
-)
-from .common import ExperimentResult, capacity_for, channel_for, sweep_topologies
+from ..topology.scenarios import office_a, office_b, paired_scenarios
+from .common import ExperimentResult, capacity_for, channel_for, legacy_run
+
+
+def _build(topo_seed: int, params: dict) -> dict:
+    env = resolve_environment(params["environment"])
+    out: dict = {}
+    for n in params["antenna_counts"]:
+        pair = paired_scenarios(
+            env,
+            [(0.0, 0.0)],
+            antennas_per_ap=n,
+            clients_per_ap=n,
+            seed=topo_seed,
+            name="fig0809",
+        )
+        cas = pair[AntennaMode.CAS]
+        das = pair[AntennaMode.DAS]
+        h_cas = channel_for(cas, topo_seed).channel_matrix()
+        h_das = channel_for(das, topo_seed).channel_matrix()
+        out[f"cas_{n}x{n}"] = capacity_for(cas, h_cas, "naive")
+        out[f"midas_{n}x{n}"] = capacity_for(das, h_das, params["precoder"])
+    return out
+
+
+def _finalize(outcomes: list[dict], params: dict) -> ExperimentResult:
+    env = resolve_environment(params["environment"])
+    series: dict[str, np.ndarray] = {}
+    for n in params["antenna_counts"]:
+        for stack in ("cas", "midas"):
+            key = f"{stack}_{n}x{n}"
+            series[key] = np.asarray([o[key] for o in outcomes])
+    return ExperimentResult(
+        name=f"fig08_09[{env.name}]",
+        description=f"MU-MIMO capacity (b/s/Hz), {env.name}",
+        series=series,
+        params={
+            "n_topologies": params["n_topologies"],
+            "seed": params["seed"],
+            "environment": env.name,
+            "antenna_counts": tuple(params["antenna_counts"]),
+        },
+    )
+
+
+@register_experiment
+class Fig08Experiment:
+    name = "fig08"
+    description = "MU-MIMO capacity CDFs, Office A (Fig 8)"
+    defaults = {
+        "n_topologies": 60,
+        "environment": "office_a",
+        "antenna_counts": [2, 4],
+        "precoder": "balanced",
+    }
+    build = staticmethod(_build)
+    finalize = staticmethod(_finalize)
+
+
+@register_experiment
+class Fig09Experiment:
+    name = "fig09"
+    description = "MU-MIMO capacity CDFs, Office B (Fig 9)"
+    defaults = {
+        "n_topologies": 60,
+        "environment": "office_b",
+        "antenna_counts": [2, 4],
+        "precoder": "balanced",
+    }
+    build = staticmethod(_build)
+    finalize = staticmethod(_finalize)
 
 
 def run(
     n_topologies: int = 60,
     seed: int = 0,
-    environment: OfficeEnvironment | None = None,
+    environment=None,
     antenna_counts: tuple[int, ...] = (2, 4),
 ) -> ExperimentResult:
-    """Regenerate one office's capacity CDFs (Fig 8 = A, Fig 9 = B)."""
-    env = environment or office_b()
-    series: dict[str, list[float]] = {}
-    for n in antenna_counts:
-        series[f"cas_{n}x{n}"] = []
-        series[f"midas_{n}x{n}"] = []
-
-    for n in antenna_counts:
-
-        def build(topo_seed: int, n=n) -> dict:
-            pair = paired_scenarios(
-                env,
-                [(0.0, 0.0)],
-                antennas_per_ap=n,
-                clients_per_ap=n,
-                seed=topo_seed,
-                name="fig0809",
-            )
-            cas = pair[AntennaMode.CAS]
-            das = pair[AntennaMode.DAS]
-            h_cas = channel_for(cas, topo_seed).channel_matrix()
-            h_das = channel_for(das, topo_seed).channel_matrix()
-            return {
-                "cas": capacity_for(cas, h_cas, "naive"),
-                "midas": capacity_for(das, h_das, "balanced"),
-            }
-
-        for outcome in sweep_topologies(n_topologies, seed, build):
-            series[f"cas_{n}x{n}"].append(outcome["cas"])
-            series[f"midas_{n}x{n}"].append(outcome["midas"])
-
-    return ExperimentResult(
-        name=f"fig08_09[{env.name}]",
-        description=f"MU-MIMO capacity (b/s/Hz), {env.name}",
-        series={k: np.asarray(v) for k, v in series.items()},
-        params={
-            "n_topologies": n_topologies,
-            "seed": seed,
-            "environment": env.name,
-            "antenna_counts": antenna_counts,
-        },
+    """Deprecated shim: Fig 8/9 with an explicit environment (default B)."""
+    return legacy_run(
+        "fig09",
+        n_topologies=n_topologies,
+        seed=seed,
+        environment=environment,
+        antenna_counts=antenna_counts,
     )
 
 
 def run_office_a(n_topologies: int = 60, seed: int = 0, **kwargs) -> ExperimentResult:
-    """Fig 8 (Office A)."""
-    return run(n_topologies, seed, environment=office_a(), **kwargs)
+    """Deprecated shim: Fig 8 (Office A)."""
+    return legacy_run(
+        "fig08", n_topologies=n_topologies, seed=seed, environment=office_a(), **kwargs
+    )
 
 
 def run_office_b(n_topologies: int = 60, seed: int = 0, **kwargs) -> ExperimentResult:
-    """Fig 9 (Office B)."""
-    return run(n_topologies, seed, environment=office_b(), **kwargs)
+    """Deprecated shim: Fig 9 (Office B)."""
+    return legacy_run(
+        "fig09", n_topologies=n_topologies, seed=seed, environment=office_b(), **kwargs
+    )

@@ -9,50 +9,68 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..api.experiments import register_experiment
+from ..api.scenarios import resolve_environment
 from ..topology.deployment import AntennaMode
-from ..topology.scenarios import OfficeEnvironment, office_b, paired_scenarios
-from .common import ExperimentResult, capacity_for, channel_for, sweep_topologies
+from ..topology.scenarios import paired_scenarios
+from .common import ExperimentResult, capacity_for, channel_for, legacy_run
+
+_SERIES = ("cas_naive", "cas_balanced", "das_naive", "das_balanced")
+
+
+def _build(topo_seed: int, params: dict) -> dict:
+    env = resolve_environment(params["environment"])
+    n = params["n_antennas"]
+    pair = paired_scenarios(
+        env,
+        [(0.0, 0.0)],
+        antennas_per_ap=n,
+        clients_per_ap=n,
+        seed=topo_seed,
+        name="fig10",
+    )
+    out = {}
+    for mode in (AntennaMode.CAS, AntennaMode.DAS):
+        scenario = pair[mode]
+        h = channel_for(scenario, topo_seed).channel_matrix()
+        out[f"{mode.value}_naive"] = capacity_for(scenario, h, "naive")
+        out[f"{mode.value}_balanced"] = capacity_for(scenario, h, "balanced")
+    return out
+
+
+def _finalize(outcomes: list[dict], params: dict) -> ExperimentResult:
+    return ExperimentResult(
+        name="fig10",
+        description="Impact of power-balanced precoding (b/s/Hz), 4x4",
+        series={k: np.asarray([o[k] for o in outcomes]) for k in _SERIES},
+        params={
+            "n_topologies": params["n_topologies"],
+            "seed": params["seed"],
+            "n_antennas": params["n_antennas"],
+        },
+    )
+
+
+@register_experiment
+class Fig10Experiment:
+    name = "fig10"
+    description = "Precoding impact on CAS and DAS separately (Fig 10)"
+    defaults = {"n_topologies": 60, "environment": "office_b", "n_antennas": 4}
+    build = staticmethod(_build)
+    finalize = staticmethod(_finalize)
 
 
 def run(
     n_topologies: int = 60,
     seed: int = 0,
-    environment: OfficeEnvironment | None = None,
+    environment=None,
     n_antennas: int = 4,
 ) -> ExperimentResult:
-    """Regenerate Fig 10's four CDFs (both modes, both precoders)."""
-    env = environment or office_b()
-    series: dict[str, list[float]] = {
-        "cas_naive": [],
-        "cas_balanced": [],
-        "das_naive": [],
-        "das_balanced": [],
-    }
-
-    def build(topo_seed: int) -> dict:
-        pair = paired_scenarios(
-            env,
-            [(0.0, 0.0)],
-            antennas_per_ap=n_antennas,
-            clients_per_ap=n_antennas,
-            seed=topo_seed,
-            name="fig10",
-        )
-        out = {}
-        for mode in (AntennaMode.CAS, AntennaMode.DAS):
-            scenario = pair[mode]
-            h = channel_for(scenario, topo_seed).channel_matrix()
-            out[f"{mode.value}_naive"] = capacity_for(scenario, h, "naive")
-            out[f"{mode.value}_balanced"] = capacity_for(scenario, h, "balanced")
-        return out
-
-    for outcome in sweep_topologies(n_topologies, seed, build):
-        for key in series:
-            series[key].append(outcome[key])
-
-    return ExperimentResult(
-        name="fig10",
-        description="Impact of power-balanced precoding (b/s/Hz), 4x4",
-        series={k: np.asarray(v) for k, v in series.items()},
-        params={"n_topologies": n_topologies, "seed": seed, "n_antennas": n_antennas},
+    """Deprecated shim: run the registered ``fig10`` spec."""
+    return legacy_run(
+        "fig10",
+        n_topologies=n_topologies,
+        seed=seed,
+        environment=environment,
+        n_antennas=n_antennas,
     )

@@ -12,71 +12,89 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..api.experiments import register_experiment
+from ..api.scenarios import resolve_environment
 from ..channel.model import ChannelModel
 from ..core.optimal import optimal_power_allocation
 from ..core.power_balance import power_balanced_precoder
 from ..phy.capacity import stream_sinrs, sum_capacity_bps_hz
 from ..topology.deployment import AntennaMode
-from ..topology.scenarios import OfficeEnvironment, office_b, single_ap_scenario
-from .common import ExperimentResult, sweep_topologies
+from ..topology.scenarios import single_ap_scenario
+from .common import ExperimentResult, legacy_run
 
 
-def run(
-    n_topologies: int = 20,
-    seed: int = 0,
-    environment: OfficeEnvironment | None = None,
-    n_antennas: int = 4,
-    solver_latency_s: float = 2.0,
-) -> ExperimentResult:
-    """Regenerate Fig 11's per-topology comparison.
+def _build(topo_seed: int, params: dict) -> dict:
+    env = resolve_environment(params["environment"])
+    n = params["n_antennas"]
+    scenario = single_ap_scenario(
+        env, AntennaMode.DAS, n_antennas=n, n_clients=n, seed=topo_seed
+    )
+    model = ChannelModel(scenario.deployment, scenario.radio, seed=topo_seed)
+    h = model.channel_matrix()
+    p = scenario.radio.per_antenna_power_mw
+    noise = scenario.radio.noise_mw
+    balanced = power_balanced_precoder(h, p, noise)
+    opt = optimal_power_allocation(h, p, noise)
+    # Stale optimum: the channel the solver optimized for has moved on by
+    # the time its solution is applied.
+    model.advance(params["solver_latency_s"])
+    h_later = model.channel_matrix()
+    stale_capacity = sum_capacity_bps_hz(stream_sinrs(h_later, opt.v, noise))
+    return {
+        "midas": sum_capacity_bps_hz(stream_sinrs(h, balanced.v, noise)),
+        "optimal": opt.capacity_bps_hz,
+        "optimal_stale": stale_capacity,
+    }
 
-    ``solver_latency_s`` models the paper's observation that the numerical
-    toolbox takes a couple of seconds, during which the channel decorrelates.
-    """
-    env = environment or office_b()
-    midas, optimal, optimal_stale = [], [], []
 
-    def build(topo_seed: int) -> dict:
-        scenario = single_ap_scenario(
-            env, AntennaMode.DAS, n_antennas=n_antennas, n_clients=n_antennas, seed=topo_seed
-        )
-        model = ChannelModel(scenario.deployment, scenario.radio, seed=topo_seed)
-        h = model.channel_matrix()
-        p = scenario.radio.per_antenna_power_mw
-        noise = scenario.radio.noise_mw
-        balanced = power_balanced_precoder(h, p, noise)
-        opt = optimal_power_allocation(h, p, noise)
-        # Stale optimum: the channel the solver optimized for has moved on by
-        # the time its solution is applied.
-        model.advance(solver_latency_s)
-        h_later = model.channel_matrix()
-        stale_capacity = sum_capacity_bps_hz(stream_sinrs(h_later, opt.v, noise))
-        return {
-            "midas": sum_capacity_bps_hz(stream_sinrs(h, balanced.v, noise)),
-            "optimal": opt.capacity_bps_hz,
-            "optimal_stale": stale_capacity,
-        }
-
-    for outcome in sweep_topologies(n_topologies, seed, build):
-        midas.append(outcome["midas"])
-        optimal.append(outcome["optimal"])
-        optimal_stale.append(outcome["optimal_stale"])
-
-    midas_arr = np.asarray(midas)
-    optimal_arr = np.asarray(optimal)
+def _finalize(outcomes: list[dict], params: dict) -> ExperimentResult:
+    midas_arr = np.asarray([o["midas"] for o in outcomes])
+    optimal_arr = np.asarray([o["optimal"] for o in outcomes])
     return ExperimentResult(
         name="fig11",
         description="MIDAS vs optimal precoder, per-topology capacity (b/s/Hz)",
         series={
             "midas": midas_arr,
             "optimal": optimal_arr,
-            "optimal_stale": np.asarray(optimal_stale),
+            "optimal_stale": np.asarray([o["optimal_stale"] for o in outcomes]),
             "efficiency": midas_arr / np.maximum(optimal_arr, 1e-12),
         },
         params={
-            "n_topologies": n_topologies,
-            "seed": seed,
-            "n_antennas": n_antennas,
-            "solver_latency_s": solver_latency_s,
+            "n_topologies": params["n_topologies"],
+            "seed": params["seed"],
+            "n_antennas": params["n_antennas"],
+            "solver_latency_s": params["solver_latency_s"],
         },
+    )
+
+
+@register_experiment
+class Fig11Experiment:
+    name = "fig11"
+    description = "MIDAS precoder vs numerical optimum (Fig 11)"
+    defaults = {
+        "n_topologies": 20,
+        "environment": "office_b",
+        "n_antennas": 4,
+        "solver_latency_s": 2.0,
+    }
+    build = staticmethod(_build)
+    finalize = staticmethod(_finalize)
+
+
+def run(
+    n_topologies: int = 20,
+    seed: int = 0,
+    environment=None,
+    n_antennas: int = 4,
+    solver_latency_s: float = 2.0,
+) -> ExperimentResult:
+    """Deprecated shim: run the registered ``fig11`` spec."""
+    return legacy_run(
+        "fig11",
+        n_topologies=n_topologies,
+        seed=seed,
+        environment=environment,
+        n_antennas=n_antennas,
+        solver_latency_s=solver_latency_s,
     )

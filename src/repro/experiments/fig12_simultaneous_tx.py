@@ -13,11 +13,13 @@ from __future__ import annotations
 import numpy as np
 
 from .. import rng as rng_mod
+from ..api.experiments import register_experiment
+from ..api.scenarios import resolve_environment
 from ..sim.network import MacMode, aps_mutually_overhear
 from ..sim.rounds import RoundBasedEvaluator
 from ..topology.deployment import AntennaMode
-from ..topology.scenarios import OfficeEnvironment, office_b, three_ap_scenario
-from .common import ExperimentResult, sweep_topologies
+from ..topology.scenarios import three_ap_scenario
+from .common import ExperimentResult, legacy_run
 
 
 def count_streams(
@@ -42,40 +44,60 @@ def count_streams(
     return float(np.mean(totals))
 
 
-def run(
-    n_topologies: int = 30,
-    seed: int = 0,
-    environment: OfficeEnvironment | None = None,
-    rounds_per_topology: int = 12,
-) -> ExperimentResult:
-    """Regenerate Fig 12's stream-ratio CDF."""
-    env = environment or office_b()
-    ratios = []
+def _build(topo_seed: int, params: dict) -> dict | None:
+    env = resolve_environment(params["environment"])
+    pair = three_ap_scenario(env, seed=topo_seed)
+    cas_eval = RoundBasedEvaluator(pair[AntennaMode.CAS], MacMode.CAS, seed=topo_seed)
+    if not aps_mutually_overhear(cas_eval.carrier_sense, cas_eval.deployment):
+        return None
+    das_eval = RoundBasedEvaluator(pair[AntennaMode.DAS], MacMode.MIDAS, seed=topo_seed)
+    rng = rng_mod.make_rng(topo_seed)
+    # CAS reference: one AP active at a time => four streams (paper
+    # §5.3.1: "one AP can be activated at a time to support four
+    # simultaneous transmissions").
+    cas_streams = float(len(cas_eval.deployment.antennas_of(0)))
+    midas_streams = count_streams(das_eval, rng, params["rounds_per_topology"])
+    return {"midas": midas_streams, "cas": cas_streams}
 
-    def build(topo_seed: int) -> dict | None:
-        pair = three_ap_scenario(env, seed=topo_seed)
-        cas_eval = RoundBasedEvaluator(pair[AntennaMode.CAS], MacMode.CAS, seed=topo_seed)
-        if not aps_mutually_overhear(cas_eval.carrier_sense, cas_eval.deployment):
-            return None
-        das_eval = RoundBasedEvaluator(pair[AntennaMode.DAS], MacMode.MIDAS, seed=topo_seed)
-        rng = rng_mod.make_rng(topo_seed)
-        # CAS reference: one AP active at a time => four streams (paper
-        # §5.3.1: "one AP can be activated at a time to support four
-        # simultaneous transmissions").
-        cas_streams = float(len(cas_eval.deployment.antennas_of(0)))
-        midas_streams = count_streams(das_eval, rng, rounds_per_topology)
-        return {"midas": midas_streams, "cas": cas_streams}
 
-    for outcome in sweep_topologies(n_topologies, seed, build):
-        ratios.append(outcome["midas"] / outcome["cas"])
-
+def _finalize(outcomes: list[dict], params: dict) -> ExperimentResult:
+    ratios = [o["midas"] / o["cas"] for o in outcomes]
     return ExperimentResult(
         name="fig12",
         description="Ratio of simultaneous streams (MIDAS/CAS), 3 APs",
         series={"stream_ratio": np.asarray(ratios)},
         params={
-            "n_topologies": n_topologies,
-            "seed": seed,
-            "rounds_per_topology": rounds_per_topology,
+            "n_topologies": params["n_topologies"],
+            "seed": params["seed"],
+            "rounds_per_topology": params["rounds_per_topology"],
         },
+    )
+
+
+@register_experiment
+class Fig12Experiment:
+    name = "fig12"
+    description = "Simultaneous-stream ratio in a 3-AP network (Fig 12)"
+    defaults = {
+        "n_topologies": 30,
+        "environment": "office_b",
+        "rounds_per_topology": 12,
+    }
+    build = staticmethod(_build)
+    finalize = staticmethod(_finalize)
+
+
+def run(
+    n_topologies: int = 30,
+    seed: int = 0,
+    environment=None,
+    rounds_per_topology: int = 12,
+) -> ExperimentResult:
+    """Deprecated shim: run the registered ``fig12`` spec."""
+    return legacy_run(
+        "fig12",
+        n_topologies=n_topologies,
+        seed=seed,
+        environment=environment,
+        rounds_per_topology=rounds_per_topology,
     )

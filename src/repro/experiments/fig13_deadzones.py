@@ -7,13 +7,17 @@ deadspots, repeat over 10 deployments.  DAS removes ~91% of deadspots.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
+from ..api.experiments import register_experiment
+from ..api.scenarios import resolve_environment
 from ..channel.pathloss import coverage_range_m
 from ..topology import geometry
 from ..topology.deployment import AntennaMode
-from ..topology.scenarios import OfficeEnvironment, office_b, paired_scenarios
-from .common import ExperimentResult, channel_for, sweep_topologies
+from ..topology.scenarios import paired_scenarios
+from .common import ExperimentResult, channel_for, legacy_run
 
 
 def deadspot_mask(
@@ -26,38 +30,36 @@ def deadspot_mask(
     return best - fade_margin_db < min_snr_db
 
 
-def run(
-    n_topologies: int = 10,
-    seed: int = 0,
-    environment: OfficeEnvironment | None = None,
-    grid_step_m: float = 0.5,
-    fade_margin_db: float = 6.0,
-) -> ExperimentResult:
-    """Regenerate Fig 13's deadspot statistics (plus one example map pair)."""
-    env = environment or office_b()
-    coverage = coverage_range_m(env.radio)
+@lru_cache(maxsize=8)
+def _survey_points(environment_name: str, grid_step_m: float) -> np.ndarray:
+    """The fixed survey grid clipped to the coverage disk (deterministic;
+    memoized on the registry name since every topology shares it)."""
+    coverage = coverage_range_m(resolve_environment(environment_name).radio)
     grid = geometry.grid_points(
         (-coverage, coverage), (-coverage, coverage), grid_step_m
     )
-    in_disk = geometry.points_within(grid, (0.0, 0.0), coverage)
-    survey_points = grid[in_disk]
+    return grid[geometry.points_within(grid, (0.0, 0.0), coverage)]
 
+
+def _build(topo_seed: int, params: dict) -> dict:
+    env = resolve_environment(params["environment"])
+    survey_points = _survey_points(params["environment"], float(params["grid_step_m"]))
+    pair = paired_scenarios(env, [(0.0, 0.0)], seed=topo_seed, name="fig13")
+    masks = {}
+    for mode in (AntennaMode.CAS, AntennaMode.DAS):
+        model = channel_for(pair[mode], topo_seed)
+        masks[mode.value] = deadspot_mask(
+            model, survey_points, pair[mode].mac.decode_snr_db, params["fade_margin_db"]
+        )
+    return masks
+
+
+def _finalize(outcomes: list[dict], params: dict) -> ExperimentResult:
+    env = resolve_environment(params["environment"])
+    survey_points = _survey_points(params["environment"], float(params["grid_step_m"]))
     cas_counts, das_counts, reductions = [], [], []
     example_maps: dict = {}
-
-    def build(topo_seed: int) -> dict:
-        pair = paired_scenarios(
-            env, [(0.0, 0.0)], seed=topo_seed, name="fig13"
-        )
-        masks = {}
-        for mode in (AntennaMode.CAS, AntennaMode.DAS):
-            model = channel_for(pair[mode], topo_seed)
-            masks[mode.value] = deadspot_mask(
-                model, survey_points, pair[mode].mac.decode_snr_db, fade_margin_db
-            )
-        return masks
-
-    for index, masks in enumerate(sweep_topologies(n_topologies, seed, build)):
+    for index, masks in enumerate(outcomes):
         cas = int(masks["cas"].sum())
         das = int(masks["das"].sum())
         cas_counts.append(cas)
@@ -69,7 +71,6 @@ def run(
                 "cas_mask": masks["cas"],
                 "das_mask": masks["das"],
             }
-
     return ExperimentResult(
         name="fig13",
         description="Deadspot counts per deployment (0.5 m grid)",
@@ -79,11 +80,43 @@ def run(
             "reduction": np.asarray(reductions),
         },
         params={
-            "n_topologies": n_topologies,
-            "seed": seed,
-            "grid_step_m": grid_step_m,
-            "coverage_m": coverage,
-            "fade_margin_db": fade_margin_db,
+            "n_topologies": params["n_topologies"],
+            "seed": params["seed"],
+            "grid_step_m": params["grid_step_m"],
+            "coverage_m": coverage_range_m(env.radio),
+            "fade_margin_db": params["fade_margin_db"],
         },
         notes={"example_maps": example_maps},
+    )
+
+
+@register_experiment
+class Fig13Experiment:
+    name = "fig13"
+    description = "Deadzone survey and deadspot reduction (Fig 13)"
+    defaults = {
+        "n_topologies": 10,
+        "environment": "office_b",
+        "grid_step_m": 0.5,
+        "fade_margin_db": 6.0,
+    }
+    build = staticmethod(_build)
+    finalize = staticmethod(_finalize)
+
+
+def run(
+    n_topologies: int = 10,
+    seed: int = 0,
+    environment=None,
+    grid_step_m: float = 0.5,
+    fade_margin_db: float = 6.0,
+) -> ExperimentResult:
+    """Deprecated shim: run the registered ``fig13`` spec."""
+    return legacy_run(
+        "fig13",
+        n_topologies=n_topologies,
+        seed=seed,
+        environment=environment,
+        grid_step_m=grid_step_m,
+        fade_margin_db=fade_margin_db,
     )

@@ -11,12 +11,14 @@ from __future__ import annotations
 import numpy as np
 
 from .. import rng as rng_mod
+from ..api.experiments import register_experiment
+from ..api.scenarios import resolve_environment
 from ..core.power_balance import power_balanced_precoder
 from ..core.tagging import TagTable
 from ..phy.capacity import stream_sinrs, sum_capacity_bps_hz
 from ..topology.deployment import AntennaMode
-from ..topology.scenarios import OfficeEnvironment, office_b, single_ap_scenario
-from .common import ExperimentResult, channel_for, sweep_topologies
+from ..topology.scenarios import single_ap_scenario
+from .common import ExperimentResult, channel_for, legacy_run
 
 
 def tagged_selection(tags: TagTable, available: np.ndarray, rssi: np.ndarray) -> list[int]:
@@ -45,51 +47,75 @@ def capacity_of_selection(
     return sum_capacity_bps_hz(stream_sinrs(h_sub, v, radio.noise_mw))
 
 
-def run(
-    n_topologies: int = 60,
-    seed: int = 0,
-    environment: OfficeEnvironment | None = None,
-    n_antennas: int = 4,
-    n_available: int = 2,
-    tag_width: int = 2,
-) -> ExperimentResult:
-    """Regenerate Fig 14's tagged-vs-random capacity CDFs."""
-    env = environment or office_b()
-    tagged_caps, random_caps = [], []
+def _build(topo_seed: int, params: dict) -> dict:
+    env = resolve_environment(params["environment"])
+    n_antennas = params["n_antennas"]
+    n_available = params["n_available"]
+    scenario = single_ap_scenario(
+        env, AntennaMode.DAS, n_antennas=n_antennas, n_clients=n_antennas, seed=topo_seed
+    )
+    model = channel_for(scenario, topo_seed)
+    rng = rng_mod.make_rng(topo_seed)
+    available = rng.choice(n_antennas, size=n_available, replace=False)
+    h = model.channel_matrix()
+    rssi = model.client_rx_power_dbm()
+    tags = TagTable.from_rssi(rssi, tag_width=params["tag_width"])
 
-    def build(topo_seed: int) -> dict:
-        scenario = single_ap_scenario(
-            env, AntennaMode.DAS, n_antennas=n_antennas, n_clients=n_antennas, seed=topo_seed
-        )
-        model = channel_for(scenario, topo_seed)
-        rng = rng_mod.make_rng(topo_seed)
-        available = rng.choice(n_antennas, size=n_available, replace=False)
-        h = model.channel_matrix()
-        rssi = model.client_rx_power_dbm()
-        tags = TagTable.from_rssi(rssi, tag_width=tag_width)
+    with_tags = tagged_selection(tags, available, rssi)
+    random_clients = list(rng.choice(n_antennas, size=n_available, replace=False))
+    return {
+        "tagged": capacity_of_selection(scenario, h, available, with_tags),
+        "random": capacity_of_selection(scenario, h, available, random_clients),
+    }
 
-        with_tags = tagged_selection(tags, available, rssi)
-        random_clients = list(rng.choice(n_antennas, size=n_available, replace=False))
-        return {
-            "tagged": capacity_of_selection(scenario, h, available, with_tags),
-            "random": capacity_of_selection(scenario, h, available, random_clients),
-        }
 
-    for outcome in sweep_topologies(n_topologies, seed, build):
-        tagged_caps.append(outcome["tagged"])
-        random_caps.append(outcome["random"])
-
+def _finalize(outcomes: list[dict], params: dict) -> ExperimentResult:
     return ExperimentResult(
         name="fig14",
         description="Virtual packet tagging vs random client pick (b/s/Hz)",
         series={
-            "tagged": np.asarray(tagged_caps),
-            "random": np.asarray(random_caps),
+            "tagged": np.asarray([o["tagged"] for o in outcomes]),
+            "random": np.asarray([o["random"] for o in outcomes]),
         },
         params={
-            "n_topologies": n_topologies,
-            "seed": seed,
-            "n_available": n_available,
-            "tag_width": tag_width,
+            "n_topologies": params["n_topologies"],
+            "seed": params["seed"],
+            "n_available": params["n_available"],
+            "tag_width": params["tag_width"],
         },
+    )
+
+
+@register_experiment
+class Fig14Experiment:
+    name = "fig14"
+    description = "Virtual packet tagging vs random selection (Fig 14)"
+    defaults = {
+        "n_topologies": 60,
+        "environment": "office_b",
+        "n_antennas": 4,
+        "n_available": 2,
+        "tag_width": 2,
+    }
+    build = staticmethod(_build)
+    finalize = staticmethod(_finalize)
+
+
+def run(
+    n_topologies: int = 60,
+    seed: int = 0,
+    environment=None,
+    n_antennas: int = 4,
+    n_available: int = 2,
+    tag_width: int = 2,
+) -> ExperimentResult:
+    """Deprecated shim: run the registered ``fig14`` spec."""
+    return legacy_run(
+        "fig14",
+        n_topologies=n_topologies,
+        seed=seed,
+        environment=environment,
+        n_antennas=n_antennas,
+        n_available=n_available,
+        tag_width=tag_width,
     )

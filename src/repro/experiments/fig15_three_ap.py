@@ -13,72 +13,95 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..api.experiments import register_experiment
+from ..api.scenarios import resolve_environment
 from ..config import SimConfig
 from ..sim.network import MacMode, NetworkSimulation, aps_mutually_overhear
 from ..sim.rounds import RoundBasedEvaluator
 from ..topology.deployment import AntennaMode
-from ..topology.scenarios import OfficeEnvironment, office_b, three_ap_scenario
-from .common import ExperimentResult, sweep_topologies
+from ..topology.scenarios import three_ap_scenario
+from .common import ExperimentResult, legacy_run
+
+
+def _build(topo_seed: int, params: dict) -> dict | None:
+    env = resolve_environment(params["environment"])
+    pair = three_ap_scenario(env, seed=topo_seed)
+    cas_eval = RoundBasedEvaluator(pair[AntennaMode.CAS], MacMode.CAS, seed=topo_seed)
+    if not aps_mutually_overhear(cas_eval.carrier_sense, cas_eval.deployment):
+        return None
+    if params["dynamic"]:
+        sim_cfg = SimConfig(duration_s=params["duration_s"])
+        cas_run = NetworkSimulation(
+            pair[AntennaMode.CAS], MacMode.CAS, sim_cfg, seed=topo_seed
+        ).run()
+        midas_run = NetworkSimulation(
+            pair[AntennaMode.DAS], MacMode.MIDAS, sim_cfg, seed=topo_seed
+        ).run()
+        return {
+            "cas": cas_run.network_capacity_bps_hz,
+            "midas": midas_run.network_capacity_bps_hz,
+            "streams": midas_run.mean_concurrent_streams
+            / max(cas_run.mean_concurrent_streams, 1e-9),
+        }
+    cas_res = cas_eval.run(params["rounds_per_topology"])
+    midas_res = RoundBasedEvaluator(
+        pair[AntennaMode.DAS], MacMode.MIDAS, seed=topo_seed
+    ).run(params["rounds_per_topology"])
+    return {
+        "cas": cas_res.mean_capacity_bps_hz,
+        "midas": midas_res.mean_capacity_bps_hz,
+        "streams": midas_res.mean_streams / max(cas_res.mean_streams, 1e-9),
+    }
+
+
+def _finalize(outcomes: list[dict], params: dict) -> ExperimentResult:
+    return ExperimentResult(
+        name="fig15" + ("_dynamic" if params["dynamic"] else ""),
+        description="3-AP end-to-end network capacity (b/s/Hz)",
+        series={
+            "cas": np.asarray([o["cas"] for o in outcomes]),
+            "midas": np.asarray([o["midas"] for o in outcomes]),
+            "stream_ratio": np.asarray([o["streams"] for o in outcomes]),
+        },
+        params={
+            "n_topologies": params["n_topologies"],
+            "seed": params["seed"],
+            "dynamic": params["dynamic"],
+            "rounds_per_topology": params["rounds_per_topology"],
+        },
+    )
+
+
+@register_experiment
+class Fig15Experiment:
+    name = "fig15"
+    description = "End-to-end 3-AP network capacity (Fig 15)"
+    defaults = {
+        "n_topologies": 60,
+        "environment": "office_b",
+        "rounds_per_topology": 24,
+        "dynamic": False,
+        "duration_s": 0.1,
+    }
+    build = staticmethod(_build)
+    finalize = staticmethod(_finalize)
 
 
 def run(
     n_topologies: int = 60,
     seed: int = 0,
-    environment: OfficeEnvironment | None = None,
+    environment=None,
     rounds_per_topology: int = 24,
     dynamic: bool = False,
     duration_s: float = 0.1,
 ) -> ExperimentResult:
-    """Regenerate Fig 15's capacity CDFs."""
-    env = environment or office_b()
-    cas_caps, midas_caps, ratios = [], [], []
-
-    def build(topo_seed: int) -> dict | None:
-        pair = three_ap_scenario(env, seed=topo_seed)
-        cas_eval = RoundBasedEvaluator(pair[AntennaMode.CAS], MacMode.CAS, seed=topo_seed)
-        if not aps_mutually_overhear(cas_eval.carrier_sense, cas_eval.deployment):
-            return None
-        if dynamic:
-            sim_cfg = SimConfig(duration_s=duration_s)
-            cas_run = NetworkSimulation(
-                pair[AntennaMode.CAS], MacMode.CAS, sim_cfg, seed=topo_seed
-            ).run()
-            midas_run = NetworkSimulation(
-                pair[AntennaMode.DAS], MacMode.MIDAS, sim_cfg, seed=topo_seed
-            ).run()
-            return {
-                "cas": cas_run.network_capacity_bps_hz,
-                "midas": midas_run.network_capacity_bps_hz,
-                "streams": midas_run.mean_concurrent_streams
-                / max(cas_run.mean_concurrent_streams, 1e-9),
-            }
-        cas_res = cas_eval.run(rounds_per_topology)
-        midas_res = RoundBasedEvaluator(
-            pair[AntennaMode.DAS], MacMode.MIDAS, seed=topo_seed
-        ).run(rounds_per_topology)
-        return {
-            "cas": cas_res.mean_capacity_bps_hz,
-            "midas": midas_res.mean_capacity_bps_hz,
-            "streams": midas_res.mean_streams / max(cas_res.mean_streams, 1e-9),
-        }
-
-    for outcome in sweep_topologies(n_topologies, seed, build):
-        cas_caps.append(outcome["cas"])
-        midas_caps.append(outcome["midas"])
-        ratios.append(outcome["streams"])
-
-    return ExperimentResult(
-        name="fig15" + ("_dynamic" if dynamic else ""),
-        description="3-AP end-to-end network capacity (b/s/Hz)",
-        series={
-            "cas": np.asarray(cas_caps),
-            "midas": np.asarray(midas_caps),
-            "stream_ratio": np.asarray(ratios),
-        },
-        params={
-            "n_topologies": n_topologies,
-            "seed": seed,
-            "dynamic": dynamic,
-            "rounds_per_topology": rounds_per_topology,
-        },
+    """Deprecated shim: run the registered ``fig15`` spec."""
+    return legacy_run(
+        "fig15",
+        n_topologies=n_topologies,
+        seed=seed,
+        environment=environment,
+        rounds_per_topology=rounds_per_topology,
+        dynamic=dynamic,
+        duration_s=duration_s,
     )

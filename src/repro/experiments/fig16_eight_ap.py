@@ -13,52 +13,77 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..api.experiments import register_experiment
+from ..api.scenarios import resolve_environment
 from ..sim.network import MacMode
 from ..sim.rounds import RoundBasedEvaluator
 from ..topology.deployment import AntennaMode
-from ..topology.scenarios import OfficeEnvironment, eight_ap_scenario, office_b
-from .common import ExperimentResult, sweep_topologies
+from ..topology.scenarios import eight_ap_scenario
+from .common import ExperimentResult, legacy_run
+
+
+def _build(topo_seed: int, params: dict) -> dict | None:
+    env = resolve_environment(params["environment"])
+    try:
+        pair = eight_ap_scenario(env, seed=topo_seed, region_m=params["region_m"])
+    except RuntimeError:
+        return None
+    cas_res = RoundBasedEvaluator(
+        pair[AntennaMode.CAS], MacMode.CAS, seed=topo_seed
+    ).run(params["rounds_per_topology"])
+    das_res = RoundBasedEvaluator(
+        pair[AntennaMode.DAS], MacMode.MIDAS, seed=topo_seed
+    ).run(params["rounds_per_topology"])
+    return {
+        "cas": cas_res.mean_capacity_bps_hz,
+        "das": das_res.mean_capacity_bps_hz,
+    }
+
+
+def _finalize(outcomes: list[dict], params: dict) -> ExperimentResult:
+    return ExperimentResult(
+        name="fig16",
+        description="8-AP 60x60 m network capacity (b/s/Hz)",
+        series={
+            "cas": np.asarray([o["cas"] for o in outcomes]),
+            "midas": np.asarray([o["das"] for o in outcomes]),
+        },
+        params={
+            "n_topologies": params["n_topologies"],
+            "seed": params["seed"],
+            "rounds_per_topology": params["rounds_per_topology"],
+            "region_m": params["region_m"],
+        },
+    )
+
+
+@register_experiment
+class Fig16Experiment:
+    name = "fig16"
+    description = "Large-scale 8-AP trace-driven simulation (Fig 16)"
+    defaults = {
+        "n_topologies": 20,
+        "environment": "office_b",
+        "rounds_per_topology": 16,
+        "region_m": 60.0,
+    }
+    build = staticmethod(_build)
+    finalize = staticmethod(_finalize)
 
 
 def run(
     n_topologies: int = 20,
     seed: int = 0,
-    environment: OfficeEnvironment | None = None,
+    environment=None,
     rounds_per_topology: int = 16,
     region_m: float = 60.0,
 ) -> ExperimentResult:
-    """Regenerate Fig 16's capacity CDFs."""
-    env = environment or office_b()
-    cas_caps, das_caps = [], []
-
-    def build(topo_seed: int) -> dict | None:
-        try:
-            pair = eight_ap_scenario(env, seed=topo_seed, region_m=region_m)
-        except RuntimeError:
-            return None
-        cas_res = RoundBasedEvaluator(
-            pair[AntennaMode.CAS], MacMode.CAS, seed=topo_seed
-        ).run(rounds_per_topology)
-        das_res = RoundBasedEvaluator(
-            pair[AntennaMode.DAS], MacMode.MIDAS, seed=topo_seed
-        ).run(rounds_per_topology)
-        return {
-            "cas": cas_res.mean_capacity_bps_hz,
-            "das": das_res.mean_capacity_bps_hz,
-        }
-
-    for outcome in sweep_topologies(n_topologies, seed, build):
-        cas_caps.append(outcome["cas"])
-        das_caps.append(outcome["das"])
-
-    return ExperimentResult(
-        name="fig16",
-        description="8-AP 60x60 m network capacity (b/s/Hz)",
-        series={"cas": np.asarray(cas_caps), "midas": np.asarray(das_caps)},
-        params={
-            "n_topologies": n_topologies,
-            "seed": seed,
-            "rounds_per_topology": rounds_per_topology,
-            "region_m": region_m,
-        },
+    """Deprecated shim: run the registered ``fig16`` spec."""
+    return legacy_run(
+        "fig16",
+        n_topologies=n_topologies,
+        seed=seed,
+        environment=environment,
+        rounds_per_topology=rounds_per_topology,
+        region_m=region_m,
     )

@@ -14,12 +14,14 @@ from __future__ import annotations
 import numpy as np
 
 from .. import units
+from ..api.experiments import register_experiment
+from ..api.scenarios import resolve_environment
 from ..channel.pathloss import coverage_range_m
 from ..mac.carrier_sense import CarrierSenseModel
 from ..topology import geometry
 from ..topology.deployment import AntennaMode
-from ..topology.scenarios import OfficeEnvironment, hidden_terminal_scenario, office_b
-from .common import ExperimentResult, channel_for, sweep_topologies
+from ..topology.scenarios import hidden_terminal_scenario
+from .common import ExperimentResult, channel_for, legacy_run
 
 
 def hidden_spot_count(
@@ -60,54 +62,44 @@ def hidden_spot_count(
     return count
 
 
-def run(
-    n_topologies: int = 10,
-    seed: int = 0,
-    environment: OfficeEnvironment | None = None,
-    grid_step_m: float = 1.0,
-    interference_inr_db: float = 3.0,
-) -> ExperimentResult:
-    """Regenerate the §5.3.4 hidden-terminal statistic."""
-    env = environment or office_b()
+def _build(topo_seed: int, params: dict) -> dict | None:
+    env = resolve_environment(params["environment"])
     coverage = coverage_range_m(env.radio)
-
-    cas_counts, das_counts, removals = [], [], []
-
-    def build(topo_seed: int) -> dict | None:
-        pair = hidden_terminal_scenario(env, seed=topo_seed)
-        deployment = pair[AntennaMode.CAS].deployment
-        span = float(deployment.ap_positions[1, 0])
-        grid = geometry.grid_points(
-            (-coverage, span + coverage), (-coverage, coverage), grid_step_m
+    pair = hidden_terminal_scenario(env, seed=topo_seed)
+    deployment = pair[AntennaMode.CAS].deployment
+    span = float(deployment.ap_positions[1, 0])
+    grid = geometry.grid_points(
+        (-coverage, span + coverage), (-coverage, coverage), params["grid_step_m"]
+    )
+    out = {}
+    for mode in (AntennaMode.CAS, AntennaMode.DAS):
+        scenario = pair[mode]
+        model = channel_for(scenario, topo_seed)
+        if mode is AntennaMode.CAS:
+            # Enforce the paper's premise on the CAS deployment: the APs
+            # must NOT overhear each other.
+            sense = CarrierSenseModel(model.antenna_cross_power_dbm(), scenario.mac)
+            a_ants = scenario.deployment.antennas_of(0)
+            b_ants = scenario.deployment.antennas_of(1)
+            if any(
+                sense.decodes(int(x), int(y)) or sense.decodes(int(y), int(x))
+                for x in a_ants
+                for y in b_ants
+            ):
+                return None
+        out[mode.value] = hidden_spot_count(
+            scenario, model, grid, params["interference_inr_db"]
         )
-        out = {}
-        for mode in (AntennaMode.CAS, AntennaMode.DAS):
-            scenario = pair[mode]
-            model = channel_for(scenario, topo_seed)
-            if mode is AntennaMode.CAS:
-                # Enforce the paper's premise on the CAS deployment: the APs
-                # must NOT overhear each other.
-                sense = CarrierSenseModel(model.antenna_cross_power_dbm(), scenario.mac)
-                a_ants = scenario.deployment.antennas_of(0)
-                b_ants = scenario.deployment.antennas_of(1)
-                if any(
-                    sense.decodes(int(x), int(y)) or sense.decodes(int(y), int(x))
-                    for x in a_ants
-                    for y in b_ants
-                ):
-                    return None
-            out[mode.value] = hidden_spot_count(
-                scenario, model, grid, interference_inr_db
-            )
-        return out
+    return out
 
-    for outcome in sweep_topologies(n_topologies, seed, build):
-        cas_counts.append(outcome["cas"])
-        das_counts.append(outcome["das"])
-        removals.append(
-            1.0 - outcome["das"] / outcome["cas"] if outcome["cas"] > 0 else 0.0
-        )
 
+def _finalize(outcomes: list[dict], params: dict) -> ExperimentResult:
+    cas_counts = [o["cas"] for o in outcomes]
+    das_counts = [o["das"] for o in outcomes]
+    removals = [
+        1.0 - das / cas if cas > 0 else 0.0
+        for cas, das in zip(cas_counts, das_counts)
+    ]
     return ExperimentResult(
         name="hidden_terminals",
         description="Hidden-terminal spots per deployment (1 m grid)",
@@ -117,9 +109,41 @@ def run(
             "removal": np.asarray(removals),
         },
         params={
-            "n_topologies": n_topologies,
-            "seed": seed,
-            "grid_step_m": grid_step_m,
-            "interference_inr_db": interference_inr_db,
+            "n_topologies": params["n_topologies"],
+            "seed": params["seed"],
+            "grid_step_m": params["grid_step_m"],
+            "interference_inr_db": params["interference_inr_db"],
         },
+    )
+
+
+@register_experiment
+class HiddenTerminalsExperiment:
+    name = "hidden_terminals"
+    description = "Hidden-terminal spot removal, two-AP corridor (§5.3.4)"
+    defaults = {
+        "n_topologies": 10,
+        "environment": "office_b",
+        "grid_step_m": 1.0,
+        "interference_inr_db": 3.0,
+    }
+    build = staticmethod(_build)
+    finalize = staticmethod(_finalize)
+
+
+def run(
+    n_topologies: int = 10,
+    seed: int = 0,
+    environment=None,
+    grid_step_m: float = 1.0,
+    interference_inr_db: float = 3.0,
+) -> ExperimentResult:
+    """Deprecated shim: run the registered ``hidden_terminals`` spec."""
+    return legacy_run(
+        "hidden_terminals",
+        n_topologies=n_topologies,
+        seed=seed,
+        environment=environment,
+        grid_step_m=grid_step_m,
+        interference_inr_db=interference_inr_db,
     )

@@ -1,8 +1,14 @@
-"""Name -> experiment registry and a small CLI.
+"""Name -> experiment registry and the ``python -m repro.experiments`` CLI.
 
-Run any figure from the command line::
+The experiment table is no longer hand-maintained: importing this module
+imports every experiment module, each of which self-registers with
+``repro.api``'s experiment registry.  ``EXPERIMENTS`` here is a thin
+legacy view (name -> callable with the classic ``run(...)`` keyword
+interface); new code should build a :class:`repro.api.RunSpec` and execute
+it with :class:`repro.api.Runner`::
 
-    python -m repro.experiments fig09 --topologies 60 --seed 0
+    python -m repro.experiments fig09 --topologies 60 --seed 0 --jobs 4 \
+        --out results/fig09.json
 """
 
 from __future__ import annotations
@@ -10,7 +16,7 @@ from __future__ import annotations
 import argparse
 from typing import Callable
 
-from . import (
+from . import (  # noqa: F401  (imports trigger experiment registration)
     ablations,
     fig03_naive_drop,
     fig07_link_snr,
@@ -24,25 +30,32 @@ from . import (
     fig16_eight_ap,
     hidden_terminals,
 )
-from .common import ExperimentResult
+from ..api.registry import EXPERIMENTS as _API_EXPERIMENTS
+from ..api.registry import UnknownNameError
+from ..api.runner import Runner
+from ..api.spec import RunSpec
+from .common import ExperimentResult, legacy_run
 
+
+def _legacy_callable(name: str) -> Callable[..., ExperimentResult]:
+    def run(n_topologies=None, seed=0, environment=None, precoder=None, **params):
+        return legacy_run(
+            name,
+            n_topologies=n_topologies,
+            seed=seed,
+            environment=environment,
+            precoder=precoder,
+            **params,
+        )
+
+    run.__name__ = name
+    run.__doc__ = f"Deprecated shim: run the registered {name!r} spec."
+    return run
+
+
+#: Legacy view of the experiment registry (name -> classic run callable).
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
-    "fig03": fig03_naive_drop.run,
-    "fig07": fig07_link_snr.run,
-    "fig08": fig08_09_capacity.run_office_a,
-    "fig09": fig08_09_capacity.run_office_b,
-    "fig10": fig10_precoding_impact.run,
-    "fig11": fig11_vs_optimal.run,
-    "fig12": fig12_simultaneous_tx.run,
-    "fig13": fig13_deadzones.run,
-    "fig14": fig14_tagging.run,
-    "fig15": fig15_three_ap.run,
-    "fig16": fig16_eight_ap.run,
-    "hidden_terminals": hidden_terminals.run,
-    "ablation_tag_width": ablations.tag_width_sweep,
-    "ablation_das_radius": ablations.das_radius_sweep,
-    "ablation_precoders": ablations.precoder_comparison,
-    "ablation_csi_error": ablations.csi_error_sweep,
+    name: _legacy_callable(name) for name in _API_EXPERIMENTS.names()
 }
 
 
@@ -51,8 +64,7 @@ def get_experiment(name: str) -> Callable[..., ExperimentResult]:
     try:
         return EXPERIMENTS[name]
     except KeyError:
-        known = ", ".join(sorted(EXPERIMENTS))
-        raise KeyError(f"unknown experiment {name!r}; known: {known}") from None
+        raise UnknownNameError("experiment", name, sorted(EXPERIMENTS)) from None
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -63,11 +75,38 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("name", choices=sorted(EXPERIMENTS), help="experiment id")
     parser.add_argument("--topologies", type=int, default=None, help="topology count")
     parser.add_argument("--seed", type=int, default=0, help="root seed")
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = serial)"
+    )
+    parser.add_argument(
+        "--precoder",
+        default=None,
+        help="registered precoder override (experiments with a precoder parameter)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the result to PATH (.npz = binary, anything else JSON)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache results in DIR keyed by spec hash",
+    )
     args = parser.parse_args(argv)
 
-    kwargs: dict = {"seed": args.seed}
-    if args.topologies is not None:
-        kwargs["n_topologies"] = args.topologies
-    result = get_experiment(args.name)(**kwargs)
+    spec = RunSpec(
+        experiment=args.name,
+        n_topologies=args.topologies,
+        seed=args.seed,
+        precoder=args.precoder,
+    )
+    runner = Runner(jobs=args.jobs, cache_dir=args.cache_dir)
+    result = runner.run(spec)
     print(result.summary())
+    if args.out is not None:
+        path = result.save(args.out)
+        print(f"wrote {path}")
     return 0

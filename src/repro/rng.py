@@ -41,6 +41,18 @@ def derived_seed(root_seed: int, index: int) -> int:
     return int(np.random.SeedSequence((root_seed, index)).generate_state(1)[0])
 
 
+def derived_seeds(root_seed: int, start: int, count: int) -> list[int]:
+    """Batch of derived seeds for indices ``start .. start+count-1``.
+
+    Identical values to :func:`derived_seed` at each index (and hence to a
+    :func:`seed_stream` prefix), so batched sweeps reproduce serial ones
+    bit-for-bit.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return [derived_seed(root_seed, index) for index in range(start, start + count)]
+
+
 def seed_stream(root_seed: int) -> Iterator[int]:
     """Yield an unbounded stream of derived integer seeds from ``root_seed``."""
     counter = 0

@@ -41,12 +41,5 @@ def h_das(das_channel) -> np.ndarray:
     return das_channel.channel_matrix()
 
 
-def random_channel(seed: int, n_clients: int = 4, n_antennas: int = 4) -> np.ndarray:
-    """A well-conditioned random complex channel with DAS-like row scales."""
-    rng = np.random.default_rng(seed)
-    scales = 10 ** rng.uniform(-5.0, -3.0, size=(n_clients, 1))
-    fading = (
-        rng.standard_normal((n_clients, n_antennas))
-        + 1j * rng.standard_normal((n_clients, n_antennas))
-    ) / np.sqrt(2)
-    return scales * fading
+# Shared non-fixture helpers live in helpers.py; import them there
+# (``from helpers import random_channel``), not from this conftest.

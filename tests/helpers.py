@@ -1,0 +1,21 @@
+"""Shared non-fixture test helpers.
+
+Kept out of ``conftest.py`` so test modules can import them explicitly --
+``from conftest import ...`` is ambiguous when several conftests (tests/,
+benchmarks/) are on ``sys.path``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def random_channel(seed: int, n_clients: int = 4, n_antennas: int = 4) -> np.ndarray:
+    """A well-conditioned random complex channel with DAS-like row scales."""
+    rng = np.random.default_rng(seed)
+    scales = 10 ** rng.uniform(-5.0, -3.0, size=(n_clients, 1))
+    fading = (
+        rng.standard_normal((n_clients, n_antennas))
+        + 1j * rng.standard_normal((n_clients, n_antennas))
+    ) / np.sqrt(2)
+    return scales * fading

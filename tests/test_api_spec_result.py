@@ -1,0 +1,128 @@
+"""RunSpec validation/hashing and RunResult serialization round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.api import RunResult, RunSpec
+
+
+class TestRunSpecValidation:
+    def test_minimal_spec(self):
+        spec = RunSpec("fig03")
+        assert spec.experiment == "fig03"
+        assert spec.n_topologies is None and spec.seed == 0
+
+    def test_empty_experiment_rejected(self):
+        with pytest.raises(ValueError):
+            RunSpec("")
+
+    def test_bad_topology_count_rejected(self):
+        with pytest.raises(ValueError):
+            RunSpec("fig03", n_topologies=0)
+        with pytest.raises(ValueError):
+            RunSpec("fig03", n_topologies=2.5)
+
+    def test_bad_seed_rejected(self):
+        with pytest.raises(ValueError):
+            RunSpec("fig03", seed="zero")
+
+    def test_params_must_be_json_safe(self):
+        with pytest.raises(TypeError):
+            RunSpec("fig03", params={"model": object()})
+
+    def test_tuples_normalize_to_lists(self):
+        spec = RunSpec("fig09", params={"antenna_counts": (2, 4)})
+        assert spec.params["antenna_counts"] == [2, 4]
+
+    def test_replace(self):
+        spec = RunSpec("fig03", seed=1)
+        assert spec.replace(seed=2).seed == 2
+        assert spec.seed == 1
+
+
+class TestRunSpecHashing:
+    def test_round_trip_through_dict(self):
+        spec = RunSpec("fig09", n_topologies=5, seed=3, precoder="wmmse",
+                       params={"antenna_counts": [2]})
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError):
+            RunSpec.from_dict({"experiment": "fig03", "jobs": 4})
+
+    def test_hash_is_stable(self):
+        a = RunSpec("fig03", n_topologies=4, seed=1)
+        b = RunSpec("fig03", n_topologies=4, seed=1)
+        assert a.spec_hash() == b.spec_hash()
+
+    def test_specs_usable_in_sets_and_dicts(self):
+        a = RunSpec("fig03", seed=1, params={"n_antennas": 4})
+        b = RunSpec("fig03", seed=1, params={"n_antennas": 4})
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_hash_differs_on_any_field(self):
+        base = RunSpec("fig03", n_topologies=4, seed=1)
+        assert base.spec_hash() != base.replace(seed=2).spec_hash()
+        assert base.spec_hash() != base.replace(n_topologies=5).spec_hash()
+        assert base.spec_hash() != RunSpec("fig07", n_topologies=4, seed=1).spec_hash()
+
+
+def _result() -> RunResult:
+    return RunResult(
+        name="toy",
+        description="round-trip fixture",
+        series={
+            "a": np.array([1.0, 2.0, 3.0]),
+            "flags": np.array([True, False]),
+        },
+        params={"n_topologies": 3, "seed": 0, "widths": [1, 2]},
+        notes={"example": {"points": np.arange(6, dtype=float).reshape(3, 2)}},
+        spec=RunSpec("fig03", n_topologies=3),
+    )
+
+
+class TestRunResultJson:
+    def test_json_round_trip(self):
+        original = _result()
+        restored = RunResult.from_json(original.to_json())
+        assert restored.name == original.name
+        assert restored.spec == original.spec
+        assert restored.params == original.params
+        for key in original.series:
+            np.testing.assert_array_equal(restored.series[key], original.series[key])
+            assert restored.series[key].dtype == original.series[key].dtype
+        np.testing.assert_array_equal(
+            restored.notes["example"]["points"], original.notes["example"]["points"]
+        )
+
+    def test_bad_version_rejected(self):
+        text = _result().to_json().replace('"format_version": 1', '"format_version": 99')
+        with pytest.raises(ValueError):
+            RunResult.from_json(text)
+
+
+class TestRunResultFiles:
+    def test_npz_round_trip(self, tmp_path):
+        original = _result()
+        path = original.save_npz(tmp_path / "r.npz")
+        restored = RunResult.load_npz(path)
+        for key in original.series:
+            np.testing.assert_array_equal(restored.series[key], original.series[key])
+        assert restored.spec == original.spec
+        np.testing.assert_array_equal(
+            restored.notes["example"]["points"], original.notes["example"]["points"]
+        )
+
+    def test_save_dispatches_on_suffix(self, tmp_path):
+        original = _result()
+        json_path = original.save(tmp_path / "r.json")
+        npz_path = original.save(tmp_path / "r.npz")
+        assert RunResult.load(json_path).name == "toy"
+        assert RunResult.load(npz_path).name == "toy"
+
+    def test_summary_still_works(self):
+        # RunResult keeps the full ExperimentResult analysis surface.
+        result = _result()
+        assert "toy" in result.summary()
+        assert result.median("a") == 2.0

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from conftest import random_channel
+from helpers import random_channel
 from repro.core.naive import naive_scaled_precoder
 from repro.core.optimal import full_optimal_precoder, optimal_power_allocation
 from repro.core.power_balance import power_balanced_precoder

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from conftest import random_channel
+from helpers import random_channel
 from repro.core.naive import naive_scaled_precoder
 from repro.core.power_balance import power_balanced_precoder
 from repro.core.zfbf import zf_interference_leakage

@@ -47,3 +47,23 @@ class TestSeedStream:
         a = list(itertools.islice(rng_mod.seed_stream(1), 4))
         b = list(itertools.islice(rng_mod.seed_stream(2), 4))
         assert a != b
+
+
+class TestDerivedSeeds:
+    def test_batch_matches_stream_prefix(self):
+        batch = rng_mod.derived_seeds(9, 0, 6)
+        assert batch == list(itertools.islice(rng_mod.seed_stream(9), 6))
+
+    def test_offset_batch_matches_indices(self):
+        assert rng_mod.derived_seeds(9, 3, 4) == [
+            rng_mod.derived_seed(9, i) for i in range(3, 7)
+        ]
+
+    def test_empty_batch(self):
+        assert rng_mod.derived_seeds(0, 0, 0) == []
+
+    def test_negative_count_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            rng_mod.derived_seeds(0, 0, -1)

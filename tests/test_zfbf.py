@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from conftest import random_channel
+from helpers import random_channel
 from repro.core.zfbf import zf_interference_leakage, zfbf_directions, zfbf_equal_power
 from repro.phy.capacity import per_stream_column_power
 
