@@ -21,10 +21,11 @@ name in pluggable registries:
 >>> result.spec.experiment
 'fig03'
 
-Scale up with worker processes and cache results on disk keyed by a hash
-of the fully resolved parameters::
+Scale up with the vectorized backend (whole topology batches as stacked
+array math, bit-identical to the loop path) or worker processes, and cache
+results on disk keyed by a hash of the fully resolved parameters::
 
-    runner = Runner(jobs=8, cache_dir="results/cache")
+    runner = Runner(backend="vectorized", cache_dir="results/cache")
     result = runner.run(RunSpec("fig09", n_topologies=60, precoder="wmmse"))
     result.save("results/fig09.npz")          # or .json; round-trips losslessly
 
@@ -49,12 +50,14 @@ from .api import (
     RunSpec,
     UnknownNameError,
     experiment_names,
+    register_batch_precoder,
     register_environment,
     register_experiment,
     register_precoder,
     register_scenario,
 )
 from .channel import ChannelModel, ChannelTrace, coverage_range_m, cs_range_m, record_trace
+from .channel.batch import ChannelBatch
 from .config import MacConfig, MidasConfig, RadioConfig, SimConfig
 from .core import (
     DeficitRoundRobin,
@@ -93,10 +96,12 @@ __all__ = [
     "RunSpec",
     "UnknownNameError",
     "experiment_names",
+    "register_batch_precoder",
     "register_environment",
     "register_experiment",
     "register_precoder",
     "register_scenario",
+    "ChannelBatch",
     "ChannelModel",
     "ChannelTrace",
     "coverage_range_m",

@@ -20,8 +20,14 @@ from .experiments import (
     load_builtin_experiments,
     register_experiment,
 )
-from .precoders import capacity_for, precoder_matrix
+from .precoders import (
+    capacity_for,
+    capacity_for_batch,
+    precoder_matrix,
+    precoder_matrix_batch,
+)
 from .registry import (
+    BATCH_PRECODERS,
     ENVIRONMENTS,
     EXPERIMENTS,
     PRECODERS,
@@ -29,6 +35,7 @@ from .registry import (
     DuplicateNameError,
     Registry,
     UnknownNameError,
+    register_batch_precoder,
     register_environment,
     register_precoder,
     register_scenario,
@@ -45,7 +52,10 @@ __all__ = [
     "load_builtin_experiments",
     "register_experiment",
     "capacity_for",
+    "capacity_for_batch",
     "precoder_matrix",
+    "precoder_matrix_batch",
+    "BATCH_PRECODERS",
     "ENVIRONMENTS",
     "EXPERIMENTS",
     "PRECODERS",
@@ -53,6 +63,7 @@ __all__ = [
     "DuplicateNameError",
     "Registry",
     "UnknownNameError",
+    "register_batch_precoder",
     "register_environment",
     "register_precoder",
     "register_scenario",

@@ -10,21 +10,32 @@ An experiment is a pair of pure functions over plain parameter dicts:
 ``finalize(outcomes, params) -> ExperimentResult``
     Reduce the accepted per-topology outcomes into named series.
 
+An experiment may additionally provide a *batched* build hook:
+
+``build_batch(topo_seeds, params) -> list[dict | None]``
+    Evaluate a whole batch of topology seeds at once (stacked channel
+    synthesis + batched linear algebra), returning one outcome per seed in
+    order, ``None`` for rejected draws.  The contract is bit-identity:
+    entry ``i`` must equal ``build(topo_seeds[i], params)`` exactly.  The
+    runner uses this hook when constructed with ``backend="vectorized"``
+    and falls back to per-topology ``build`` calls when it is absent.
+
 Modules register experiments with the :func:`register_experiment`
 decorator, either on an :class:`ExperimentDef` factory call or on a class
 carrying ``name``/``description``/``defaults``/``build``/``finalize``
-attributes.
+(and optionally ``build_batch``) attributes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Mapping, Sequence
 
 from .registry import EXPERIMENTS
 from .result import ExperimentResult
 
 BuildFn = Callable[[int, dict], "dict | None"]
+BatchBuildFn = Callable[[Sequence[int], dict], "list[dict | None]"]
 FinalizeFn = Callable[[list, dict], ExperimentResult]
 
 _RESERVED_PARAMS = {"seed"}
@@ -39,6 +50,7 @@ class ExperimentDef:
     build: BuildFn
     finalize: FinalizeFn
     defaults: Mapping[str, Any] = field(default_factory=dict)
+    build_batch: BatchBuildFn | None = None
 
     def __post_init__(self):
         if "n_topologies" not in self.defaults:
@@ -76,6 +88,7 @@ def register_experiment(obj):
             build=obj.build,
             finalize=obj.finalize,
             defaults=dict(obj.defaults),
+            build_batch=getattr(obj, "build_batch", None),
         )
     EXPERIMENTS.add(defn.name, defn)
     return obj

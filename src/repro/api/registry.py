@@ -92,8 +92,9 @@ class Registry(Generic[T]):
         return f"Registry({self.kind!r}, {self.names()})"
 
 
-#: The four built-in registries backing the public API.
+#: The built-in registries backing the public API.
 PRECODERS: Registry = Registry("precoder")
+BATCH_PRECODERS: Registry = Registry("batched precoder")
 SCENARIOS: Registry = Registry("scenario")
 ENVIRONMENTS: Registry = Registry("environment")
 EXPERIMENTS: Registry = Registry("experiment")
@@ -102,6 +103,16 @@ EXPERIMENTS: Registry = Registry("experiment")
 def register_precoder(name: str):
     """Register ``fn(h, per_antenna_power_mw, noise_mw) -> v`` as a precoder."""
     return PRECODERS.register(name)
+
+
+def register_batch_precoder(name: str):
+    """Register the *batched* implementation of precoder ``name``.
+
+    The callable takes a stacked channel ``(batch, n_clients, n_antennas)``
+    and must return precoders bit-identical, slice for slice, to the scalar
+    registration under the same name (the vectorized backend's contract).
+    """
+    return BATCH_PRECODERS.register(name)
 
 
 def register_scenario(name: str):

@@ -2,16 +2,25 @@
 
 The runner owns everything the declarative spec deliberately leaves out:
 
+* **backend** -- ``"loop"`` (default) evaluates one topology at a time;
+  ``"vectorized"`` hands whole seed batches to the experiment's
+  ``build_batch`` hook, which evaluates all draws as stacked arrays
+  (batched channel synthesis + broadcasting linalg precoders).  Both
+  backends walk the same derived-seed stream and are **bit-identical**;
+  experiments without a batch hook silently fall back to the loop path;
 * **parallelism** -- per-topology evaluations fan out over a
   ``ProcessPoolExecutor`` when ``jobs > 1``; topology seeds are drawn in
   vectorized batches from the same derived-seed stream the serial path
   walks, and outcomes are accepted in stream order, so ``jobs=1`` and
-  ``jobs=N`` produce bit-identical series for a fixed seed;
+  ``jobs=N`` produce bit-identical series for a fixed seed (``jobs`` only
+  applies to the loop path -- the vectorized backend is in-process, its
+  parallelism is the array math itself);
 * **rejection sampling** -- experiments may reject topologies (placement
   constraints); the runner keeps drawing seed batches until the requested
   count is met (with the classic generous attempt cap);
 * **caching** -- with a ``cache_dir``, results are persisted as JSON keyed
-  by a hash of the fully resolved parameters and reloaded on a hit.
+  by a hash of the fully resolved parameters and reloaded on a hit (the
+  backend is deliberately *not* part of the key: backends are bit-equal).
 """
 
 from __future__ import annotations
@@ -78,6 +87,13 @@ def _build_one(experiment: str, topo_seed: int, params: dict):
     return defn.build(topo_seed, params)
 
 
+#: Seeds per round under the vectorized backend (when ``batch_size`` is
+#: unset).  Large enough that a typical sweep runs as one stacked batch.
+_VECTORIZED_BATCH_CAP = 1024
+
+_BACKENDS = ("loop", "vectorized")
+
+
 @dataclass
 class Runner:
     """Executes :class:`RunSpec`\\ s; one instance can serve many specs.
@@ -85,24 +101,35 @@ class Runner:
     Parameters
     ----------
     jobs:
-        Worker process count; ``1`` (default) runs in-process.
+        Worker process count; ``1`` (default) runs in-process.  Only the
+        loop backend fans out over processes.
     cache_dir:
         Directory for on-disk result caching keyed by spec hash, or
         ``None`` (default) to disable caching.
     batch_size:
         Upper bound on topology seeds scheduled per round; defaults to
-        ``max(8, 4*jobs)``.  Affects scheduling only, never results.
+        ``max(8, 4*jobs)`` for the loop backend and 1024 for the
+        vectorized one.  Affects scheduling only, never results.
+    backend:
+        ``"loop"`` (default) or ``"vectorized"``.  Bit-identical results;
+        the vectorized backend evaluates stacked topology batches through
+        the experiment's ``build_batch`` hook when it defines one.
     """
 
     jobs: int = 1
     cache_dir: str | Path | None = None
     batch_size: int | None = None
+    backend: str = "loop"
 
     def __post_init__(self):
         if self.jobs < 1:
             raise ValueError("Runner.jobs must be >= 1")
         if self.batch_size is not None and self.batch_size < 1:
             raise ValueError("Runner.batch_size must be >= 1")
+        if self.backend not in _BACKENDS:
+            raise ValueError(
+                f"Runner.backend must be one of {_BACKENDS}, got {self.backend!r}"
+            )
 
     def run(self, spec: RunSpec) -> RunResult:
         """Execute ``spec`` (or load it from cache) into a :class:`RunResult`."""
@@ -151,7 +178,13 @@ class Runner:
             raise ValueError("need at least one topology")
         root_seed = int(params["seed"])
         max_attempts = max(200, 80 * n)
-        batch_cap = self.batch_size or max(8, 4 * self.jobs)
+        vectorized = self.backend == "vectorized" and defn.build_batch is not None
+        if self.batch_size is not None:
+            batch_cap = self.batch_size
+        elif vectorized:
+            batch_cap = _VECTORIZED_BATCH_CAP
+        else:
+            batch_cap = max(8, 4 * self.jobs)
 
         accepted: list = []
         attempts = 0
@@ -165,7 +198,9 @@ class Runner:
                 count = min(target, batch_cap, max_attempts - attempts)
                 seeds = rng_mod.derived_seeds(root_seed, attempts, count)
                 attempts += count
-                if self.jobs > 1:
+                if vectorized:
+                    outcomes = defn.build_batch(seeds, params)
+                elif self.jobs > 1:
                     if executor is None:
                         executor = ProcessPoolExecutor(max_workers=self.jobs)
                     outcomes = executor.map(

@@ -5,6 +5,7 @@ Replaces the paper's physical offices: log-distance path loss, log-normal
 Gauss-Markov time evolution, and channel-trace record/replay.
 """
 
+from .batch import ChannelBatch, stacked_correlation
 from .fading import (
     FadingProcess,
     angular_spread_correlation,
@@ -18,6 +19,8 @@ from .shadowing import ShadowingField, group_antenna_sites
 from .traces import ChannelTrace, record_trace
 
 __all__ = [
+    "ChannelBatch",
+    "stacked_correlation",
     "FadingProcess",
     "angular_spread_correlation",
     "correlation_for",

@@ -1,0 +1,249 @@
+"""Batched channel synthesis: N topology draws evaluated as stacked arrays.
+
+:class:`ChannelBatch` is the vectorized mirror of N independent
+:class:`~repro.channel.model.ChannelModel` instances.  Deterministic
+propagation terms -- path loss, wall attenuation, cable loss -- are computed
+over the whole ``(batch, n_rx, n_tx)`` stack in single array expressions;
+stochastic terms (shadowing lattice nodes, fading innovations) are drawn
+from exactly the per-topology generator trees the scalar model builds, so
+every per-item result is **bit-identical** to constructing the matching
+``ChannelModel`` one topology at a time.  That equality is the contract the
+``Runner``'s ``backend="vectorized"`` path relies on (and the equivalence
+suite asserts).
+
+Shape convention: batch axes lead, matrix axes trail --
+
+* channel stacks are ``(batch, n_clients, n_antennas)`` complex,
+* gain/power maps are ``(batch, n_points, n_antennas)`` dB/dBm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import j0
+
+from .. import rng as rng_mod
+from .. import units
+from ..config import RadioConfig
+from ..topology import geometry
+from . import walls
+from .fading import _project_psd, correlation_sqrt, sample_fading
+from .pathloss import LogDistancePathLoss
+from .shadowing import ShadowingField, group_antenna_sites
+
+
+def stacked_correlation(
+    antenna_positions: np.ndarray,
+    wavelength_m: float,
+    angular_spread_deg: float | None,
+) -> np.ndarray:
+    """Tx-side fading correlation for a stack of antenna layouts.
+
+    Same formulas as :func:`repro.channel.fading.correlation_for`, evaluated
+    over ``(batch, n_tx, 2)`` positions at once (stacked ``eigh`` for the
+    PSD projection); bit-identical per slice.
+    """
+    pts = geometry.as_point_stack(antenna_positions)
+    dists = geometry.stacked_pairwise_distances(pts, pts)
+    if angular_spread_deg is None:
+        corr = j0(2.0 * np.pi * dists / wavelength_m)
+    else:
+        if angular_spread_deg <= 0:
+            raise ValueError("angular_spread_deg must be positive")
+        sigma = np.radians(angular_spread_deg)
+        corr = np.exp(-2.0 * (np.pi * dists * sigma / wavelength_m) ** 2)
+    return _project_psd(corr)
+
+
+class ChannelBatch:
+    """Composite indoor channel for a batch of same-shape deployments.
+
+    Parameters
+    ----------
+    deployments:
+        One :class:`~repro.topology.deployment.Deployment` per topology
+        draw; all must share the same ``(n_clients, n_antennas)`` so the
+        batch stacks into rectangular arrays.
+    radio:
+        Radio constants shared by the whole batch (one environment).
+    seeds:
+        One seed per deployment.  Item ``i`` consumes randomness exactly
+        like ``ChannelModel(deployments[i], radio, seed=seeds[i])``.
+    """
+
+    def __init__(self, deployments, radio: RadioConfig, seeds):
+        deployments = list(deployments)
+        seeds = list(seeds)
+        if len(deployments) != len(seeds):
+            raise ValueError("need one seed per deployment")
+        if not deployments:
+            raise ValueError("need at least one deployment")
+        shapes = {(d.n_clients, d.n_antennas) for d in deployments}
+        if len(shapes) > 1:
+            raise ValueError(
+                f"deployments must share one (n_clients, n_antennas) shape to "
+                f"batch; got {sorted(shapes)}"
+            )
+        self.deployments = deployments
+        self.radio = radio
+        self.n_items = len(deployments)
+
+        self._pathloss = LogDistancePathLoss.from_radio(radio)
+        self._sensing_pathloss = LogDistancePathLoss(
+            exponent=radio.sensing_pathloss_exponent,
+            reference_distance_m=self._pathloss.reference_distance_m,
+            reference_loss_db=self._pathloss.reference_loss_db,
+        )
+
+        # Per-item generator trees, spawned exactly like ChannelModel's.
+        self._site_fields: list[list[ShadowingField]] = []
+        self._site_of_antenna: list[np.ndarray] = []
+        fading_rngs = []
+        for deployment, seed in zip(deployments, seeds):
+            root = rng_mod.make_rng(seed)
+            shadow_rng, fading_rng = rng_mod.spawn(root, 2)
+            site_of = group_antenna_sites(deployment.antenna_positions)
+            n_sites = int(site_of.max()) + 1 if deployment.n_antennas else 0
+            site_rngs = rng_mod.spawn(shadow_rng, max(n_sites, 1))
+            self._site_of_antenna.append(site_of)
+            self._site_fields.append(
+                [
+                    ShadowingField(
+                        site_rngs[s],
+                        radio.shadowing_sigma_db,
+                        radio.shadowing_correlation_m,
+                    )
+                    for s in range(n_sites)
+                ]
+            )
+            fading_rngs.append(fading_rng)
+        self._fading_rngs = fading_rngs
+
+        # Stacked geometry and deterministic propagation terms.
+        self._antennas = np.stack([d.antenna_positions for d in deployments])
+        self._clients = np.stack([d.client_positions for d in deployments])
+        ap_of_antenna = np.stack(
+            [d.ap_positions[d.antenna_ap] for d in deployments]
+        )
+        cable_lengths = np.linalg.norm(self._antennas - ap_of_antenna, axis=-1)
+        self._cable_loss_db = radio.cable_loss_db_per_m * cable_lengths
+
+        # Stacked tx-side fading correlation and the initial fading state.
+        # Innovations are the only random draws here and come from each
+        # item's own fading generator, in the scalar construction order.
+        self._corr_sqrt = correlation_sqrt(
+            stacked_correlation(
+                self._antennas, radio.wavelength_m, radio.angular_spread_deg
+            )
+        )
+        self._state = self._innovation()
+        self._time_s = 0.0
+
+        self._client_gain_db = self.large_scale_gain_db(self._clients)
+
+    # ------------------------------------------------------------------
+    # Large-scale propagation
+    # ------------------------------------------------------------------
+    def shadowing_db(self, rx_points) -> np.ndarray:
+        """Stacked shadowing ``(batch, n_points, n_antennas)``.
+
+        ``rx_points`` is either one shared ``(n_points, 2)`` set (survey
+        grids) or a per-item ``(batch, n_points, 2)`` stack.  Lattice draws
+        happen per item in site order, matching the scalar model.
+        """
+        pts = geometry.as_point_stack(rx_points)
+        shared = pts.ndim == 2
+        n_points = pts.shape[-2]
+        n_antennas = self._antennas.shape[1]
+        shadow = np.zeros((self.n_items, n_points, n_antennas))
+        for b in range(self.n_items):
+            item_pts = pts if shared else pts[b]
+            site_of = self._site_of_antenna[b]
+            for site, field in enumerate(self._site_fields[b]):
+                columns = np.flatnonzero(site_of == site)
+                if columns.size:
+                    shadow[b][:, columns] = field.sample(item_pts)[:, None]
+        return shadow
+
+    def large_scale_gain_db(self, rx_points) -> np.ndarray:
+        """Median channel gain in dB, ``(batch, n_points, n_antennas)``;
+        the stacked mirror of ``ChannelModel.large_scale_gain_db``."""
+        pts = geometry.as_point_stack(rx_points)
+        dists = geometry.stacked_pairwise_distances(pts, self._antennas)
+        gain = -self._pathloss.loss_db(dists)
+        if self.radio.wall_loss_db > 0:
+            gain = gain - walls.wall_loss_db(
+                pts,
+                self._antennas,
+                self.radio.wall_spacing_m,
+                self.radio.wall_loss_db,
+                max_walls=self.radio.max_wall_count,
+            )
+        gain += self.shadowing_db(pts)
+        gain -= self._cable_loss_db[:, None, :]
+        return gain
+
+    @property
+    def cable_loss_db(self) -> np.ndarray:
+        """Per-item, per-antenna feed-cable attenuation ``(batch, n_antennas)``."""
+        return self._cable_loss_db.copy()
+
+    def client_gain_db(self) -> np.ndarray:
+        """Cached client gains ``(batch, n_clients, n_antennas)``."""
+        return self._client_gain_db
+
+    def rx_power_dbm(self, rx_points) -> np.ndarray:
+        """Stacked large-scale received power (dBm) at ``rx_points``."""
+        return self.radio.per_antenna_power_dbm + self.large_scale_gain_db(rx_points)
+
+    def client_rx_power_dbm(self) -> np.ndarray:
+        """Stacked large-scale client RSSI (dBm), from the cached gains."""
+        return self.radio.per_antenna_power_dbm + self._client_gain_db
+
+    def snr_db_map(self, rx_points=None) -> np.ndarray:
+        """Stacked large-scale SNR (dB); defaults to the client positions
+        (via the cached gains, like the scalar model's repeated sampling --
+        lattice nodes are cached, so no generator state diverges)."""
+        noise_dbm = units.mw_to_dbm(self.radio.noise_mw)
+        if rx_points is None:
+            return self.client_rx_power_dbm() - noise_dbm
+        return self.rx_power_dbm(rx_points) - noise_dbm
+
+    # ------------------------------------------------------------------
+    # Small-scale channel
+    # ------------------------------------------------------------------
+    @property
+    def time_s(self) -> float:
+        """Current simulation time of the batch's fading processes."""
+        return self._time_s
+
+    def _innovation(self) -> np.ndarray:
+        n_clients = self._clients.shape[1]
+        n_antennas = self._antennas.shape[1]
+        white = np.stack(
+            [
+                sample_fading(rng, n_clients, n_antennas, self.radio.rician_k)
+                for rng in self._fading_rngs
+            ]
+        )
+        return white @ np.swapaxes(self._corr_sqrt, -1, -2)
+
+    def channel_matrices(self) -> np.ndarray:
+        """Instantaneous stacked ``H`` of shape
+        ``(batch, n_clients, n_antennas)``."""
+        amplitude = np.sqrt(units.db_to_linear(np.asarray(self._client_gain_db)))
+        return amplitude * self._state
+
+    def advance(self, dt_s: float) -> None:
+        """Advance every item's fading process by ``dt_s`` seconds."""
+        if dt_s < 0:
+            raise ValueError("dt_s must be non-negative")
+        if dt_s == 0 or self.radio.doppler_hz == 0:
+            self._time_s += dt_s
+            return
+        rho = float(j0(2.0 * np.pi * self.radio.doppler_hz * dt_s))
+        rho = float(np.clip(rho, -1.0, 1.0))
+        self._state = rho * self._state + np.sqrt(
+            max(0.0, 1.0 - rho * rho)
+        ) * self._innovation()
+        self._time_s += dt_s

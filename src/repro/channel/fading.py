@@ -22,10 +22,10 @@ from ..topology import geometry
 
 
 def _project_psd(matrix: np.ndarray) -> np.ndarray:
-    """Clip a symmetric matrix to its positive-semidefinite cone."""
+    """Clip a symmetric matrix (or a stack of them) to the PSD cone."""
     eigvals, eigvecs = np.linalg.eigh(matrix)
     eigvals = np.clip(eigvals, 0.0, None)
-    return (eigvecs * eigvals) @ eigvecs.conj().T
+    return (eigvecs * eigvals[..., None, :]) @ np.conj(np.swapaxes(eigvecs, -1, -2))
 
 
 def jakes_correlation(antenna_positions, wavelength_m: float) -> np.ndarray:
@@ -73,10 +73,12 @@ def correlation_for(
 
 
 def correlation_sqrt(correlation: np.ndarray) -> np.ndarray:
-    """Symmetric PSD square root of a correlation matrix."""
+    """Symmetric PSD square root of a correlation matrix (or a stack)."""
     eigvals, eigvecs = np.linalg.eigh(correlation)
     eigvals = np.clip(eigvals, 0.0, None)
-    return (eigvecs * np.sqrt(eigvals)) @ eigvecs.conj().T
+    return (eigvecs * np.sqrt(eigvals)[..., None, :]) @ np.conj(
+        np.swapaxes(eigvecs, -1, -2)
+    )
 
 
 def sample_fading(

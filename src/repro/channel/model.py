@@ -101,6 +101,22 @@ class ChannelModel:
     # ------------------------------------------------------------------
     # Large-scale propagation
     # ------------------------------------------------------------------
+    def shadowing_db(self, rx_points) -> np.ndarray:
+        """Shadowing toward each antenna at each point, ``(n_points, n_antennas)``.
+
+        Sampled once per shadowing *site* and broadcast to that site's
+        antennas (a CAS array shares one field), which vectorizes the old
+        per-antenna loop without changing any generator draw: sites are
+        visited in first-antenna order, exactly as the loop did.
+        """
+        pts = geometry.as_points(rx_points)
+        shadow = np.zeros((len(pts), self.deployment.n_antennas))
+        for site, field in enumerate(self._site_fields):
+            columns = np.flatnonzero(self._site_of_antenna == site)
+            if columns.size:
+                shadow[:, columns] = field.sample(pts)[:, None]
+        return shadow
+
     def large_scale_gain_db(self, rx_points) -> np.ndarray:
         """Median channel gain (``-PL - walls + shadowing``) in dB from every
         antenna to every receive point; shape ``(n_points, n_antennas)``."""
@@ -115,9 +131,7 @@ class ChannelModel:
                 self.radio.wall_loss_db,
                 max_walls=self.radio.max_wall_count,
             )
-        for k in range(self.deployment.n_antennas):
-            field = self._site_fields[self._site_of_antenna[k]]
-            gain[:, k] += field.sample(pts)
+        gain += self.shadowing_db(pts)
         gain -= self._cable_loss_db[None, :]
         return gain
 
@@ -166,9 +180,7 @@ class ChannelModel:
                 self.radio.wall_loss_db,
                 max_walls=self.radio.max_wall_count,
             )
-        for k in range(self.deployment.n_antennas):
-            field = self._site_fields[self._site_of_antenna[k]]
-            gain[:, k] += field.sample(pts)
+        gain += self.shadowing_db(pts)
         gain -= self._cable_loss_db[None, :]  # transmitter's feed
         gain -= self._cable_loss_db[:, None]  # sensing antenna's own feed
         power = self.radio.per_antenna_power_dbm + gain

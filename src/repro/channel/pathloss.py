@@ -8,6 +8,7 @@ around 3.5 (enterprise, Office A) to 4.0 (crowded lab, Office B).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -49,12 +50,17 @@ class LogDistancePathLoss:
         )
 
 
+@lru_cache(maxsize=256)
 def _range_for_budget(radio: RadioConfig, budget_db: float, sensing: bool = False) -> float:
     """Distance at which the *average* loss (log-distance + expected wall
     attenuation) reaches ``budget_db``; monotone, solved by bisection.
 
     ``sensing=True`` selects the cleaner elevated-path exponent used for
     antenna-to-antenna links.
+
+    Memoized: every topology draw of a sweep asks for the same handful of
+    (radio, budget) ranges, and ``RadioConfig`` is frozen/hashable, so the
+    80-step bisection runs once per distinct query instead of per draw.
     """
     from .walls import mean_wall_loss_db  # local import avoids a cycle
 

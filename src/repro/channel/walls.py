@@ -31,15 +31,19 @@ def wall_crossings(points_a, points_b, spacing_m: float) -> np.ndarray:
 
     Returns an ``(len(a), len(b))`` integer array.  Points exactly on a wall
     line belong to the cell to their right/top (numpy floor semantics).
+
+    Both inputs may carry leading batch axes (``(..., n, 2)``): the count is
+    then computed per batch slice, which is how the vectorized backend
+    evaluates every topology draw in one call.
     """
     if spacing_m <= 0:
         raise ValueError("spacing_m must be positive")
-    pa = geometry.as_points(points_a)
-    pb = geometry.as_points(points_b)
+    pa = geometry.as_point_stack(points_a)
+    pb = geometry.as_point_stack(points_b)
     cell_a = np.floor(pa / spacing_m).astype(int)
     cell_b = np.floor(pb / spacing_m).astype(int)
-    dx = np.abs(cell_a[:, None, 0] - cell_b[None, :, 0])
-    dy = np.abs(cell_a[:, None, 1] - cell_b[None, :, 1])
+    dx = np.abs(cell_a[..., :, None, 0] - cell_b[..., None, :, 0])
+    dy = np.abs(cell_a[..., :, None, 1] - cell_b[..., None, :, 1])
     return dx + dy
 
 
@@ -62,9 +66,10 @@ def wall_loss_db(
     if max_walls < 1:
         raise ValueError("max_walls must be at least 1")
     if loss_per_wall_db == 0.0:
-        pa = geometry.as_points(points_a)
-        pb = geometry.as_points(points_b)
-        return np.zeros((len(pa), len(pb)))
+        pa = geometry.as_point_stack(points_a)
+        pb = geometry.as_point_stack(points_b)
+        batch = np.broadcast_shapes(pa.shape[:-2], pb.shape[:-2])
+        return np.zeros(batch + (pa.shape[-2], pb.shape[-2]))
     crossings = np.minimum(wall_crossings(points_a, points_b, spacing_m), max_walls)
     return crossings * loss_per_wall_db
 

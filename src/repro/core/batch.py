@@ -1,0 +1,394 @@
+"""Batched linear-algebra precoders over stacked channel matrices.
+
+Every function mirrors its scalar sibling in :mod:`repro.core` but operates
+on a *stack* of channels ``(batch, n_clients, n_antennas)`` at once, using
+NumPy's broadcasting ``linalg`` (stacked ``svd``/``pinv``/``eigh``/matmul
+loop over the trailing two axes inside one call).  The contract -- asserted
+by the equivalence suite -- is **bit-identity**: slice ``i`` of every output
+equals the scalar function applied to slice ``i`` of the input, including
+the data-dependent control flow of the power-balancing iteration and the
+reverse water-filling bisection, which run with per-item masks that freeze
+an item the same round the scalar loop would exit.
+
+This is the heart of the ``backend="vectorized"`` Runner path: Monte-Carlo
+sweeps spend their time in many tiny (4x4-ish) matrix problems, where the
+Python dispatch overhead of one-matrix-at-a-time evaluation dwarfs the
+arithmetic; stacking turns the sweep into a handful of LAPACK gufunc calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..phy.capacity import per_antenna_row_power, stream_sinrs
+from .waterfill import _BUDGET_RTOL
+
+
+def _as_channel_stack(h) -> np.ndarray:
+    h = np.asarray(h, dtype=complex)
+    if h.ndim < 3:
+        raise ValueError(
+            f"expected a stacked channel (batch, n_clients, n_antennas); "
+            f"got shape {h.shape} (use repro.core for single matrices)"
+        )
+    return h
+
+
+# ----------------------------------------------------------------------
+# ZFBF and the naive repair
+# ----------------------------------------------------------------------
+def zfbf_directions(h, rcond: float = 1e-12) -> np.ndarray:
+    """Stacked unit-norm ZFBF columns (see :func:`repro.core.zfbf.zfbf_directions`).
+
+    Raises :class:`numpy.linalg.LinAlgError` if *any* item is numerically
+    rank deficient -- matching the loop backend, where the first offending
+    topology aborts the sweep.
+    """
+    h = _as_channel_stack(h)
+    n_clients, n_antennas = h.shape[-2:]
+    if n_clients > n_antennas:
+        raise ValueError(
+            f"ZFBF needs n_clients <= n_antennas, got {n_clients} > {n_antennas}"
+        )
+    if n_clients == 0:
+        raise ValueError("need at least one client")
+    singular_values = np.linalg.svd(h, compute_uv=False)
+    if np.any(singular_values[..., -1] <= rcond * singular_values[..., 0]):
+        raise np.linalg.LinAlgError(
+            "a channel matrix in the batch is (numerically) rank deficient; "
+            "zero-forcing cannot separate these clients"
+        )
+    v = np.linalg.pinv(h, rcond=rcond)
+    norms = np.linalg.norm(v, axis=-2)
+    return v / norms[..., None, :]
+
+
+def zfbf_equal_power(h, total_power_mw: float, rcond: float = 1e-12) -> np.ndarray:
+    """Stacked equal-power ZFBF under a total budget (paper eq. 2a)."""
+    if total_power_mw <= 0:
+        raise ValueError("total_power_mw must be positive")
+    directions = zfbf_directions(h, rcond=rcond)
+    n_streams = directions.shape[-1]
+    per_stream = total_power_mw / n_streams
+    return directions * np.sqrt(per_stream)
+
+
+def naive_scaled_precoder(
+    h,
+    per_antenna_power_mw: float,
+    total_power_mw: float | None = None,
+) -> np.ndarray:
+    """Stacked naive repair: equal-power ZFBF, then one global scaling per
+    item whose worst row violates the per-antenna budget (paper eq. 5)."""
+    if per_antenna_power_mw <= 0:
+        raise ValueError("per_antenna_power_mw must be positive")
+    h = _as_channel_stack(h)
+    n_antennas = h.shape[-1]
+    if total_power_mw is None:
+        total_power_mw = n_antennas * per_antenna_power_mw
+    v = zfbf_equal_power(h, total_power_mw)
+    worst_row = per_antenna_row_power(v).max(axis=-1)
+    # Items already feasible multiply by exactly 1.0 (a bit-exact no-op),
+    # mirroring the scalar branch that skips the scaling.
+    scale = np.where(
+        worst_row > per_antenna_power_mw,
+        np.sqrt(per_antenna_power_mw / worst_row),
+        1.0,
+    )
+    return v * scale[..., None, None]
+
+
+# ----------------------------------------------------------------------
+# Reverse water-filling
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BatchWaterfillResult:
+    """Stacked outcome of reverse water-filling, one row solution per item."""
+
+    weights: np.ndarray  # (..., n_streams) scaling weights in (0, 1]
+    reductions_mw: np.ndarray  # (..., n_streams) power removed per stream
+    water_level: np.ndarray  # (...,) 1/lambda at each item's solution
+    capped: np.ndarray  # (...,) True where the min-weight floor bound
+
+
+def reverse_waterfill(
+    row_powers_mw,
+    sinrs,
+    power_budget_mw: float,
+    min_weight: float = 0.1,
+) -> BatchWaterfillResult:
+    """Stacked :func:`repro.core.waterfill.reverse_waterfill`.
+
+    ``row_powers_mw`` and ``sinrs`` are ``(..., n_streams)`` stacks; the
+    budget and weight floor are shared scalars (one radio config per batch).
+    The bisection iterates all items together but freezes each item the
+    iteration its own tolerance is met, reproducing the scalar early exit.
+    """
+    q = np.asarray(row_powers_mw, dtype=float)
+    rho = np.asarray(sinrs, dtype=float)
+    if q.shape != rho.shape or q.ndim < 2:
+        raise ValueError(
+            "row_powers_mw and sinrs must be equal-shape stacks (..., n_streams)"
+        )
+    if power_budget_mw <= 0:
+        raise ValueError("power_budget_mw must be positive")
+    if not 0.0 < min_weight < 1.0:
+        raise ValueError("min_weight must be in (0, 1)")
+    if np.any(q < 0) or np.any(rho < 0):
+        raise ValueError("row powers and SINRs must be non-negative")
+
+    total = q.sum(axis=-1)
+    required = total - power_budget_mw
+    trivial = required <= 0
+
+    rho_safe = np.maximum(rho, 1e-12)
+    marginal = (1.0 + 1.0 / rho_safe) * q  # water-level coordinates per stream
+    caps = (1.0 - min_weight**2) * q  # max removable power per stream (req. i)
+
+    def total_reduction(level: np.ndarray) -> np.ndarray:
+        return np.clip(marginal - level[..., None], 0.0, caps).sum(axis=-1)
+
+    max_possible = total_reduction(np.zeros_like(required))
+    capped = ~trivial & (required >= max_possible)
+
+    # --- capped branch: min-weight caps bind everywhere ----------------
+    capped_reductions = caps
+    capped_weights = np.sqrt(
+        np.maximum(1.0 - capped_reductions / np.maximum(q, 1e-300), 0.0)
+    )
+    capped_weights = np.where(q > 0, np.maximum(capped_weights, min_weight), 1.0)
+
+    # --- bisection branch, per-item freeze on convergence --------------
+    bisect = ~trivial & ~capped
+    low = np.zeros_like(required)
+    high = marginal.max(axis=-1)
+    active = bisect.copy()
+    for _ in range(200):
+        if not active.any():
+            break
+        mid = 0.5 * (low + high)
+        reduce_mid = total_reduction(mid)
+        go_low = reduce_mid > required
+        low = np.where(active & go_low, mid, low)
+        high = np.where(active & ~go_low, mid, high)
+        active = active & (high - low > _BUDGET_RTOL * np.maximum(1.0, high))
+    level = 0.5 * (low + high)
+    reductions = np.clip(marginal - level[..., None], 0.0, caps)
+
+    # Exact budget: distribute any bisection residual across the streams
+    # strictly between 0 and their cap (same repair as the scalar solver).
+    residual = required - reductions.sum(axis=-1)
+    between = (reductions > 0) & (reductions < caps)
+    n_active = between.sum(axis=-1)
+    fix = bisect & (np.abs(residual) > _BUDGET_RTOL * power_budget_mw) & (n_active > 0)
+    if np.any(fix):
+        adjusted = np.clip(
+            reductions + (residual / np.maximum(n_active, 1))[..., None],
+            0.0,
+            caps,
+        )
+        reductions = np.where(fix[..., None] & between, adjusted, reductions)
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(q > 0, reductions / np.maximum(q, 1e-300), 0.0)
+    bisect_weights = np.sqrt(np.clip(1.0 - ratio, min_weight**2, 1.0))
+
+    # --- select per-item branch results --------------------------------
+    ones = np.ones_like(q)
+    weights = np.where(
+        trivial[..., None],
+        ones,
+        np.where(capped[..., None], capped_weights, bisect_weights),
+    )
+    reductions_out = np.where(
+        trivial[..., None],
+        np.zeros_like(q),
+        np.where(capped[..., None], capped_reductions, reductions),
+    )
+    water_level = np.where(trivial, np.inf, np.where(capped, 0.0, level))
+    return BatchWaterfillResult(
+        weights=weights,
+        reductions_mw=reductions_out,
+        water_level=water_level,
+        capped=capped,
+    )
+
+
+# ----------------------------------------------------------------------
+# MIDAS power balancing
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BatchPrecodingResult:
+    """Stacked precoders together with how each item reached its solution."""
+
+    v: np.ndarray  # (batch, n_antennas, n_clients)
+    rounds: np.ndarray  # (batch,) water-filling rounds per item
+    converged: np.ndarray  # (batch,) all rows feasible at exit
+    row_powers_mw: np.ndarray  # (batch, n_antennas) final per-antenna powers
+    cumulative_weights: np.ndarray  # (batch, n_clients) product of scalings
+
+    @property
+    def n_antennas(self) -> int:
+        return self.v.shape[-2]
+
+    @property
+    def n_clients(self) -> int:
+        return self.v.shape[-1]
+
+
+def power_balanced_precoder(
+    h,
+    per_antenna_power_mw: float,
+    noise_mw: float,
+    *,
+    total_power_mw: float | None = None,
+    min_weight: float = 0.1,
+    rtol: float = 1e-9,
+) -> BatchPrecodingResult:
+    """Stacked MIDAS power-balanced precoding (paper §3.1.2, Steps 1-4).
+
+    The repair loop runs over the whole batch with an *active* mask: each
+    round, items whose worst row is already feasible stop updating (their
+    precoders are multiplied by exact 1.0 weights), so every item traces
+    the identical round sequence -- and bit pattern -- of the scalar
+    :func:`repro.core.power_balance.power_balanced_precoder`.
+    """
+    if per_antenna_power_mw <= 0:
+        raise ValueError("per_antenna_power_mw must be positive")
+    if noise_mw <= 0:
+        raise ValueError("noise_mw must be positive")
+    h = _as_channel_stack(h)
+    n_clients, n_antennas = h.shape[-2:]
+    if total_power_mw is None:
+        total_power_mw = n_antennas * per_antenna_power_mw
+
+    v = zfbf_equal_power(h, total_power_mw)
+    batch_shape = h.shape[:-2]
+    cumulative = np.ones(batch_shape + (n_clients,))
+    budget = per_antenna_power_mw * (1.0 + rtol)
+
+    rounds = np.zeros(batch_shape, dtype=int)
+    active = np.ones(batch_shape, dtype=bool)
+    # The paper's bound is n_antennas rounds; allow a few extra for the rare
+    # case the min-weight cap binds and a row needs a second visit.
+    max_rounds = 3 * n_antennas + 5
+    for _ in range(max_rounds):
+        row_powers = per_antenna_row_power(v)
+        worst = np.argmax(row_powers, axis=-1)
+        worst_power = np.take_along_axis(row_powers, worst[..., None], axis=-1)[..., 0]
+        active = active & (worst_power > budget)
+        if not active.any():
+            break
+        rounds += active
+        sinrs = stream_sinrs(h, v, noise_mw)
+        worst_rows = np.take_along_axis(v, worst[..., None, None], axis=-2)[..., 0, :]
+        result = reverse_waterfill(
+            np.abs(worst_rows) ** 2,
+            sinrs,
+            per_antenna_power_mw,
+            min_weight=min_weight,
+        )
+        weights = np.where(active[..., None], result.weights, 1.0)
+        v = v * weights[..., None, :]
+        cumulative = cumulative * weights
+        capped_now = active & result.capped
+        if np.any(capped_now):
+            # Min-weight floor bound: finish the row with a uniform scale so
+            # the loop is guaranteed to make progress (ZF still preserved).
+            row_power = np.take_along_axis(
+                per_antenna_row_power(v), worst[..., None], axis=-1
+            )[..., 0]
+            needs_scale = capped_now & (row_power > per_antenna_power_mw)
+            scale = np.where(
+                needs_scale, np.sqrt(per_antenna_power_mw / row_power), 1.0
+            )
+            v = v * scale[..., None, None]
+            cumulative = cumulative * scale[..., None]
+
+    row_powers = per_antenna_row_power(v)
+    return BatchPrecodingResult(
+        v=v,
+        rounds=rounds,
+        converged=row_powers.max(axis=-1) <= budget,
+        row_powers_mw=row_powers,
+        cumulative_weights=cumulative,
+    )
+
+
+# ----------------------------------------------------------------------
+# Single-user SVD water-filling (paper §7 comparator)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BatchSvdAllocation:
+    """Stacked SVD precoding solutions for a batch of single-client links."""
+
+    v: np.ndarray  # (batch, n_tx, n_streams)
+    stream_powers_mw: np.ndarray  # (batch, n_streams)
+    singular_values: np.ndarray  # (batch, n_streams)
+
+    def capacity_bps_hz(self, noise_mw: float) -> np.ndarray:
+        """Shannon capacity of the parallel streams, per item."""
+        snrs = self.stream_powers_mw * self.singular_values**2 / noise_mw
+        return np.sum(np.log2(1.0 + snrs), axis=-1)
+
+
+def svd_waterfilling(
+    h, total_power_mw: float, noise_mw: float
+) -> BatchSvdAllocation:
+    """Stacked :func:`repro.core.svd.svd_waterfilling`: batched SVD plus the
+    classic water-filling allocation, solved for all items at once.
+
+    The vectorized fast path assumes every singular mode is usable
+    (positive gain), which holds for the random indoor channels the sweeps
+    draw; a batch containing a rank-deficient item falls back to the scalar
+    solver item by item, so results stay bit-identical either way.
+    """
+    if total_power_mw <= 0 or noise_mw <= 0:
+        raise ValueError("powers must be positive")
+    h = _as_channel_stack(h)
+    __, singular_values, vh = np.linalg.svd(h, full_matrices=False)
+    gains = singular_values**2 / noise_mw  # per-stream SNR per unit power
+    if not np.all(gains > 0):
+        # Some item has an unusable mode: defer to the scalar solver's
+        # usable-mode masking (and its error for fully degenerate items).
+        from .svd import svd_waterfilling as scalar_svd_waterfilling
+
+        solutions = [
+            scalar_svd_waterfilling(item, total_power_mw, noise_mw) for item in h
+        ]
+        return BatchSvdAllocation(
+            v=np.stack([s.v for s in solutions]),
+            stream_powers_mw=np.stack([s.stream_powers_mw for s in solutions]),
+            singular_values=np.stack([s.singular_values for s in solutions]),
+        )
+
+    inv_gains = 1.0 / gains
+    order = np.argsort(inv_gains, axis=-1)
+    sorted_inv = np.take_along_axis(inv_gains, order, axis=-1)
+    n = sorted_inv.shape[-1]
+
+    # Walk k = n..1 exactly like the scalar solver, taking each item's
+    # first (largest-k) water level that clears the k-th channel.
+    mu = np.zeros(sorted_inv.shape[:-1])
+    n_active = np.full(sorted_inv.shape[:-1], n)
+    found = np.zeros(sorted_inv.shape[:-1], dtype=bool)
+    for k in range(n, 0, -1):
+        candidate_mu = (total_power_mw + np.sum(sorted_inv[..., :k], axis=-1)) / k
+        take = ~found & (candidate_mu > sorted_inv[..., k - 1])
+        mu = np.where(take, candidate_mu, mu)
+        n_active = np.where(take, k, n_active)
+        found |= take
+
+    powers_sorted = np.clip(mu[..., None] - sorted_inv, 0.0, None)
+    powers_sorted = np.where(
+        np.arange(n) < n_active[..., None], powers_sorted, 0.0
+    )
+    powers = np.zeros_like(powers_sorted)
+    np.put_along_axis(powers, order, powers_sorted, axis=-1)
+
+    v = np.conj(np.swapaxes(vh, -1, -2)) * np.sqrt(powers)[..., None, :]
+    return BatchSvdAllocation(
+        v=v, stream_powers_mw=powers, singular_values=singular_values
+    )

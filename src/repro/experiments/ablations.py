@@ -18,17 +18,24 @@ import numpy as np
 
 from .. import rng as rng_mod
 from ..api.experiments import register_experiment
-from ..api.precoders import precoder_matrix
+from ..api.precoders import precoder_matrix, precoder_matrix_batch
 from ..api.scenarios import resolve_environment
 from ..channel.model import ChannelModel, apply_csi_error
 from ..channel.pathloss import coverage_range_m
+from ..core.batch import power_balanced_precoder as batch_power_balanced
 from ..core.power_balance import power_balanced_precoder
 from ..core.tagging import TagTable
 from ..phy.capacity import stream_sinrs, sum_capacity_bps_hz
 from ..topology.deployment import AntennaMode
 from ..topology.scenarios import paired_scenarios, single_ap_scenario
-from .common import ExperimentResult, channel_for, legacy_run
-from .fig14_tagging import capacity_of_selection, tagged_selection
+from .common import (
+    ExperimentResult,
+    batched_channels,
+    batched_selection_capacities,
+    channel_for,
+    legacy_run,
+)
+from .fig14_tagging import _subchannel, capacity_of_selection, tagged_selection
 
 
 def _series_from(outcomes: list[dict], keys) -> dict[str, np.ndarray]:
@@ -52,6 +59,34 @@ def _tag_width_build(topo_seed: int, params: dict) -> dict:
         clients = tagged_selection(tags, available, rssi)
         out[f"width_{width}"] = capacity_of_selection(scenario, h, available, clients)
     return out
+
+
+def _tag_width_build_batch(topo_seeds, params: dict) -> list[dict]:
+    env = resolve_environment(params["environment"])
+    scenarios = [
+        single_ap_scenario(env, AntennaMode.DAS, seed=seed) for seed in topo_seeds
+    ]
+    batch = batched_channels(scenarios, topo_seeds)
+    h = batch.channel_matrices()
+    rssi = batch.client_rx_power_dbm()
+    widths = list(params["widths"])
+    subchannels = []
+    for index, seed in enumerate(topo_seeds):
+        rng = rng_mod.make_rng(seed)
+        available = rng.choice(4, size=params["n_available"], replace=False)
+        for width in widths:
+            tags = TagTable.from_rssi(rssi[index], tag_width=width)
+            clients = tagged_selection(tags, available, rssi[index])
+            subchannels.append(_subchannel(h[index], available, clients))
+    capacities = batched_selection_capacities(subchannels, scenarios[0].radio)
+    stride = len(widths)
+    return [
+        {
+            f"width_{width}": capacities[index * stride + offset]
+            for offset, width in enumerate(widths)
+        }
+        for index in range(len(topo_seeds))
+    ]
 
 
 def _tag_width_finalize(outcomes: list[dict], params: dict) -> ExperimentResult:
@@ -78,6 +113,7 @@ class TagWidthAblation:
         "n_available": 2,
     }
     build = staticmethod(_tag_width_build)
+    build_batch = staticmethod(_tag_width_build_batch)
     finalize = staticmethod(_tag_width_finalize)
 
 
@@ -129,6 +165,34 @@ def _das_radius_build(topo_seed: int, params: dict) -> dict:
     return out
 
 
+def _das_radius_build_batch(topo_seeds, params: dict) -> list[dict]:
+    env = resolve_environment(params["environment"])
+    coverage = coverage_range_m(env.radio)
+    series = {}
+    for low, high in params["fractions"]:
+        scenarios = [
+            paired_scenarios(
+                env,
+                [(0.0, 0.0)],
+                seed=seed,
+                das_radius_min_m=low * coverage,
+                das_radius_max_m=high * coverage,
+                name="ablation_radius",
+            )[AntennaMode.DAS]
+            for seed in topo_seeds
+        ]
+        radio = scenarios[0].radio
+        h = batched_channels(scenarios, topo_seeds).channel_matrices()
+        v = batch_power_balanced(h, radio.per_antenna_power_mw, radio.noise_mw).v
+        series[_ring_key(low, high)] = sum_capacity_bps_hz(
+            stream_sinrs(h, v, radio.noise_mw)
+        )
+    return [
+        {key: values[i] for key, values in series.items()}
+        for i in range(len(topo_seeds))
+    ]
+
+
 def _das_radius_finalize(outcomes: list[dict], params: dict) -> ExperimentResult:
     keys = [_ring_key(low, high) for low, high in params["fractions"]]
     return ExperimentResult(
@@ -153,6 +217,7 @@ class DasRadiusAblation:
         "fractions": [[0.2, 0.4], [0.5, 0.75], [0.8, 1.0]],
     }
     build = staticmethod(_das_radius_build)
+    build_batch = staticmethod(_das_radius_build_batch)
     finalize = staticmethod(_das_radius_finalize)
 
 
@@ -196,6 +261,27 @@ def _precoders_build(topo_seed: int, params: dict) -> dict:
     }
 
 
+def _precoders_build_batch(topo_seeds, params: dict) -> list[dict]:
+    env = resolve_environment(params["environment"])
+    scenarios = [
+        single_ap_scenario(env, AntennaMode.DAS, seed=seed) for seed in topo_seeds
+    ]
+    radio = scenarios[0].radio
+    p = radio.per_antenna_power_mw
+    noise = radio.noise_mw
+    h = batched_channels(scenarios, topo_seeds).channel_matrices()
+    series = {
+        name: sum_capacity_bps_hz(
+            stream_sinrs(h, precoder_matrix_batch(name, h, p, noise), noise)
+        )
+        for name in _precoder_names(params)
+    }
+    return [
+        {key: values[i] for key, values in series.items()}
+        for i in range(len(topo_seeds))
+    ]
+
+
 def _precoders_finalize(outcomes: list[dict], params: dict) -> ExperimentResult:
     return ExperimentResult(
         name="ablation_precoders",
@@ -215,6 +301,7 @@ class PrecoderAblation:
         "include_full_optimal": True,
     }
     build = staticmethod(_precoders_build)
+    build_batch = staticmethod(_precoders_build_batch)
     finalize = staticmethod(_precoders_finalize)
 
 
@@ -253,6 +340,34 @@ def _csi_error_build(topo_seed: int, params: dict) -> dict:
     return out
 
 
+def _csi_error_build_batch(topo_seeds, params: dict) -> list[dict]:
+    env = resolve_environment(params["environment"])
+    scenarios = [
+        single_ap_scenario(env, AntennaMode.DAS, seed=seed) for seed in topo_seeds
+    ]
+    radio = scenarios[0].radio
+    p = radio.per_antenna_power_mw
+    noise = radio.noise_mw
+    h = batched_channels(scenarios, topo_seeds).channel_matrices()
+    # CSI noise draws walk each item's own generator in error_stds order,
+    # exactly like the scalar build; the precoding/capacity math batches.
+    error_stds = list(params["error_stds"])
+    estimates = {err: [] for err in error_stds}
+    for index, seed in enumerate(topo_seeds):
+        rng = rng_mod.make_rng(seed)
+        for err in error_stds:
+            estimates[err].append(apply_csi_error(h[index], err, rng))
+    series = {}
+    for err in error_stds:
+        h_est = np.stack(estimates[err])
+        v = batch_power_balanced(h_est, p, noise).v
+        series[f"err_{err:g}"] = sum_capacity_bps_hz(stream_sinrs(h, v, noise))
+    return [
+        {key: values[i] for key, values in series.items()}
+        for i in range(len(topo_seeds))
+    ]
+
+
 def _csi_error_finalize(outcomes: list[dict], params: dict) -> ExperimentResult:
     keys = [f"err_{e:g}" for e in params["error_stds"]]
     return ExperimentResult(
@@ -277,6 +392,7 @@ class CsiErrorAblation:
         "error_stds": [0.0, 0.05, 0.1, 0.2],
     }
     build = staticmethod(_csi_error_build)
+    build_batch = staticmethod(_csi_error_build_batch)
     finalize = staticmethod(_csi_error_finalize)
 
 

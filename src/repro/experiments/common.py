@@ -18,13 +18,16 @@ import numpy as np
 import hashlib
 
 from .. import rng as rng_mod
-from ..api.precoders import capacity_for  # noqa: F401  (re-export)
+from ..api.precoders import capacity_for, capacity_for_batch  # noqa: F401  (re-export)
 from ..api.registry import ENVIRONMENTS
 from ..api.result import ExperimentResult, RunResult  # noqa: F401  (re-export)
 from ..api.runner import Runner
 from ..api.scenarios import environment_named
 from ..api.spec import RunSpec
+from ..channel.batch import ChannelBatch
 from ..channel.model import ChannelModel
+from ..core.batch import power_balanced_precoder as batch_power_balanced
+from ..phy.capacity import stream_sinrs, sum_capacity_bps_hz
 from ..topology.deployment import AntennaMode
 from ..topology.scenarios import OfficeEnvironment, Scenario
 
@@ -128,6 +131,20 @@ def channel_for(scenario: Scenario, seed: int) -> ChannelModel:
     return ChannelModel(scenario.deployment, scenario.radio, seed=seed)
 
 
+def batched_channels(scenarios, seeds) -> ChannelBatch:
+    """Batched channel state for same-shape scenarios, one per topology seed.
+
+    The vectorized mirror of mapping :func:`channel_for` over
+    ``zip(scenarios, seeds)``: item ``i`` of every stacked array is
+    bit-identical to the scalar model's output for ``scenarios[i]``.
+    """
+    scenarios = list(scenarios)
+    radio = scenarios[0].radio
+    if any(s.radio != radio for s in scenarios[1:]):
+        raise ValueError("batched scenarios must share one RadioConfig")
+    return ChannelBatch([s.deployment for s in scenarios], radio, seeds)
+
+
 def greedy_siso_snrs(model: ChannelModel) -> np.ndarray:
     """Fig 7's greedy client-antenna mapping: repeatedly take the strongest
     remaining (client, antenna) pair and exclude both from further rounds;
@@ -141,6 +158,55 @@ def greedy_siso_snrs(model: ChannelModel) -> np.ndarray:
         snr[j, :] = -np.inf
         snr[:, k] = -np.inf
     return values
+
+
+def greedy_siso_snrs_batch(snr_db: np.ndarray) -> np.ndarray:
+    """Stacked greedy mapping over ``(batch, n_clients, n_antennas)`` SNRs.
+
+    Runs the same flat-argmax / row-column-exclusion rounds as
+    :func:`greedy_siso_snrs`, one argmax per item per round (including its
+    first-index tie-breaking), so each item's series is bit-identical.
+    """
+    snr = np.array(snr_db, dtype=float)
+    if snr.ndim != 3:
+        raise ValueError(f"expected (batch, n_clients, n_antennas), got {snr.shape}")
+    n_items, n_clients, n_antennas = snr.shape
+    n = min(n_clients, n_antennas)
+    values = np.empty((n_items, n))
+    items = np.arange(n_items)
+    for i in range(n):
+        flat = np.argmax(snr.reshape(n_items, -1), axis=1)
+        j, k = np.unravel_index(flat, (n_clients, n_antennas))
+        values[:, i] = snr[items, j, k]
+        snr[items, j, :] = -np.inf
+        snr[items, :, k] = -np.inf
+    return values
+
+
+def batched_selection_capacities(subchannels, radio) -> list[float]:
+    """Power-balanced capacities for a list of per-selection subchannels.
+
+    ``subchannels`` holds one ``(n_chosen, n_available)`` channel slice per
+    selection (or ``None``/empty for "no clients chosen", worth 0.0 --
+    matching :func:`repro.experiments.fig14_tagging.capacity_of_selection`).
+    Same-shape slices are stacked and solved through the batched
+    power-balancing precoder in one call; results scatter back in order.
+    """
+    capacities = [0.0] * len(subchannels)
+    groups: dict[tuple[int, int], list[int]] = {}
+    for index, h_sub in enumerate(subchannels):
+        if h_sub is None or h_sub.shape[0] == 0:
+            continue
+        groups.setdefault(h_sub.shape, []).append(index)
+    for shape, indices in groups.items():
+        stack = np.stack([subchannels[i] for i in indices])
+        result = batch_power_balanced(
+            stack, radio.per_antenna_power_mw, radio.noise_mw
+        )
+        sums = sum_capacity_bps_hz(stream_sinrs(stack, result.v, radio.noise_mw))
+        for slot, index in enumerate(indices):
+            capacities[index] = float(sums[slot])
+    return capacities
 
 
 MODE_LABEL = {AntennaMode.CAS: "cas", AntennaMode.DAS: "das"}

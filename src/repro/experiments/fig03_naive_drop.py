@@ -14,7 +14,14 @@ from ..api.experiments import register_experiment
 from ..api.scenarios import resolve_environment
 from ..topology.deployment import AntennaMode
 from ..topology.scenarios import paired_scenarios
-from .common import ExperimentResult, capacity_for, channel_for, legacy_run
+from .common import (
+    ExperimentResult,
+    batched_channels,
+    capacity_for,
+    capacity_for_batch,
+    channel_for,
+    legacy_run,
+)
 
 
 def _build(topo_seed: int, params: dict) -> dict:
@@ -36,6 +43,33 @@ def _build(topo_seed: int, params: dict) -> dict:
         naive = capacity_for(scenario, h, "naive")
         out[mode.value] = max(0.0, reference - naive)
     return out
+
+
+def _build_batch(topo_seeds, params: dict) -> list[dict]:
+    env = resolve_environment(params["environment"])
+    n = params["n_antennas"]
+    pairs = [
+        paired_scenarios(
+            env,
+            [(0.0, 0.0)],
+            antennas_per_ap=n,
+            clients_per_ap=n,
+            seed=seed,
+            name="fig03",
+        )
+        for seed in topo_seeds
+    ]
+    drops = {}
+    for mode in (AntennaMode.CAS, AntennaMode.DAS):
+        scenarios = [pair[mode] for pair in pairs]
+        h = batched_channels(scenarios, topo_seeds).channel_matrices()
+        reference = capacity_for_batch(scenarios[0], h, "total_power")
+        naive = capacity_for_batch(scenarios[0], h, "naive")
+        drops[mode.value] = np.maximum(0.0, reference - naive)
+    return [
+        {"cas": drops["cas"][i], "das": drops["das"][i]}
+        for i in range(len(topo_seeds))
+    ]
 
 
 def _finalize(outcomes: list[dict], params: dict) -> ExperimentResult:
@@ -60,6 +94,7 @@ class Fig03Experiment:
     description = "Capacity drop of naive power scaling, CAS vs DAS (Fig 3)"
     defaults = {"n_topologies": 60, "environment": "office_b", "n_antennas": 4}
     build = staticmethod(_build)
+    build_batch = staticmethod(_build_batch)
     finalize = staticmethod(_finalize)
 
 

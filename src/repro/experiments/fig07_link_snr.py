@@ -13,7 +13,14 @@ from ..api.experiments import register_experiment
 from ..api.scenarios import resolve_environment
 from ..topology.deployment import AntennaMode
 from ..topology.scenarios import paired_scenarios
-from .common import ExperimentResult, channel_for, greedy_siso_snrs, legacy_run
+from .common import (
+    ExperimentResult,
+    batched_channels,
+    channel_for,
+    greedy_siso_snrs,
+    greedy_siso_snrs_batch,
+    legacy_run,
+)
 
 
 def _build(topo_seed: int, params: dict) -> dict:
@@ -31,6 +38,30 @@ def _build(topo_seed: int, params: dict) -> dict:
         mode.value: greedy_siso_snrs(channel_for(pair[mode], topo_seed))
         for mode in (AntennaMode.CAS, AntennaMode.DAS)
     }
+
+
+def _build_batch(topo_seeds, params: dict) -> list[dict]:
+    env = resolve_environment(params["environment"])
+    n = params["n_antennas"]
+    pairs = [
+        paired_scenarios(
+            env,
+            [(0.0, 0.0)],
+            antennas_per_ap=n,
+            clients_per_ap=n,
+            seed=seed,
+            name="fig07",
+        )
+        for seed in topo_seeds
+    ]
+    per_mode = {}
+    for mode in (AntennaMode.CAS, AntennaMode.DAS):
+        batch = batched_channels([pair[mode] for pair in pairs], topo_seeds)
+        per_mode[mode.value] = greedy_siso_snrs_batch(batch.snr_db_map())
+    return [
+        {"cas": per_mode["cas"][i], "das": per_mode["das"][i]}
+        for i in range(len(topo_seeds))
+    ]
 
 
 def _finalize(outcomes: list[dict], params: dict) -> ExperimentResult:
@@ -59,6 +90,7 @@ class Fig07Experiment:
     description = "Link-layer SISO SNR, CAS vs DAS (Fig 7)"
     defaults = {"n_topologies": 60, "environment": "office_b", "n_antennas": 4}
     build = staticmethod(_build)
+    build_batch = staticmethod(_build_batch)
     finalize = staticmethod(_finalize)
 
 

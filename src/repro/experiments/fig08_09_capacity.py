@@ -17,7 +17,14 @@ from ..api.experiments import register_experiment
 from ..api.scenarios import resolve_environment
 from ..topology.deployment import AntennaMode
 from ..topology.scenarios import office_a, office_b, paired_scenarios
-from .common import ExperimentResult, capacity_for, channel_for, legacy_run
+from .common import (
+    ExperimentResult,
+    batched_channels,
+    capacity_for,
+    capacity_for_batch,
+    channel_for,
+    legacy_run,
+)
 
 
 def _build(topo_seed: int, params: dict) -> dict:
@@ -39,6 +46,34 @@ def _build(topo_seed: int, params: dict) -> dict:
         out[f"cas_{n}x{n}"] = capacity_for(cas, h_cas, "naive")
         out[f"midas_{n}x{n}"] = capacity_for(das, h_das, params["precoder"])
     return out
+
+
+def _build_batch(topo_seeds, params: dict) -> list[dict]:
+    env = resolve_environment(params["environment"])
+    series: dict[str, np.ndarray] = {}
+    for n in params["antenna_counts"]:
+        pairs = [
+            paired_scenarios(
+                env,
+                [(0.0, 0.0)],
+                antennas_per_ap=n,
+                clients_per_ap=n,
+                seed=seed,
+                name="fig0809",
+            )
+            for seed in topo_seeds
+        ]
+        for mode, key, precoder in (
+            (AntennaMode.CAS, f"cas_{n}x{n}", "naive"),
+            (AntennaMode.DAS, f"midas_{n}x{n}", params["precoder"]),
+        ):
+            scenarios = [pair[mode] for pair in pairs]
+            h = batched_channels(scenarios, topo_seeds).channel_matrices()
+            series[key] = capacity_for_batch(scenarios[0], h, precoder)
+    return [
+        {key: values[i] for key, values in series.items()}
+        for i in range(len(topo_seeds))
+    ]
 
 
 def _finalize(outcomes: list[dict], params: dict) -> ExperimentResult:
@@ -72,6 +107,7 @@ class Fig08Experiment:
         "precoder": "balanced",
     }
     build = staticmethod(_build)
+    build_batch = staticmethod(_build_batch)
     finalize = staticmethod(_finalize)
 
 
@@ -86,6 +122,7 @@ class Fig09Experiment:
         "precoder": "balanced",
     }
     build = staticmethod(_build)
+    build_batch = staticmethod(_build_batch)
     finalize = staticmethod(_finalize)
 
 

@@ -13,7 +13,14 @@ from ..api.experiments import register_experiment
 from ..api.scenarios import resolve_environment
 from ..topology.deployment import AntennaMode
 from ..topology.scenarios import paired_scenarios
-from .common import ExperimentResult, capacity_for, channel_for, legacy_run
+from .common import (
+    ExperimentResult,
+    batched_channels,
+    capacity_for,
+    capacity_for_batch,
+    channel_for,
+    legacy_run,
+)
 
 _SERIES = ("cas_naive", "cas_balanced", "das_naive", "das_balanced")
 
@@ -38,6 +45,34 @@ def _build(topo_seed: int, params: dict) -> dict:
     return out
 
 
+def _build_batch(topo_seeds, params: dict) -> list[dict]:
+    env = resolve_environment(params["environment"])
+    n = params["n_antennas"]
+    pairs = [
+        paired_scenarios(
+            env,
+            [(0.0, 0.0)],
+            antennas_per_ap=n,
+            clients_per_ap=n,
+            seed=seed,
+            name="fig10",
+        )
+        for seed in topo_seeds
+    ]
+    series = {}
+    for mode in (AntennaMode.CAS, AntennaMode.DAS):
+        scenarios = [pair[mode] for pair in pairs]
+        h = batched_channels(scenarios, topo_seeds).channel_matrices()
+        for precoder in ("naive", "balanced"):
+            series[f"{mode.value}_{precoder}"] = capacity_for_batch(
+                scenarios[0], h, precoder
+            )
+    return [
+        {key: values[i] for key, values in series.items()}
+        for i in range(len(topo_seeds))
+    ]
+
+
 def _finalize(outcomes: list[dict], params: dict) -> ExperimentResult:
     return ExperimentResult(
         name="fig10",
@@ -57,6 +92,7 @@ class Fig10Experiment:
     description = "Precoding impact on CAS and DAS separately (Fig 10)"
     defaults = {"n_topologies": 60, "environment": "office_b", "n_antennas": 4}
     build = staticmethod(_build)
+    build_batch = staticmethod(_build_batch)
     finalize = staticmethod(_finalize)
 
 

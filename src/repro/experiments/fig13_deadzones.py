@@ -17,7 +17,7 @@ from ..channel.pathloss import coverage_range_m
 from ..topology import geometry
 from ..topology.deployment import AntennaMode
 from ..topology.scenarios import paired_scenarios
-from .common import ExperimentResult, channel_for, legacy_run
+from .common import ExperimentResult, batched_channels, channel_for, legacy_run
 
 
 def deadspot_mask(
@@ -52,6 +52,28 @@ def _build(topo_seed: int, params: dict) -> dict:
             model, survey_points, pair[mode].mac.decode_snr_db, params["fade_margin_db"]
         )
     return masks
+
+
+def _build_batch(topo_seeds, params: dict) -> list[dict]:
+    env = resolve_environment(params["environment"])
+    survey_points = _survey_points(params["environment"], float(params["grid_step_m"]))
+    pairs = [
+        paired_scenarios(env, [(0.0, 0.0)], seed=seed, name="fig13")
+        for seed in topo_seeds
+    ]
+    masks = {}
+    for mode in (AntennaMode.CAS, AntennaMode.DAS):
+        scenarios = [pair[mode] for pair in pairs]
+        batch = batched_channels(scenarios, topo_seeds)
+        snr = batch.snr_db_map(survey_points)  # (batch, n_points, n_antennas)
+        best = snr.max(axis=-1)
+        masks[mode.value] = (
+            best - params["fade_margin_db"] < scenarios[0].mac.decode_snr_db
+        )
+    return [
+        {"cas": masks["cas"][i], "das": masks["das"][i]}
+        for i in range(len(topo_seeds))
+    ]
 
 
 def _finalize(outcomes: list[dict], params: dict) -> ExperimentResult:
@@ -101,6 +123,7 @@ class Fig13Experiment:
         "fade_margin_db": 6.0,
     }
     build = staticmethod(_build)
+    build_batch = staticmethod(_build_batch)
     finalize = staticmethod(_finalize)
 
 

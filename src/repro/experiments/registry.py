@@ -79,6 +79,13 @@ def main(argv: list[str] | None = None) -> int:
         "--jobs", type=int, default=1, help="worker processes (1 = serial)"
     )
     parser.add_argument(
+        "--backend",
+        choices=["loop", "vectorized"],
+        default="loop",
+        help="evaluation backend (bit-identical results; 'vectorized' "
+        "batches all topology draws through stacked array math)",
+    )
+    parser.add_argument(
         "--precoder",
         default=None,
         help="registered precoder override (experiments with a precoder parameter)",
@@ -103,7 +110,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         precoder=args.precoder,
     )
-    runner = Runner(jobs=args.jobs, cache_dir=args.cache_dir)
+    runner = Runner(jobs=args.jobs, cache_dir=args.cache_dir, backend=args.backend)
     result = runner.run(spec)
     print(result.summary())
     if args.out is not None:

@@ -8,7 +8,14 @@ from .capacity import (
     stream_sinrs,
     sum_capacity_bps_hz,
 )
-from .mcs import MCS_TABLE, McsEntry, highest_mcs_for_snr, rate_bps_hz_for_snr
+from .mcs import (
+    MCS_TABLE,
+    McsEntry,
+    highest_mcs_for_snr,
+    mcs_index_for_snr,
+    rate_bps_hz_for_snr,
+    rate_bps_hz_for_snr_array,
+)
 from .ofdm import OfdmNumerology, VHT20
 from .sounding import sounding_overhead_us
 
@@ -21,7 +28,9 @@ __all__ = [
     "MCS_TABLE",
     "McsEntry",
     "highest_mcs_for_snr",
+    "mcs_index_for_snr",
     "rate_bps_hz_for_snr",
+    "rate_bps_hz_for_snr_array",
     "OfdmNumerology",
     "VHT20",
     "sounding_overhead_us",

@@ -9,6 +9,13 @@ the *effective channel* is ``E = H @ V`` and
 
 The paper converts measured SINR directly to capacity with the Shannon
 formula (§5.1); :func:`sum_capacity_bps_hz` does the same.
+
+Every function here accepts either one matrix or a *stack* of them with
+leading batch axes (``(batch, n_clients, n_antennas)`` channels paired with
+``(batch, n_antennas, n_streams)`` precoders) -- the shape convention of the
+vectorized backend.  Matrix axes always trail; reductions run over the
+trailing axes so a stacked call is bit-identical, slice for slice, to N
+scalar calls.
 """
 
 from __future__ import annotations
@@ -17,12 +24,16 @@ import numpy as np
 
 
 def effective_channel(h: np.ndarray, v: np.ndarray) -> np.ndarray:
-    """``E = H @ V``; entry ``(j, i)`` is stream ``i``'s amplitude at client ``j``."""
+    """``E = H @ V``; entry ``(j, i)`` is stream ``i``'s amplitude at client ``j``.
+
+    Accepts matching stacks (``(..., n_clients, n_antennas)`` with
+    ``(..., n_antennas, n_streams)``) and matmuls them slice-wise.
+    """
     h = np.asarray(h)
     v = np.asarray(v)
-    if h.ndim != 2 or v.ndim != 2:
-        raise ValueError("h and v must be 2-D")
-    if h.shape[1] != v.shape[0]:
+    if h.ndim < 2 or v.ndim < 2:
+        raise ValueError("h and v must be at least 2-D")
+    if h.shape[-1] != v.shape[-2]:
         raise ValueError(
             f"antenna-dimension mismatch: h is {h.shape}, v is {v.shape}"
         )
@@ -30,12 +41,12 @@ def effective_channel(h: np.ndarray, v: np.ndarray) -> np.ndarray:
 
 
 def sinr_matrix(h: np.ndarray, v: np.ndarray, noise_mw: float) -> np.ndarray:
-    """The paper's ``S`` matrix: ``S[i, j]`` = power of stream ``i`` received
-    at client ``j``, normalized by the noise floor."""
+    """The paper's ``S`` matrix: ``S[..., i, j]`` = power of stream ``i``
+    received at client ``j``, normalized by the noise floor."""
     if noise_mw <= 0:
         raise ValueError("noise_mw must be positive")
     e = effective_channel(h, v)
-    return (np.abs(e) ** 2).T / noise_mw
+    return np.swapaxes(np.abs(e) ** 2, -1, -2) / noise_mw
 
 
 def stream_sinrs(
@@ -49,34 +60,44 @@ def stream_sinrs(
     ``external_interference_mw`` is extra interference power (scalar or
     per-client vector) from transmissions outside this precoding group --
     e.g. concurrent TXOPs of other APs in the network simulations.
+
+    Stacked inputs return stacked SINRs ``(..., n_clients)``.
     """
-    s = sinr_matrix(h, v, noise_mw)  # (streams, clients)
-    n_streams, n_clients = s.shape
+    s = sinr_matrix(h, v, noise_mw)  # (..., streams, clients)
+    n_streams, n_clients = s.shape[-2], s.shape[-1]
     if n_streams != n_clients:
         raise ValueError("streams and clients must pair one-to-one for SINR")
     ext = np.broadcast_to(
-        np.asarray(external_interference_mw, dtype=float), (n_clients,)
+        np.asarray(external_interference_mw, dtype=float),
+        s.shape[:-2] + (n_clients,),
     )
-    desired = np.diag(s)
-    intra = s.sum(axis=0) - desired  # interference from other streams at client j
+    desired = np.diagonal(s, axis1=-2, axis2=-1)
+    # Interference from other streams at client j.
+    intra = s.sum(axis=-2) - desired
     return desired / (1.0 + intra + ext / noise_mw)
 
 
-def sum_capacity_bps_hz(sinrs) -> float:
-    """Shannon sum capacity ``sum_j log2(1 + rho_j)`` in bits/s/Hz."""
+def sum_capacity_bps_hz(sinrs):
+    """Shannon sum capacity ``sum_j log2(1 + rho_j)`` in bits/s/Hz.
+
+    A single SINR vector returns a ``float``; a stack ``(..., n_clients)``
+    returns per-item capacities of shape ``(...,)``.
+    """
     rho = np.asarray(sinrs, dtype=float)
     if np.any(rho < 0):
         raise ValueError("SINRs must be non-negative")
-    return float(np.sum(np.log2(1.0 + rho)))
+    if rho.ndim <= 1:
+        return float(np.sum(np.log2(1.0 + rho)))
+    return np.sum(np.log2(1.0 + rho), axis=-1)
 
 
 def per_antenna_row_power(v: np.ndarray) -> np.ndarray:
     """Transmit power per antenna: row-wise ``sum_j |v_kj|^2`` (paper eq. 3 LHS)."""
     v = np.asarray(v)
-    return np.sum(np.abs(v) ** 2, axis=1)
+    return np.sum(np.abs(v) ** 2, axis=-1)
 
 
 def per_stream_column_power(v: np.ndarray) -> np.ndarray:
     """Transmit power per stream: column-wise ``sum_k |v_kj|^2``."""
     v = np.asarray(v)
-    return np.sum(np.abs(v) ** 2, axis=0)
+    return np.sum(np.abs(v) ** 2, axis=-2)

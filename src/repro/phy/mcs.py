@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class McsEntry:
@@ -61,3 +63,25 @@ def rate_bps_hz_for_snr(snr_db: float) -> float:
     """Spectral efficiency (bits/s/Hz) of the best decodable MCS, 0 if none."""
     entry = highest_mcs_for_snr(snr_db)
     return entry.rate_bps_hz if entry is not None else 0.0
+
+
+#: SNR thresholds / rates as arrays for the vectorized mapping below.  The
+#: table is ordered by increasing ``min_snr_db``, which searchsorted needs.
+_MIN_SNRS_DB = np.array([entry.min_snr_db for entry in MCS_TABLE])
+_RATES_BPS_HZ = np.concatenate(
+    ([0.0], [entry.rate_bps_hz for entry in MCS_TABLE])
+)
+
+
+def mcs_index_for_snr(snr_db) -> np.ndarray:
+    """Vectorized MCS selection: best decodable MCS index per SNR, ``-1``
+    below MCS 0.  Accepts scalars or arrays of any shape (e.g. the stacked
+    per-client SINRs of a batched sweep)."""
+    snr = np.asarray(snr_db, dtype=float)
+    return np.searchsorted(_MIN_SNRS_DB, snr, side="right") - 1
+
+
+def rate_bps_hz_for_snr_array(snr_db) -> np.ndarray:
+    """Vectorized :func:`rate_bps_hz_for_snr`: spectral efficiency of the
+    best decodable MCS for every SNR in an array, 0 where none decodes."""
+    return _RATES_BPS_HZ[mcs_index_for_snr(snr_db) + 1]

@@ -26,6 +26,31 @@ def pairwise_distances(a, b) -> np.ndarray:
     return np.sqrt(np.sum(diff * diff, axis=-1))
 
 
+def as_point_stack(points) -> np.ndarray:
+    """Coerce input to a float array of shape ``(..., n, 2)``.
+
+    Accepts a single ``(n, 2)`` point set or a batch ``(batch, n, 2)`` of
+    them (any number of leading axes); used by the vectorized channel
+    backend, which stacks one point set per topology draw.
+    """
+    arr = np.atleast_2d(np.asarray(points, dtype=float))
+    if arr.shape[-1] != 2:
+        raise ValueError(f"expected (..., n, 2) points, got shape {arr.shape}")
+    return arr
+
+
+def stacked_pairwise_distances(a, b) -> np.ndarray:
+    """Euclidean distances of shape ``(..., len(a), len(b))`` over stacks.
+
+    Bit-identical per slice to :func:`pairwise_distances` (same subtract /
+    square / sum / sqrt sequence), broadcasting any leading batch axes.
+    """
+    pa = as_point_stack(a)
+    pb = as_point_stack(b)
+    diff = pa[..., :, None, :] - pb[..., None, :, :]
+    return np.sqrt(np.sum(diff * diff, axis=-1))
+
+
 def min_pairwise_distance(points) -> float:
     """Smallest distance between any two distinct points (inf for < 2 points)."""
     pts = as_points(points)

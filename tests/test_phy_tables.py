@@ -1,5 +1,6 @@
 """MCS table, OFDM numerology, and sounding overhead tests."""
 
+import numpy as np
 import pytest
 
 from repro.phy.mcs import MCS_TABLE, highest_mcs_for_snr, rate_bps_hz_for_snr
@@ -62,3 +63,40 @@ class TestSounding:
     def test_rejects_invalid(self):
         with pytest.raises(ValueError):
             sounding_overhead_us(0, 4)
+
+
+class TestVectorizedMcsMapping:
+    """The searchsorted mapping must agree with the scalar table walk
+    everywhere, including exactly on thresholds and below MCS 0."""
+
+    def test_matches_scalar_on_thresholds_and_between(self):
+        from repro.phy.mcs import (
+            MCS_TABLE,
+            highest_mcs_for_snr,
+            mcs_index_for_snr,
+            rate_bps_hz_for_snr,
+            rate_bps_hz_for_snr_array,
+        )
+
+        probes = [entry.min_snr_db for entry in MCS_TABLE]
+        probes += [p - 1e-9 for p in probes] + [p + 0.5 for p in probes]
+        probes += [-50.0, 0.0, 100.0]
+        snrs = np.asarray(probes)
+        indices = mcs_index_for_snr(snrs)
+        rates = rate_bps_hz_for_snr_array(snrs)
+        for snr, index, rate in zip(probes, indices, rates):
+            entry = highest_mcs_for_snr(snr)
+            assert index == (-1 if entry is None else entry.index)
+            assert rate == rate_bps_hz_for_snr(snr)
+
+    def test_table_stays_sorted_for_searchsorted(self):
+        from repro.phy.mcs import MCS_TABLE
+
+        thresholds = [entry.min_snr_db for entry in MCS_TABLE]
+        assert thresholds == sorted(thresholds)
+
+    def test_preserves_input_shape(self):
+        from repro.phy.mcs import rate_bps_hz_for_snr_array
+
+        stacked = np.full((3, 4), 18.0)
+        assert rate_bps_hz_for_snr_array(stacked).shape == (3, 4)

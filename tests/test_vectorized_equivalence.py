@@ -1,0 +1,255 @@
+"""Bit-for-bit equivalence of the vectorized backend against the loop path.
+
+The vectorized backend's whole contract is that stacking never changes a
+bit: batched precoders equal their scalar siblings slice for slice, batched
+channel synthesis equals per-topology ``ChannelModel`` construction, and
+``Runner(backend="vectorized")`` reproduces ``backend="loop"`` exactly for
+every registered experiment.  Everything here asserts ``array_equal`` --
+no tolerances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    BATCH_PRECODERS,
+    PRECODERS,
+    RunSpec,
+    Runner,
+    get_experiment_def,
+    precoder_matrix,
+    precoder_matrix_batch,
+)
+from repro.channel.batch import ChannelBatch
+from repro.channel.model import ChannelModel
+from repro.config import RadioConfig
+from repro.core import batch as core_batch
+from repro.core.svd import svd_waterfilling
+from repro.core.waterfill import reverse_waterfill
+from repro.topology.deployment import AntennaMode
+from repro.topology.scenarios import office_b, paired_scenarios
+
+RADIO = RadioConfig()
+
+
+def _channel_stack(batch: int, n_clients: int, n_antennas: int, seed: int = 0):
+    """Random channels with DAS-like per-row dynamic range (kept within the
+    conditioning every registered solver, incl. WMMSE, can handle)."""
+    rng = np.random.default_rng(seed)
+    scale = 10 ** rng.uniform(-4, -2, (batch, n_clients, 1))
+    return scale * (
+        rng.standard_normal((batch, n_clients, n_antennas))
+        + 1j * rng.standard_normal((batch, n_clients, n_antennas))
+    )
+
+
+# ----------------------------------------------------------------------
+# Precoders
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def das_channels():
+    """A small stack of *real* DAS channels -- the distribution every
+    registered solver (incl. the touchier iterative ones) is built for."""
+    env = office_b()
+    seeds = [3, 14, 159]
+    deployments = [
+        paired_scenarios(env, [(0.0, 0.0)], seed=seed, name="equiv-pre")[
+            AntennaMode.DAS
+        ].deployment
+        for seed in seeds
+    ]
+    return ChannelBatch(deployments, env.radio, seeds).channel_matrices()
+
+
+@pytest.mark.parametrize("name", sorted(PRECODERS.names()))
+def test_every_registered_precoder_matches_bit_for_bit(name, das_channels):
+    h = das_channels
+    p, noise = RADIO.per_antenna_power_mw, RADIO.noise_mw
+    stacked = precoder_matrix_batch(name, h, p, noise)
+    for index, item in enumerate(h):
+        assert np.array_equal(stacked[index], precoder_matrix(name, item, p, noise))
+
+
+def test_batched_registry_covers_the_closed_form_precoders():
+    assert {"naive", "balanced", "total_power"} <= set(BATCH_PRECODERS.names())
+
+
+def test_batched_power_balance_metadata_matches():
+    h = _channel_stack(32, 4, 4, seed=5)
+    p, noise = RADIO.per_antenna_power_mw, RADIO.noise_mw
+    from repro.core.power_balance import power_balanced_precoder as scalar_pb
+
+    stacked = core_batch.power_balanced_precoder(h, p, noise)
+    assert stacked.rounds.max() >= 1  # the sweep actually exercised repairs
+    for index, item in enumerate(h):
+        scalar = scalar_pb(item, p, noise)
+        assert np.array_equal(stacked.v[index], scalar.v)
+        assert stacked.rounds[index] == scalar.rounds
+        assert bool(stacked.converged[index]) == scalar.converged
+        assert np.array_equal(stacked.row_powers_mw[index], scalar.row_powers_mw)
+        assert np.array_equal(
+            stacked.cumulative_weights[index], scalar.cumulative_weights
+        )
+
+
+@pytest.mark.parametrize("budget", [0.5, 3.0, 50.0])
+def test_batched_reverse_waterfill_matches_all_branches(budget):
+    # Budgets chosen to hit the capped, bisection, and trivial branches.
+    rng = np.random.default_rng(9)
+    q = rng.uniform(0.0, 5.0, (40, 4))
+    rho = rng.uniform(0.0, 30.0, (40, 4))
+    stacked = core_batch.reverse_waterfill(q, rho, budget)
+    for i in range(len(q)):
+        scalar = reverse_waterfill(q[i], rho[i], budget)
+        assert np.array_equal(stacked.weights[i], scalar.weights)
+        assert np.array_equal(stacked.reductions_mw[i], scalar.reductions_mw)
+        assert stacked.water_level[i] == scalar.water_level
+        assert bool(stacked.capped[i]) == scalar.capped
+
+
+def test_batched_svd_waterfilling_matches():
+    h = _channel_stack(16, 3, 5, seed=2)
+    total, noise = 4 * RADIO.per_antenna_power_mw, RADIO.noise_mw
+    stacked = core_batch.svd_waterfilling(h, total, noise)
+    capacities = stacked.capacity_bps_hz(noise)
+    for i, item in enumerate(h):
+        scalar = svd_waterfilling(item, total, noise)
+        assert np.array_equal(stacked.v[i], scalar.v)
+        assert np.array_equal(stacked.stream_powers_mw[i], scalar.stream_powers_mw)
+        assert capacities[i] == scalar.capacity_bps_hz(noise)
+
+
+def test_batched_svd_waterfilling_matches_on_rank_deficient_items():
+    # An item with a zero singular mode (duplicated rows) must take the
+    # scalar solver's usable-mode masking, not error out.
+    degenerate = np.array([[1, 2, 0], [1, 2, 0], [0, 0, 3]], dtype=complex)
+    healthy = _channel_stack(1, 3, 3, seed=8)[0]
+    h = np.stack([degenerate, healthy])
+    stacked = core_batch.svd_waterfilling(h, 10.0, 1.0)
+    for i, item in enumerate(h):
+        scalar = svd_waterfilling(item, 10.0, 1.0)
+        assert np.array_equal(stacked.v[i], scalar.v)
+        assert np.array_equal(stacked.stream_powers_mw[i], scalar.stream_powers_mw)
+    with pytest.raises(ValueError, match="usable singular"):
+        core_batch.svd_waterfilling(np.zeros((1, 2, 2), dtype=complex), 1.0, 1.0)
+
+
+def test_batch_precoders_reject_single_matrices():
+    h = _channel_stack(1, 2, 2)[0]
+    with pytest.raises(ValueError):
+        core_batch.naive_scaled_precoder(h, 1.0)
+    with pytest.raises(ValueError):
+        precoder_matrix_batch("naive", h, 1.0, 1e-9)
+
+
+# ----------------------------------------------------------------------
+# Channel batch
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("mode", [AntennaMode.CAS, AntennaMode.DAS])
+def test_channel_batch_matches_scalar_models(mode):
+    env = office_b()
+    seeds = [11, 22, 33, 44]
+    deployments = [
+        paired_scenarios(env, [(0.0, 0.0)], seed=seed, name="equiv")[mode].deployment
+        for seed in seeds
+    ]
+    batch = ChannelBatch(deployments, env.radio, seeds)
+    models = [
+        ChannelModel(dep, env.radio, seed=seed)
+        for dep, seed in zip(deployments, seeds)
+    ]
+    grid = np.random.default_rng(1).uniform(-12.0, 12.0, (40, 2))
+
+    stacked_h = batch.channel_matrices()
+    stacked_rssi = batch.client_rx_power_dbm()
+    stacked_snr = batch.snr_db_map(grid)
+    for i, model in enumerate(models):
+        assert np.array_equal(stacked_h[i], model.channel_matrix())
+        assert np.array_equal(stacked_rssi[i], model.client_rx_power_dbm())
+        assert np.array_equal(stacked_snr[i], model.snr_db_map(grid))
+
+    batch.advance(0.05)
+    for i, model in enumerate(models):
+        model.advance(0.05)
+        assert np.array_equal(batch.channel_matrices()[i], model.channel_matrix())
+
+
+def test_channel_batch_rejects_mixed_shapes():
+    env = office_b()
+    small = paired_scenarios(
+        env, [(0.0, 0.0)], antennas_per_ap=2, clients_per_ap=2, seed=0, name="a"
+    )[AntennaMode.DAS].deployment
+    large = paired_scenarios(
+        env, [(0.0, 0.0)], antennas_per_ap=4, clients_per_ap=4, seed=0, name="b"
+    )[AntennaMode.DAS].deployment
+    with pytest.raises(ValueError, match="share one"):
+        ChannelBatch([small, large], env.radio, [0, 1])
+
+
+# ----------------------------------------------------------------------
+# Runner end-to-end
+# ----------------------------------------------------------------------
+#: Every registered experiment at a tiny size; the slow network-sim
+#: experiments run with reduced rounds.  Experiments without a batch hook
+#: exercise the (identical-by-construction) fallback path.
+EXPERIMENT_CASES = [
+    ("fig03", {"n_topologies": 4}, {}),
+    ("fig07", {"n_topologies": 4}, {}),
+    ("fig08", {"n_topologies": 3}, {}),
+    ("fig09", {"n_topologies": 3}, {}),
+    ("fig09", {"n_topologies": 3, "precoder": "wmmse"}, {}),
+    ("fig10", {"n_topologies": 4}, {}),
+    ("fig11", {"n_topologies": 2}, {}),
+    ("fig12", {"n_topologies": 2}, {"rounds_per_topology": 3}),
+    ("fig13", {"n_topologies": 2}, {"grid_step_m": 2.0}),
+    ("fig14", {"n_topologies": 6}, {}),
+    ("ablation_csi_error", {"n_topologies": 3}, {"error_stds": [0.0, 0.1]}),
+    ("ablation_das_radius", {"n_topologies": 3}, {"fractions": [[0.5, 0.75]]}),
+    ("ablation_precoders", {"n_topologies": 2}, {"include_full_optimal": False}),
+    ("ablation_tag_width", {"n_topologies": 4}, {"widths": [1, 2]}),
+]
+
+
+@pytest.mark.parametrize(
+    "experiment,spec_kwargs,params",
+    EXPERIMENT_CASES,
+    ids=[f"{c[0]}-{i}" for i, c in enumerate(EXPERIMENT_CASES)],
+)
+def test_vectorized_backend_is_bit_identical(experiment, spec_kwargs, params):
+    spec = RunSpec(experiment, seed=7, params=params, **spec_kwargs)
+    loop = Runner(backend="loop").run(spec)
+    vectorized = Runner(backend="vectorized").run(spec)
+    assert set(loop.series) == set(vectorized.series)
+    for key in loop.series:
+        assert np.array_equal(loop.series[key], vectorized.series[key]), key
+
+
+def test_batched_experiments_define_the_hook():
+    batched = {
+        "fig03", "fig07", "fig08", "fig09", "fig10", "fig11", "fig13", "fig14",
+        "ablation_csi_error", "ablation_das_radius", "ablation_precoders",
+        "ablation_tag_width",
+    }
+    for name in batched:
+        assert get_experiment_def(name).build_batch is not None, name
+    # Network simulations intentionally fall back to the loop path.
+    for name in ("fig12", "fig15", "fig16", "hidden_terminals"):
+        assert get_experiment_def(name).build_batch is None, name
+
+
+def test_runner_rejects_unknown_backend():
+    with pytest.raises(ValueError, match="backend"):
+        Runner(backend="gpu")
+
+
+def test_vectorized_backend_composes_with_caching(tmp_path):
+    spec = RunSpec("fig03", n_topologies=3, seed=1)
+    first = Runner(backend="vectorized", cache_dir=tmp_path).run(spec)
+    # A loop-backend runner hits the vectorized runner's cache entry:
+    # backends are bit-equal, so the cache key ignores them.
+    second = Runner(backend="loop", cache_dir=tmp_path).run(spec)
+    for key in first.series:
+        assert np.array_equal(first.series[key], second.series[key])
+    assert len(list(tmp_path.iterdir())) == 1
