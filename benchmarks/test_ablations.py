@@ -1,12 +1,11 @@
 """Benches: ablations over MIDAS design choices (extensions)."""
 
-from conftest import report, run_once
-from repro.experiments.ablations import (
-    csi_error_sweep,
-    das_radius_sweep,
-    precoder_comparison,
-    tag_width_sweep,
-)
+from conftest import experiment_runner, report, run_once
+
+tag_width_sweep = experiment_runner("ablation_tag_width")
+das_radius_sweep = experiment_runner("ablation_das_radius")
+precoder_comparison = experiment_runner("ablation_precoders")
+csi_error_sweep = experiment_runner("ablation_csi_error")
 
 
 def test_ablation_tag_width(benchmark):

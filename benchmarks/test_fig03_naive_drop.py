@@ -1,7 +1,8 @@
 """Bench: regenerate Fig 3 (capacity drop of naive power scaling)."""
 
-from conftest import report, run_once
-from repro.experiments.fig03_naive_drop import run
+from conftest import experiment_runner, report, run_once
+
+run = experiment_runner("fig03")
 
 
 def test_fig03_naive_drop(benchmark):

@@ -1,7 +1,8 @@
 """Bench: regenerate Fig 7 (SISO link SNR, CAS vs DAS)."""
 
-from conftest import report, run_once
-from repro.experiments.fig07_link_snr import run
+from conftest import experiment_runner, report, run_once
+
+run = experiment_runner("fig07")
 
 
 def test_fig07_link_snr(benchmark):

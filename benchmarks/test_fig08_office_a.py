@@ -1,7 +1,8 @@
 """Bench: regenerate Fig 8 (MU-MIMO capacity, Office A)."""
 
-from conftest import report, run_once
-from repro.experiments.fig08_09_capacity import run_office_a
+from conftest import experiment_runner, report, run_once
+
+run_office_a = experiment_runner("fig08")
 
 
 def test_fig08_office_a(benchmark):

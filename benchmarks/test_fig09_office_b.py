@@ -1,7 +1,8 @@
 """Bench: regenerate Fig 9 (MU-MIMO capacity, Office B)."""
 
-from conftest import report, run_once
-from repro.experiments.fig08_09_capacity import run_office_b
+from conftest import experiment_runner, report, run_once
+
+run_office_b = experiment_runner("fig09")
 
 
 def test_fig09_office_b(benchmark):

@@ -1,7 +1,8 @@
 """Bench: regenerate Fig 10 (power-balanced precoding impact)."""
 
-from conftest import report, run_once
-from repro.experiments.fig10_precoding_impact import run
+from conftest import experiment_runner, report, run_once
+
+run = experiment_runner("fig10")
 
 
 def test_fig10_precoding_impact(benchmark):

@@ -1,7 +1,8 @@
 """Bench: regenerate Fig 11 (MIDAS precoder vs numerical optimum)."""
 
-from conftest import report, run_once
-from repro.experiments.fig11_vs_optimal import run
+from conftest import experiment_runner, report, run_once
+
+run = experiment_runner("fig11")
 
 
 def test_fig11_vs_optimal(benchmark):

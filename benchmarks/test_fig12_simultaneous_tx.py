@@ -2,8 +2,9 @@
 
 import numpy as np
 
-from conftest import report, run_once
-from repro.experiments.fig12_simultaneous_tx import run
+from conftest import experiment_runner, report, run_once
+
+run = experiment_runner("fig12")
 
 
 def test_fig12_simultaneous_tx(benchmark):

@@ -2,8 +2,9 @@
 
 import numpy as np
 
-from conftest import report, run_once
-from repro.experiments.fig13_deadzones import run
+from conftest import experiment_runner, report, run_once
+
+run = experiment_runner("fig13")
 
 
 def test_fig13_deadzones(benchmark):

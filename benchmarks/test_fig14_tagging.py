@@ -1,7 +1,8 @@
 """Bench: regenerate Fig 14 (virtual packet tagging effect)."""
 
-from conftest import report, run_once
-from repro.experiments.fig14_tagging import run
+from conftest import experiment_runner, report, run_once
+
+run = experiment_runner("fig14")
 
 
 def test_fig14_tagging(benchmark):

@@ -2,8 +2,9 @@
 
 import numpy as np
 
-from conftest import report, run_once
-from repro.experiments.fig15_three_ap import run
+from conftest import experiment_runner, report, run_once
+
+run = experiment_runner("fig15")
 
 
 def test_fig15_three_ap(benchmark):

@@ -1,7 +1,8 @@
 """Bench: regenerate Fig 16 (8-AP large-scale simulation)."""
 
-from conftest import report, run_once
-from repro.experiments.fig16_eight_ap import run
+from conftest import experiment_runner, report, run_once
+
+run = experiment_runner("fig16")
 
 
 def test_fig16_eight_ap(benchmark):

@@ -2,8 +2,9 @@
 
 import numpy as np
 
-from conftest import report, run_once
-from repro.experiments.hidden_terminals import run
+from conftest import experiment_runner, report, run_once
+
+run = experiment_runner("hidden_terminals")
 
 
 def test_hidden_terminals(benchmark):

@@ -1,17 +1,22 @@
-"""Vectorized-vs-loop backend benchmark.
+"""Vectorized-vs-loop backend benchmarks.
 
 Opt-in like every benchmark (``python -m pytest benchmarks/``):
 
-* ``test_vectorized_speedup_100_topologies`` -- the headline claim: the
-  vectorized backend runs a 100-topology capacity sweep (fig10: naive and
+* ``test_vectorized_speedup_100_topologies`` -- the capacity-sweep claim:
+  the vectorized backend runs a 100-topology fig10 sweep (naive and
   power-balanced precoding on paired CAS/DAS deployments) at >= 3x the
   loop backend, bit-identically.
-* ``test_vectorized_smoke`` (``-m benchsmoke``) -- a seconds-scale version
-  for CI: asserts bit-identity, requires only that vectorized is not
-  slower, and always writes the timing JSON artifact.
+* ``test_vectorized_fig15_speedup_100_topologies`` -- the round-engine
+  claim: the batched quasi-static network evaluator runs a 100-topology
+  fig15 sweep (3-AP CAS vs MIDAS, 24 rounds each, overhearing-gated
+  rejection sampling) at >= 3x the loop backend, bit-identically.
+* ``test_vectorized_smoke`` / ``test_vectorized_fig15_smoke``
+  (``-m benchsmoke``) -- seconds-scale versions for CI: assert
+  bit-identity and always write the timing JSON artifact.
 
-Both write timings to ``$VECTORIZED_BENCH_JSON`` (default
-``vectorized_timings.json``) so CI can upload them as an artifact.
+Timings go to ``$VECTORIZED_BENCH_JSON`` (default
+``vectorized_timings.json``, the fig15 run appends ``-fig15``) so CI can
+upload them as artifacts.
 """
 
 from __future__ import annotations
@@ -26,8 +31,6 @@ import pytest
 
 from repro.api import RunSpec, Runner
 
-EXPERIMENT = "fig10"
-
 
 def _best_of(runner: Runner, spec: RunSpec, repeats: int) -> tuple[float, dict]:
     """Fastest wall-clock of ``repeats`` runs plus the last result's series."""
@@ -40,8 +43,10 @@ def _best_of(runner: Runner, spec: RunSpec, repeats: int) -> tuple[float, dict]:
     return best, result.series
 
 
-def _run_benchmark(n_topologies: int, repeats: int) -> dict:
-    spec = RunSpec(EXPERIMENT, n_topologies=n_topologies, seed=0)
+def _run_benchmark(
+    experiment: str, n_topologies: int, repeats: int, suffix: str = ""
+) -> dict:
+    spec = RunSpec(experiment, n_topologies=n_topologies, seed=0)
     loop_s, loop_series = _best_of(Runner(backend="loop"), spec, repeats)
     vec_s, vec_series = _best_of(Runner(backend="vectorized"), spec, repeats)
     for key in loop_series:
@@ -49,7 +54,7 @@ def _run_benchmark(n_topologies: int, repeats: int) -> dict:
             f"backends diverged on series {key!r}"
         )
     timings = {
-        "experiment": EXPERIMENT,
+        "experiment": experiment,
         "n_topologies": n_topologies,
         "loop_seconds": loop_s,
         "vectorized_seconds": vec_s,
@@ -57,26 +62,44 @@ def _run_benchmark(n_topologies: int, repeats: int) -> dict:
         "bit_identical": True,
     }
     out = Path(os.environ.get("VECTORIZED_BENCH_JSON", "vectorized_timings.json"))
+    if suffix:
+        out = out.with_name(out.stem + suffix + out.suffix)
     out.write_text(json.dumps(timings, indent=2) + "\n")
     print(
-        f"\n{EXPERIMENT} x{n_topologies}: loop {loop_s:.3f}s, "
+        f"\n{experiment} x{n_topologies}: loop {loop_s:.3f}s, "
         f"vectorized {vec_s:.3f}s, speedup {timings['speedup']:.2f}x -> {out}"
     )
     return timings
 
 
 def test_vectorized_speedup_100_topologies():
-    timings = _run_benchmark(n_topologies=100, repeats=3)
+    timings = _run_benchmark("fig10", n_topologies=100, repeats=3)
     assert timings["speedup"] >= 3.0, (
         f"vectorized backend only {timings['speedup']:.2f}x faster"
     )
 
 
+def test_vectorized_fig15_speedup_100_topologies():
+    # The round-based network engine: 100 three-AP topologies at the
+    # registered default of 24 rounds each, including the CAS overhearing
+    # gate's rejection sampling (which the vectorized scheduler overdraws).
+    timings = _run_benchmark("fig15", n_topologies=100, repeats=1, suffix="-fig15")
+    assert timings["speedup"] >= 3.0, (
+        f"vectorized round engine only {timings['speedup']:.2f}x faster"
+    )
+
+
 @pytest.mark.benchsmoke
 def test_vectorized_smoke():
-    timings = _run_benchmark(n_topologies=12, repeats=2)
+    timings = _run_benchmark("fig10", n_topologies=12, repeats=2)
     # The bit-identity assertion inside _run_benchmark is the smoke test's
     # real job; millisecond-scale timings on shared CI runners are too
     # noisy to gate on, so the speedup is only recorded in the artifact.
     # The >= 3x claim is the opt-in 100-topology benchmark's to enforce.
+    assert timings["bit_identical"]
+
+
+@pytest.mark.benchsmoke
+def test_vectorized_fig15_smoke():
+    timings = _run_benchmark("fig15", n_topologies=6, repeats=1, suffix="-fig15")
     assert timings["bit_identical"]

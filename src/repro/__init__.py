@@ -41,6 +41,10 @@ factories) remains importable directly for custom studies; see
 ``examples/quickstart.py``.
 """
 
+# Defined before the subpackage imports below: repro.api.runner folds the
+# version into its cache keys at import time.
+__version__ = "1.2.0"
+
 from .analysis import EmpiricalCdf, median_gain
 from .api import (
     ExperimentDef,
@@ -76,15 +80,15 @@ from .topology import (
     AntennaMode,
     Deployment,
     Scenario,
+    dense_office_scenario,
     eight_ap_scenario,
+    grid_region_scenario,
     hidden_terminal_scenario,
     office_a,
     office_b,
     single_ap_scenario,
     three_ap_scenario,
 )
-
-__version__ = "1.1.0"
 
 __all__ = [
     "EmpiricalCdf",
@@ -126,7 +130,9 @@ __all__ = [
     "AntennaMode",
     "Deployment",
     "Scenario",
+    "dense_office_scenario",
     "eight_ap_scenario",
+    "grid_region_scenario",
     "hidden_terminal_scenario",
     "office_a",
     "office_b",

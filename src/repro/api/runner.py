@@ -7,7 +7,8 @@ The runner owns everything the declarative spec deliberately leaves out:
   ``build_batch`` hook, which evaluates all draws as stacked arrays
   (batched channel synthesis + broadcasting linalg precoders).  Both
   backends walk the same derived-seed stream and are **bit-identical**;
-  experiments without a batch hook silently fall back to the loop path;
+  experiments without a batch hook fall back to the loop path with a
+  warning naming the experiment;
 * **parallelism** -- per-topology evaluations fan out over a
   ``ProcessPoolExecutor`` when ``jobs > 1``; topology seeds are drawn in
   vectorized batches from the same derived-seed stream the serial path
@@ -19,19 +20,24 @@ The runner owns everything the declarative spec deliberately leaves out:
   constraints); the runner keeps drawing seed batches until the requested
   count is met (with the classic generous attempt cap);
 * **caching** -- with a ``cache_dir``, results are persisted as JSON keyed
-  by a hash of the fully resolved parameters and reloaded on a hit (the
-  backend is deliberately *not* part of the key: backends are bit-equal).
+  by a hash of the fully resolved parameters plus the package version, and
+  reloaded on a hit (the backend is deliberately *not* part of the key:
+  backends are bit-equal; the version *is*, because algorithm changes
+  between releases must invalidate stale entries).
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import math
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from itertools import repeat
 from pathlib import Path
 
+from .. import __version__ as _PACKAGE_VERSION
 from .. import rng as rng_mod
 from .experiments import ExperimentDef, get_experiment_def, load_builtin_experiments
 from .registry import ENVIRONMENTS, PRECODERS
@@ -159,12 +165,18 @@ class Runner:
         Hashing the resolved params (experiment defaults merged in) rather
         than the raw spec means a spec relying on a default and a spec
         stating it explicitly share one entry, and editing an experiment's
-        registered defaults invalidates stale cached results.
+        registered defaults invalidates stale cached results.  The package
+        version is folded in so entries do not survive algorithm changes
+        across releases.
         """
         if self.cache_dir is None:
             return None
         payload = json.dumps(
-            {"experiment": spec.experiment, "params": normalize_params(params)},
+            {
+                "experiment": spec.experiment,
+                "params": normalize_params(params),
+                "version": _PACKAGE_VERSION,
+            },
             sort_keys=True,
             separators=(",", ":"),
         )
@@ -179,6 +191,13 @@ class Runner:
         root_seed = int(params["seed"])
         max_attempts = max(200, 80 * n)
         vectorized = self.backend == "vectorized" and defn.build_batch is not None
+        if self.backend == "vectorized" and defn.build_batch is None:
+            warnings.warn(
+                f"experiment {defn.name!r} defines no build_batch hook; "
+                f"falling back to the per-topology loop backend",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         if self.batch_size is not None:
             batch_cap = self.batch_size
         elif vectorized:
@@ -195,6 +214,17 @@ class Runner:
                 # worker busy) so a parallel run schedules no more builds
                 # than a serial one; the cap only bounds a single round.
                 target = max(n - len(accepted), min(self.jobs, batch_cap))
+                if vectorized and attempts:
+                    # Rejection-heavy sweeps would otherwise shrink to
+                    # deficit-sized (eventually single-seed) batches and
+                    # forfeit the stacking win.  Overdraw by the observed
+                    # acceptance rate instead: the derived-seed stream and
+                    # each seed's accept/reject verdict are deterministic
+                    # and outcomes are consumed in stream order up to n,
+                    # so results are unchanged -- extra draws only cost the
+                    # (rejected) build work.
+                    rate = max(len(accepted) / attempts, 1.0 / 64.0)
+                    target = max(target, math.ceil((n - len(accepted)) / rate))
                 count = min(target, batch_cap, max_attempts - attempts)
                 seeds = rng_mod.derived_seeds(root_seed, attempts, count)
                 attempts += count

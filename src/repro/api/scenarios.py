@@ -13,7 +13,9 @@ from __future__ import annotations
 
 from ..topology.scenarios import (
     OfficeEnvironment,
+    dense_office_scenario,
     eight_ap_scenario,
+    grid_region_scenario,
     hidden_terminal_scenario,
     office_a,
     office_b,
@@ -30,6 +32,8 @@ register_scenario("single_ap")(single_ap_scenario)
 register_scenario("paired")(paired_scenarios)
 register_scenario("three_ap")(three_ap_scenario)
 register_scenario("eight_ap")(eight_ap_scenario)
+register_scenario("grid_region")(grid_region_scenario)
+register_scenario("dense_office")(dense_office_scenario)
 register_scenario("hidden_terminal")(hidden_terminal_scenario)
 
 

@@ -128,15 +128,17 @@ class ChannelBatch:
         cable_lengths = np.linalg.norm(self._antennas - ap_of_antenna, axis=-1)
         self._cable_loss_db = radio.cable_loss_db_per_m * cable_lengths
 
-        # Stacked tx-side fading correlation and the initial fading state.
-        # Innovations are the only random draws here and come from each
-        # item's own fading generator, in the scalar construction order.
+        # Stacked tx-side fading correlation.  The initial fading state is
+        # materialized lazily on first small-scale access: every item draws
+        # from its own independent fading generator, so deferring the draw
+        # cannot change any value -- and batches used only for large-scale
+        # maps (e.g. carrier-sense gating) never pay for it.
         self._corr_sqrt = correlation_sqrt(
             stacked_correlation(
                 self._antennas, radio.wavelength_m, radio.angular_spread_deg
             )
         )
-        self._state = self._innovation()
+        self._lazy_state: np.ndarray | None = None
         self._time_s = 0.0
 
         self._client_gain_db = self.large_scale_gain_db(self._clients)
@@ -196,6 +198,35 @@ class ChannelBatch:
         """Stacked large-scale received power (dBm) at ``rx_points``."""
         return self.radio.per_antenna_power_dbm + self.large_scale_gain_db(rx_points)
 
+    def antenna_cross_power_dbm(self) -> np.ndarray:
+        """Stacked antenna-to-antenna sensing powers
+        ``(batch, n_antennas, n_antennas)``; the vectorized mirror of
+        :meth:`repro.channel.model.ChannelModel.antenna_cross_power_dbm`
+        (elevated-path exponent, cable loss on both feeds, +inf diagonal).
+
+        Shadowing toward the antenna locations is drawn *after* the client
+        gains cached at construction, matching the scalar model's
+        node-visit order, so per-item values are bit-identical.
+        """
+        pts = self._antennas
+        dists = geometry.stacked_pairwise_distances(pts, pts)
+        gain = -self._sensing_pathloss.loss_db(dists)
+        if self.radio.wall_loss_db > 0:
+            gain -= walls.wall_loss_db(
+                pts,
+                pts,
+                self.radio.wall_spacing_m,
+                self.radio.wall_loss_db,
+                max_walls=self.radio.max_wall_count,
+            )
+        gain += self.shadowing_db(pts)
+        gain -= self._cable_loss_db[:, None, :]  # transmitter's feed
+        gain -= self._cable_loss_db[:, :, None]  # sensing antenna's own feed
+        power = self.radio.per_antenna_power_dbm + gain
+        eye = np.eye(power.shape[-1], dtype=bool)
+        power[:, eye] = np.inf
+        return power
+
     def client_rx_power_dbm(self) -> np.ndarray:
         """Stacked large-scale client RSSI (dBm), from the cached gains."""
         return self.radio.per_antenna_power_dbm + self._client_gain_db
@@ -217,16 +248,28 @@ class ChannelBatch:
         """Current simulation time of the batch's fading processes."""
         return self._time_s
 
-    def _innovation(self) -> np.ndarray:
+    def _innovation(self, items=None) -> np.ndarray:
         n_clients = self._clients.shape[1]
         n_antennas = self._antennas.shape[1]
+        rngs = (
+            self._fading_rngs
+            if items is None
+            else [self._fading_rngs[i] for i in items]
+        )
         white = np.stack(
             [
                 sample_fading(rng, n_clients, n_antennas, self.radio.rician_k)
-                for rng in self._fading_rngs
+                for rng in rngs
             ]
         )
-        return white @ np.swapaxes(self._corr_sqrt, -1, -2)
+        corr = self._corr_sqrt if items is None else self._corr_sqrt[items]
+        return white @ np.swapaxes(corr, -1, -2)
+
+    @property
+    def _state(self) -> np.ndarray:
+        if self._lazy_state is None:
+            self._lazy_state = self._innovation()
+        return self._lazy_state
 
     def channel_matrices(self) -> np.ndarray:
         """Instantaneous stacked ``H`` of shape
@@ -234,8 +277,16 @@ class ChannelBatch:
         amplitude = np.sqrt(units.db_to_linear(np.asarray(self._client_gain_db)))
         return amplitude * self._state
 
-    def advance(self, dt_s: float) -> None:
-        """Advance every item's fading process by ``dt_s`` seconds."""
+    def advance(self, dt_s: float, items=None) -> None:
+        """Advance fading by ``dt_s`` seconds.
+
+        ``items`` restricts the update to the given item indices (each item
+        draws from its own generator, so skipping the others never perturbs
+        them); the skipped items' states simply stay at their last value.
+        Note that :attr:`time_s` is the clock of the *advanced* items --
+        after masked advances it does not describe the skipped items'
+        (stale) fading states.
+        """
         if dt_s < 0:
             raise ValueError("dt_s must be non-negative")
         if dt_s == 0 or self.radio.doppler_hz == 0:
@@ -243,7 +294,11 @@ class ChannelBatch:
             return
         rho = float(j0(2.0 * np.pi * self.radio.doppler_hz * dt_s))
         rho = float(np.clip(rho, -1.0, 1.0))
-        self._state = rho * self._state + np.sqrt(
-            max(0.0, 1.0 - rho * rho)
-        ) * self._innovation()
+        scale = np.sqrt(max(0.0, 1.0 - rho * rho))
+        state = self._state  # materialize the initial draw first
+        if items is None:
+            self._lazy_state = rho * state + scale * self._innovation()
+        else:
+            items = np.asarray(items, dtype=int)
+            state[items] = rho * state[items] + scale * self._innovation(items)
         self._time_s += dt_s

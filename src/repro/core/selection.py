@@ -64,6 +64,83 @@ class DeficitRoundRobin:
         if losers.size:
             self._counters[losers] += len(served) * txop_units / losers.size
 
+    def credit(self, clients, txop_units: float = 1.0) -> None:
+        """Credit ``clients`` for ``txop_units`` of airtime they waited out.
+
+        The paper's update rule (:meth:`settle`) only moves counters when the
+        AP itself transmitted.  When the AP is blocked for a whole round, its
+        backlogged clients still watched that round's TXOP go by; crediting
+        the waiting time keeps their deficits growing so a long-blocked AP's
+        clients win access as soon as their AP next transmits.
+        """
+        clients = np.asarray(list(clients), dtype=int)
+        if clients.size:
+            self._counters[clients] += txop_units
+
+
+class BatchDeficitRoundRobin:
+    """Stacked :class:`DeficitRoundRobin`: one counter row per batch item.
+
+    Every operation takes boolean ``(n_items, n_clients)`` masks and applies
+    the scalar arithmetic per item under ``np.where`` -- the masked
+    control-flow idiom of :mod:`repro.core.batch` -- so item ``i``'s counters
+    are bit-identical to a scalar instance fed item ``i``'s rounds.
+    """
+
+    def __init__(self, n_items: int, n_clients: int):
+        if n_items < 1 or n_clients < 1:
+            raise ValueError("need at least one item and one client")
+        self._counters = np.zeros((n_items, n_clients), dtype=float)
+
+    @property
+    def counters(self) -> np.ndarray:
+        """Current ``(n_items, n_clients)`` deficit counters (a copy)."""
+        return self._counters.copy()
+
+    def pick(self, candidate_mask: np.ndarray) -> np.ndarray:
+        """Largest-deficit candidate per item, ``-1`` where none offered.
+
+        Ties break toward the lowest client index (``argmax`` returns the
+        first maximum), matching the scalar :meth:`DeficitRoundRobin.pick`.
+        """
+        candidate_mask = np.asarray(candidate_mask, dtype=bool)
+        masked = np.where(candidate_mask, self._counters, -np.inf)
+        picks = np.argmax(masked, axis=1)
+        return np.where(candidate_mask.any(axis=1), picks, -1)
+
+    def settle(
+        self,
+        served_mask: np.ndarray,
+        loser_mask: np.ndarray,
+        txop_units: float = 1.0,
+    ) -> None:
+        """Per-item paper update: served pay ``T``, losers split ``n*T``.
+
+        Items whose ``served_mask`` row is empty are untouched (the scalar
+        early return); items with no losers only debit the served.
+        """
+        served_mask = np.asarray(served_mask, dtype=bool)
+        loser_mask = np.asarray(loser_mask, dtype=bool)
+        if (served_mask & loser_mask).any():
+            raise ValueError("a client cannot be both served and unserved")
+        n_served = served_mask.sum(axis=1)
+        m_losers = loser_mask.sum(axis=1)
+        self._counters = np.where(
+            served_mask, self._counters - txop_units, self._counters
+        )
+        share = n_served * txop_units / np.maximum(m_losers, 1)
+        apply = loser_mask & ((n_served > 0) & (m_losers > 0))[:, None]
+        self._counters = np.where(
+            apply, self._counters + share[:, None], self._counters
+        )
+
+    def credit(self, client_mask: np.ndarray, txop_units: float = 1.0) -> None:
+        """Masked mirror of :meth:`DeficitRoundRobin.credit`."""
+        client_mask = np.asarray(client_mask, dtype=bool)
+        self._counters = np.where(
+            client_mask, self._counters + txop_units, self._counters
+        )
+
 
 @dataclass(frozen=True)
 class SelectionOutcome:

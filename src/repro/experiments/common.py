@@ -126,6 +126,38 @@ def sweep_topologies(
     return results
 
 
+def three_ap_overhearing_batch(environment, seeds):
+    """CAS-gate a batch of three-AP topology seeds (figs 12 and 15).
+
+    Builds CAS-only scenarios for every seed, applies the paper's mutual
+    overhearing rule via the batched carrier-sense gate, and builds the
+    (expensive, rejection-sampled, independently-seeded) DAS scenarios only
+    for the survivors.  Returns ``(index, accepted_seeds, cas_scenarios,
+    das_scenarios)`` where ``index`` maps survivor slots back to positions
+    in ``seeds`` and the scenario lists cover survivors only.
+    """
+    from ..sim.batch import RoundBasedEvaluatorBatch
+    from ..topology.scenarios import three_ap_scenario
+
+    seeds = list(seeds)
+    cas_all = [
+        three_ap_scenario(environment, seed=seed, modes=(AntennaMode.CAS,))[
+            AntennaMode.CAS
+        ]
+        for seed in seeds
+    ]
+    accepted = RoundBasedEvaluatorBatch.mutual_overhear_mask(cas_all, seeds)
+    index = np.flatnonzero(accepted)
+    accepted_seeds = [seeds[i] for i in index]
+    das_scenarios = [
+        three_ap_scenario(environment, seed=seed, modes=(AntennaMode.DAS,))[
+            AntennaMode.DAS
+        ]
+        for seed in accepted_seeds
+    ]
+    return index, accepted_seeds, [cas_all[i] for i in index], das_scenarios
+
+
 def channel_for(scenario: Scenario, seed: int) -> ChannelModel:
     """Channel model bound to a scenario with a derived seed."""
     return ChannelModel(scenario.deployment, scenario.radio, seed=seed)

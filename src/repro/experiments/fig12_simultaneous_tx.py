@@ -15,11 +15,12 @@ import numpy as np
 from .. import rng as rng_mod
 from ..api.experiments import register_experiment
 from ..api.scenarios import resolve_environment
+from ..sim.batch import RoundBasedEvaluatorBatch, count_streams_batch
 from ..sim.network import MacMode, aps_mutually_overhear
 from ..sim.rounds import RoundBasedEvaluator
 from ..topology.deployment import AntennaMode
 from ..topology.scenarios import three_ap_scenario
-from .common import ExperimentResult, legacy_run
+from .common import ExperimentResult, legacy_run, three_ap_overhearing_batch
 
 
 def count_streams(
@@ -60,6 +61,28 @@ def _build(topo_seed: int, params: dict) -> dict | None:
     return {"midas": midas_streams, "cas": cas_streams}
 
 
+def _build_batch(topo_seeds, params: dict) -> list[dict | None]:
+    env = resolve_environment(params["environment"])
+    seeds = list(topo_seeds)
+    index, accepted_seeds, cas_scenarios, das_scenarios = three_ap_overhearing_batch(
+        env, seeds
+    )
+    outcomes: list[dict | None] = [None] * len(seeds)
+    if index.size == 0:
+        return outcomes
+    das_batch = RoundBasedEvaluatorBatch(
+        das_scenarios, MacMode.MIDAS, seeds=accepted_seeds
+    )
+    rngs = [rng_mod.make_rng(seed) for seed in accepted_seeds]
+    midas_streams = count_streams_batch(
+        das_batch, rngs, params["rounds_per_topology"]
+    )
+    cas_streams = float(len(cas_scenarios[0].deployment.antennas_of(0)))
+    for slot, i in enumerate(index):
+        outcomes[i] = {"midas": float(midas_streams[slot]), "cas": cas_streams}
+    return outcomes
+
+
 def _finalize(outcomes: list[dict], params: dict) -> ExperimentResult:
     ratios = [o["midas"] / o["cas"] for o in outcomes]
     return ExperimentResult(
@@ -84,6 +107,7 @@ class Fig12Experiment:
         "rounds_per_topology": 12,
     }
     build = staticmethod(_build)
+    build_batch = staticmethod(_build_batch)
     finalize = staticmethod(_finalize)
 
 

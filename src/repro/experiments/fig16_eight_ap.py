@@ -15,6 +15,7 @@ import numpy as np
 
 from ..api.experiments import register_experiment
 from ..api.scenarios import resolve_environment
+from ..sim.batch import RoundBasedEvaluatorBatch
 from ..sim.network import MacMode
 from ..sim.rounds import RoundBasedEvaluator
 from ..topology.deployment import AntennaMode
@@ -38,6 +39,37 @@ def _build(topo_seed: int, params: dict) -> dict | None:
         "cas": cas_res.mean_capacity_bps_hz,
         "das": das_res.mean_capacity_bps_hz,
     }
+
+
+def _build_batch(topo_seeds, params: dict) -> list[dict | None]:
+    env = resolve_environment(params["environment"])
+    seeds = list(topo_seeds)
+    pairs: list[dict | None] = []
+    for seed in seeds:
+        try:
+            pairs.append(
+                eight_ap_scenario(env, seed=seed, region_m=params["region_m"])
+            )
+        except RuntimeError:
+            pairs.append(None)
+    outcomes: list[dict | None] = [None] * len(seeds)
+    index = [i for i, pair in enumerate(pairs) if pair is not None]
+    if not index:
+        return outcomes
+    accepted_seeds = [seeds[i] for i in index]
+    rounds = params["rounds_per_topology"]
+    cas_results = RoundBasedEvaluatorBatch(
+        [pairs[i][AntennaMode.CAS] for i in index], MacMode.CAS, seeds=accepted_seeds
+    ).run(rounds)
+    das_results = RoundBasedEvaluatorBatch(
+        [pairs[i][AntennaMode.DAS] for i in index], MacMode.MIDAS, seeds=accepted_seeds
+    ).run(rounds)
+    for slot, i in enumerate(index):
+        outcomes[i] = {
+            "cas": cas_results[slot].mean_capacity_bps_hz,
+            "das": das_results[slot].mean_capacity_bps_hz,
+        }
+    return outcomes
 
 
 def _finalize(outcomes: list[dict], params: dict) -> ExperimentResult:
@@ -68,6 +100,7 @@ class Fig16Experiment:
         "region_m": 60.0,
     }
     build = staticmethod(_build)
+    build_batch = staticmethod(_build_batch)
     finalize = staticmethod(_finalize)
 
 

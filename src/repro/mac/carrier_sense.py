@@ -8,6 +8,13 @@ received above the (more sensitive) preamble-decode threshold.
 
 The model is large-scale only: carrier sense in hardware integrates over
 many OFDM symbols, which averages small-scale fading out.
+
+Every aggregate here is computed as a *masked reduction over the full
+antenna axis* (``np.where(mask, row, 0.0).sum()``), never as a sum over a
+compacted index subset.  Summing a fixed-length vector is what makes the
+scalar model and :class:`repro.sim.batch.CarrierSenseBatch` bit-identical:
+both reduce length-``n_antennas`` rows with the same pairwise-summation
+tree, and the masked-out exact zeros cannot change any partial sum.
 """
 
 from __future__ import annotations
@@ -47,14 +54,23 @@ class CarrierSenseModel:
     def n_antennas(self) -> int:
         return self._cross_mw.shape[0]
 
+    def _tx_mask(self, transmitting, exclude=()) -> np.ndarray:
+        mask = np.zeros(self.n_antennas, dtype=bool)
+        tx = np.asarray(list(transmitting), dtype=int)
+        if tx.size:
+            mask[tx] = True
+        for index in exclude:
+            mask[index] = False
+        return mask
+
     def sensed_power_mw(self, listener: int, transmitting) -> float:
         """Aggregate power antenna ``listener`` receives from ``transmitting``
         antennas (its own transmissions excluded -- self-sensing is handled
         at the MAC level, a transmitting antenna is trivially busy)."""
-        tx = [t for t in np.asarray(list(transmitting), dtype=int) if t != listener]
-        if not tx:
+        mask = self._tx_mask(transmitting, exclude=(listener,))
+        if not mask.any():
             return 0.0
-        return float(self._cross_mw[listener, tx].sum())
+        return float(np.where(mask, self._cross_mw[listener], 0.0).sum())
 
     def is_busy(self, listener: int, transmitting) -> bool:
         """Energy-detect verdict for ``listener`` given active transmitters."""
@@ -65,14 +81,13 @@ class CarrierSenseModel:
 
         Transmitting antennas are busy by definition.
         """
-        tx = np.asarray(list(transmitting), dtype=int)
-        mask = np.zeros(self.n_antennas, dtype=bool)
-        if tx.size == 0:
-            return mask
-        power = self._cross_mw[:, tx].sum(axis=1)
-        mask = power >= self._mac.cs_threshold_mw
-        mask[tx] = True
-        return mask
+        mask = self._tx_mask(transmitting)
+        if not mask.any():
+            return np.zeros(self.n_antennas, dtype=bool)
+        power = np.where(mask[None, :], self._cross_mw, 0.0).sum(axis=1)
+        busy = power >= self._mac.cs_threshold_mw
+        busy[mask] = True
+        return busy
 
     def decodes(self, listener: int, transmitter: int, interferers=()) -> bool:
         """True when ``listener`` can decode ``transmitter``'s preamble and
@@ -84,15 +99,11 @@ class CarrierSenseModel:
         """
         if not self._decodable[listener, transmitter]:
             return False
-        others = [
-            i
-            for i in np.asarray(list(interferers), dtype=int)
-            if i != listener and i != transmitter
-        ]
-        if not others:
+        mask = self._tx_mask(interferers, exclude=(listener, transmitter))
+        if not mask.any():
             return True
         signal = self._cross_mw[listener, transmitter]
-        interference = float(self._cross_mw[listener, others].sum())
+        interference = float(np.where(mask, self._cross_mw[listener], 0.0).sum())
         if interference <= 0:
             return True
         capture = units.db_to_linear(self._mac.preamble_capture_db)

@@ -1,14 +1,22 @@
-"""Discrete-event network simulation: CSMA/CA + MU-MIMO TXOPs over the
-channel substrate, in CAS (baseline 802.11ac) or MIDAS mode."""
+"""Network simulation: the paper's quasi-static round protocol (scalar and
+batched) plus the closed-loop discrete-event CSMA/CA + MU-MIMO extension,
+in CAS (baseline 802.11ac) or MIDAS mode."""
 
+from .batch import CarrierSenseBatch, RoundBasedEvaluatorBatch
 from .engine import EventQueue
 from .network import MacMode, NetworkSimulation, SimulationResult
 from .radio_state import ActiveTransmission, TransmissionLog
+from .rounds import RoundBasedEvaluator, RoundBasedResult, RoundResult
 
 __all__ = [
+    "CarrierSenseBatch",
     "EventQueue",
     "MacMode",
     "NetworkSimulation",
+    "RoundBasedEvaluator",
+    "RoundBasedEvaluatorBatch",
+    "RoundBasedResult",
+    "RoundResult",
     "SimulationResult",
     "ActiveTransmission",
     "TransmissionLog",

@@ -1,0 +1,612 @@
+"""Batched round-based network evaluation: whole seed batches as array math.
+
+:class:`RoundBasedEvaluatorBatch` is the vectorized mirror of N independent
+:class:`~repro.sim.rounds.RoundBasedEvaluator` instances, evaluating every
+topology draw of a batch simultaneously:
+
+* **carrier sense** -- :class:`CarrierSenseBatch` computes busy verdicts and
+  NAV/preamble-capture decode checks as masked reductions over the stacked
+  ``(batch, n_antennas, n_antennas)`` cross-power maps;
+* **client selection** -- :class:`~repro.core.selection.BatchDeficitRoundRobin`
+  plus stacked tag tables pick clients with per-item masks, visiting
+  antennas in the same order as the scalar greedy loop;
+* **precoding and scoring** -- per-round transmit sets are grouped by
+  sub-channel shape and solved through :mod:`repro.core.batch`'s stacked
+  precoders; SINRs include cross-AP interference accumulated in the scalar
+  evaluator's order.
+
+The contract is the vectorized backend's usual one, asserted by the
+equivalence suite: item ``i`` of every result is **bit-identical** to
+running the scalar evaluator on scenario ``i`` alone.  The carrier-sense
+side of that contract holds because both implementations reduce masked
+*full-length* antenna rows (see :mod:`repro.mac.carrier_sense`); the
+linear-algebra side holds because both reduce the same trailing axes of
+the same stacked operands.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import rng as rng_mod
+from .. import units
+from ..channel.batch import ChannelBatch
+from ..channel.model import apply_csi_error
+from ..config import MacConfig, SimConfig
+from ..core.batch import (
+    naive_scaled_precoder as batch_naive_precoder,
+    power_balanced_precoder as batch_power_balanced_precoder,
+)
+from ..core.selection import BatchDeficitRoundRobin
+from ..core.tagging import TagTable
+from .network import MacMode
+from .rounds import RoundBasedResult, RoundResult
+
+
+class CarrierSenseBatch:
+    """Stacked :class:`~repro.mac.carrier_sense.CarrierSenseModel`.
+
+    Parameters
+    ----------
+    cross_power_dbm:
+        ``(batch, n_antennas, n_antennas)`` sensing powers, one map per
+        topology draw (:meth:`repro.channel.batch.ChannelBatch.antenna_cross_power_dbm`).
+    mac:
+        Thresholds shared by the whole batch.
+
+    Active transmitter sets are boolean masks ``(batch, n_antennas)``; all
+    verdicts come back stacked.  Every aggregate is a masked reduction over
+    the full trailing antenna axis, bit-identical to the scalar model's
+    masked row sums.
+    """
+
+    def __init__(self, cross_power_dbm: np.ndarray, mac: MacConfig):
+        cross = np.asarray(cross_power_dbm, dtype=float)
+        if cross.ndim != 3 or cross.shape[1] != cross.shape[2]:
+            raise ValueError(
+                "cross_power_dbm must be a (batch, n_antennas, n_antennas) stack"
+            )
+        self._mac = mac
+        self._cross_mw = units.dbm_to_mw(np.where(np.isinf(cross), -np.inf, cross))
+        self._decodable = cross >= mac.nav_decode_dbm
+        eye = np.eye(cross.shape[1], dtype=bool)
+        self._decodable[:, eye] = True
+        self._not_self = ~eye
+
+    @property
+    def n_items(self) -> int:
+        return self._cross_mw.shape[0]
+
+    @property
+    def n_antennas(self) -> int:
+        return self._cross_mw.shape[1]
+
+    def _as_tx_mask(self, tx_mask) -> np.ndarray:
+        mask = np.asarray(tx_mask, dtype=bool)
+        if mask.shape != (self.n_items, self.n_antennas):
+            raise ValueError(
+                f"tx_mask must be (batch, n_antennas) = "
+                f"({self.n_items}, {self.n_antennas}), got {mask.shape}"
+            )
+        return mask
+
+    def sensed_power_mw(self, tx_mask, listeners=None) -> np.ndarray:
+        """Aggregate sensed power per listener, ``(batch, n_listeners)``
+        (each listener's own transmission excluded, as in the scalar model).
+
+        ``listeners`` restricts the listener axis to the given antenna
+        indices (default: all antennas); each listener's reduction is the
+        same masked full-length row sum either way.
+        """
+        tx = self._as_tx_mask(tx_mask)
+        not_self = self._not_self
+        cross = self._cross_mw
+        if listeners is not None:
+            listeners = np.asarray(listeners, dtype=int)
+            not_self = not_self[listeners]
+            cross = cross[:, listeners, :]
+        mask = tx[:, None, :] & not_self[None, :, :]
+        return np.where(mask, cross, 0.0).sum(axis=-1)
+
+    def busy_mask(self, tx_mask) -> np.ndarray:
+        """Energy-detect verdicts ``(batch, n_antennas)``; transmitting
+        antennas are busy by definition."""
+        tx = self._as_tx_mask(tx_mask)
+        busy = self.sensed_power_mw(tx) >= self._mac.cs_threshold_mw
+        return busy | tx
+
+    def decode_mask(self, tx_mask, listeners=None) -> np.ndarray:
+        """Preamble-decode verdicts ``(batch, listener, transmitter)`` with
+        capture against the other transmitters in ``tx_mask``.
+
+        Entry ``[b, l, t]`` equals the scalar
+        ``decodes(l, t, interferers=active_set_b)``; ``listeners`` restricts
+        (and reorders) the listener axis like in :meth:`sensed_power_mw`.
+        """
+        tx = self._as_tx_mask(tx_mask)
+        not_self_l = self._not_self
+        cross_l = self._cross_mw
+        decodable = self._decodable
+        if listeners is not None:
+            listeners = np.asarray(listeners, dtype=int)
+            not_self_l = not_self_l[listeners]
+            cross_l = cross_l[:, listeners, :]
+            decodable = decodable[:, listeners, :]
+        # interferers[b, l, t, k]: active antennas other than l and t.
+        interferer = (
+            tx[:, None, None, :]
+            & not_self_l[None, :, None, :]
+            & self._not_self[None, None, :, :]
+        )
+        interference = np.where(
+            interferer, cross_l[:, :, None, :], 0.0
+        ).sum(axis=-1)
+        signal = cross_l
+        capture = units.db_to_linear(self._mac.preamble_capture_db)
+        captures = (interference <= 0) | (signal >= capture * interference)
+        return decodable & captures
+
+    def nav_blocked_mask(self, tx_mask, listeners=None) -> np.ndarray:
+        """Listeners whose NAV a transmission in ``tx_mask`` would set,
+        ``(batch, n_listeners)``: the antenna decodes at least one active
+        transmitter's preamble through the aggregate interference."""
+        tx = self._as_tx_mask(tx_mask)
+        return (self.decode_mask(tx, listeners) & tx[:, None, :]).any(axis=-1)
+
+    def decodable_mask(self) -> np.ndarray:
+        """Clean-medium decode verdicts ``(batch, listener, transmitter)``
+        (a copy): the scalar ``decodes(l, t)`` with no interferers."""
+        return self._decodable.copy()
+
+    def single_tx_busy(self) -> np.ndarray:
+        """Energy-detect verdicts for one lone transmitter,
+        ``(batch, listener, transmitter)``: the scalar ``is_busy(l, [t])``."""
+        return self._cross_mw >= self._mac.cs_threshold_mw
+
+
+def _mutual_overhear_from_decodable(
+    decodable: np.ndarray, antennas_of: list[np.ndarray]
+) -> np.ndarray:
+    """Per-item §5 mutual-overhearing rule from clean-medium decode verdicts:
+    every AP pair must decode each other's preambles in both directions."""
+    n_items = decodable.shape[0]
+    ok = np.ones(n_items, dtype=bool)
+    items = range(n_items)
+    for ap_a in range(len(antennas_of)):
+        for ap_b in range(ap_a + 1, len(antennas_of)):
+            ants_a = antennas_of[ap_a]
+            ants_b = antennas_of[ap_b]
+            ok &= decodable[np.ix_(items, ants_a, ants_b)].any(axis=(1, 2))
+            ok &= decodable[np.ix_(items, ants_b, ants_a)].any(axis=(1, 2))
+    return ok
+
+
+class RoundBasedEvaluatorBatch:
+    """Quasi-static evaluation of a batch of same-shape scenarios.
+
+    Parameters
+    ----------
+    scenarios:
+        One :class:`~repro.topology.scenarios.Scenario` per topology draw;
+        all must share radio/MAC constants and the same AP/antenna/client
+        ownership structure so stacks are rectangular.
+    mode:
+        CAS or MIDAS, applied to the whole batch.
+    sim:
+        Simulation constants shared by the batch.
+    seeds:
+        One seed per scenario; item ``i`` consumes randomness exactly like
+        ``RoundBasedEvaluator(scenarios[i], mode, sim, seed=seeds[i])``.
+    """
+
+    def __init__(self, scenarios, mode: MacMode, sim: SimConfig | None = None, seeds=None):
+        scenarios = list(scenarios)
+        if not scenarios:
+            raise ValueError("need at least one scenario")
+        seeds = [0] * len(scenarios) if seeds is None else list(seeds)
+        if len(seeds) != len(scenarios):
+            raise ValueError("need one seed per scenario")
+        first = scenarios[0]
+        if any(s.radio != first.radio or s.mac != first.mac for s in scenarios[1:]):
+            raise ValueError("batched scenarios must share radio and MAC configs")
+        deployments = [s.deployment for s in scenarios]
+        structure = deployments[0]
+        for dep in deployments[1:]:
+            if not (
+                np.array_equal(dep.antenna_ap, structure.antenna_ap)
+                and np.array_equal(dep.client_ap, structure.client_ap)
+            ):
+                raise ValueError(
+                    "batched deployments must share one AP/antenna/client "
+                    "ownership structure"
+                )
+        self.scenarios = scenarios
+        self.mode = mode
+        self.sim = sim or SimConfig()
+        self.n_items = len(scenarios)
+        self.n_aps = structure.n_aps
+        self._antennas_of = [structure.antennas_of(ap) for ap in range(self.n_aps)]
+        self._clients_of = [structure.clients_of(ap) for ap in range(self.n_aps)]
+
+        # Per-item generator trees, spawned exactly like the scalar evaluator.
+        channel_rngs, self._csi_rngs = [], []
+        for seed in seeds:
+            root = rng_mod.make_rng(seed)
+            channel_rng, csi_rng = rng_mod.spawn(root, 2)
+            channel_rngs.append(channel_rng)
+            self._csi_rngs.append(csi_rng)
+        self.channel = ChannelBatch(deployments, first.radio, channel_rngs)
+        self.carrier_sense = CarrierSenseBatch(
+            self.channel.antenna_cross_power_dbm(), first.mac
+        )
+        self._drr = {
+            ap: BatchDeficitRoundRobin(self.n_items, len(self._clients_of[ap]))
+            for ap in range(self.n_aps)
+        }
+        rssi = self.channel.client_rx_power_dbm()
+        self._tags = {}
+        for ap in range(self.n_aps):
+            clients = self._clients_of[ap]
+            antennas = self._antennas_of[ap]
+            width = min(first.mac.tag_width, len(antennas))
+            self._tags[ap] = np.stack(
+                [
+                    TagTable.from_rssi(rssi[b][np.ix_(clients, antennas)], width).tags
+                    for b in range(self.n_items)
+                ]
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def mutual_overhear_mask(cls, scenarios, seeds=None) -> np.ndarray:
+        """Per-item mutual-overhearing verdicts without a full evaluator.
+
+        Identical to ``cls(scenarios, mode, seeds=seeds).aps_mutually_overhear()``
+        -- the per-item generator tree and shadowing node order are the same
+        -- but skips the DRR/tag/fading state that rejected topologies never
+        use.  Experiments gate large candidate batches with this, then build
+        evaluators for the survivors only.
+        """
+        scenarios = list(scenarios)
+        seeds = [0] * len(scenarios) if seeds is None else list(seeds)
+        channel_rngs = []
+        for seed in seeds:
+            root = rng_mod.make_rng(seed)
+            channel_rng, __ = rng_mod.spawn(root, 2)
+            channel_rngs.append(channel_rng)
+        first = scenarios[0]
+        channel = ChannelBatch(
+            [s.deployment for s in scenarios], first.radio, channel_rngs
+        )
+        sense = CarrierSenseBatch(channel.antenna_cross_power_dbm(), first.mac)
+        structure = first.deployment
+        return _mutual_overhear_from_decodable(
+            sense.decodable_mask(),
+            [structure.antennas_of(ap) for ap in range(structure.n_aps)],
+        )
+
+    def antennas_of(self, ap: int) -> np.ndarray:
+        """Global antenna indices of AP ``ap`` (shared by all items)."""
+        return self._antennas_of[ap].copy()
+
+    def clients_of(self, ap: int) -> np.ndarray:
+        """Global client indices of AP ``ap`` (shared by all items)."""
+        return self._clients_of[ap].copy()
+
+    def aps_mutually_overhear(self) -> np.ndarray:
+        """Per-item verdict of :func:`repro.sim.network.aps_mutually_overhear`
+        on the batch's own carrier-sense state, ``(batch,)`` bool."""
+        return _mutual_overhear_from_decodable(
+            self.carrier_sense.decodable_mask(), self._antennas_of
+        )
+
+    def free_antenna_masks(self, ap: int, active_mask: np.ndarray) -> np.ndarray:
+        """Per-item mask over AP ``ap``'s antennas whose physical CS and NAV
+        permit transmission given the active set, ``(batch, n_own)`` --
+        the stacked mirror of the scalar ``_free_antennas``."""
+        own = self._antennas_of[ap]
+        sensed = self.carrier_sense.sensed_power_mw(active_mask, listeners=own)
+        busy = sensed >= self.scenarios[0].mac.cs_threshold_mw
+        nav = self.carrier_sense.nav_blocked_mask(active_mask, listeners=own)
+        return ~busy & ~nav
+
+    # ------------------------------------------------------------------
+    def _select_clients(
+        self, ap: int, use_mask: np.ndarray, participate: np.ndarray
+    ) -> tuple[np.ndarray, list[list[int]]]:
+        """Masked client selection for AP ``ap`` this round.
+
+        ``use_mask`` flags, per item, which of the AP's antennas transmit
+        (own-antenna order); ``participate`` gates whole items.  Returns the
+        chosen-client mask and the per-item pick order (which fixes the
+        stream order of the precoded burst, as in the scalar evaluator).
+        """
+        n_clients = len(self._clients_of[ap])
+        n_own = use_mask.shape[1]
+        drr = self._drr[ap]
+        chosen_mask = np.zeros((self.n_items, n_clients), dtype=bool)
+        chosen_lists: list[list[int]] = [[] for _ in range(self.n_items)]
+
+        def take(picks: np.ndarray) -> None:
+            taken = np.flatnonzero(picks >= 0)
+            chosen_mask[taken, picks[taken]] = True
+            for b in taken:
+                chosen_lists[b].append(int(picks[b]))
+
+        if self.mode is MacMode.CAS:
+            for __ in range(min(n_own, n_clients)):
+                take(drr.pick(~chosen_mask & participate[:, None]))
+            return chosen_mask, chosen_lists
+        tags = self._tags[ap]
+        for local in range(n_own):
+            candidates = (
+                tags[:, :, local]
+                & ~chosen_mask
+                & use_mask[:, local][:, None]
+                & participate[:, None]
+            )
+            take(drr.pick(candidates))
+        return chosen_mask, chosen_lists
+
+    def _plan_round(
+        self, primary_ap: int, item_active: np.ndarray
+    ) -> tuple[list[list[tuple[int, np.ndarray, list[int]]]], np.ndarray, dict]:
+        """Greedy §5.3.1 channel-access planning over the whole batch."""
+        order = [(primary_ap + i) % self.n_aps for i in range(self.n_aps)]
+        active_mask = np.zeros(
+            (self.n_items, self.carrier_sense.n_antennas), dtype=bool
+        )
+        planned: list[list[tuple[int, np.ndarray, list[int]]]] = [
+            [] for _ in range(self.n_items)
+        ]
+        served_masks: dict[int, np.ndarray] = {}
+        for position, ap in enumerate(order):
+            own = self._antennas_of[ap]
+            n_own = len(own)
+            if position == 0:
+                free = np.ones((self.n_items, n_own), dtype=bool)
+            else:
+                free = self.free_antenna_masks(ap, active_mask)
+            if self.mode is MacMode.CAS:
+                # One channel state per AP: all antennas or silence.
+                participate = item_active & (
+                    np.ones(self.n_items, dtype=bool)
+                    if position == 0
+                    else free.all(axis=1)
+                )
+                use = np.repeat(participate[:, None], n_own, axis=1)
+            else:
+                use = (
+                    np.ones((self.n_items, n_own), dtype=bool)
+                    if position == 0
+                    else free
+                )
+                participate = item_active & use.any(axis=1)
+                use = use & participate[:, None]
+            chosen_mask, chosen_lists = self._select_clients(ap, use, participate)
+            committed = participate & chosen_mask.any(axis=1)
+            served_masks[ap] = chosen_mask & committed[:, None]
+            active_mask[:, own] |= use & committed[:, None]
+            for b in np.flatnonzero(committed):
+                planned[b].append((ap, own[use[b]], chosen_lists[b]))
+        return planned, active_mask, served_masks
+
+    def _settle_round(self, served_masks: dict, item_active: np.ndarray) -> None:
+        """Per-AP DRR settlement; every AP settles every round (blocked APs
+        credit their waiting clients), mirroring the scalar evaluator."""
+        for ap in range(self.n_aps):
+            served = served_masks[ap]
+            has_served = served.any(axis=1)
+            self._drr[ap].settle(served, ~served & has_served[:, None])
+            self._drr[ap].credit((item_active & ~has_served)[:, None])
+
+    def _score_round(
+        self, planned: list, item_active: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Precode every planned set and score with mutual interference.
+
+        Heavy solves and matmuls run grouped by sub-channel shape through
+        the stacked precoders; per-item assembly follows the scalar
+        accumulation order so every float matches bit for bit.
+        """
+        h = self.channel.channel_matrices()
+        radio = self.scenarios[0].radio
+        noise_mw = radio.noise_mw
+
+        # Collect per-slot sub-channels; CSI noise draws consume each item's
+        # own generator in planned order, exactly like the scalar loop.
+        slot_true: dict[tuple[int, int], np.ndarray] = {}
+        slot_clients: dict[tuple[int, int], np.ndarray] = {}
+        slot_estimates: dict[tuple[int, int], np.ndarray] = {}
+        for b in np.flatnonzero(item_active):
+            for s, (ap, antennas, chosen) in enumerate(planned[b]):
+                clients_global = self._clients_of[ap][np.asarray(chosen)]
+                h_sub = h[b][np.ix_(clients_global, antennas)]
+                slot_true[(b, s)] = h_sub
+                slot_clients[(b, s)] = clients_global
+                slot_estimates[(b, s)] = apply_csi_error(
+                    h_sub, self.sim.csi_error_std, self._csi_rngs[b]
+                )
+
+        # Stacked precoding, grouped by (n_streams, n_antennas).
+        precoders: dict[tuple[int, int], np.ndarray] = {}
+        groups: dict[tuple[int, ...], list[tuple[int, int]]] = {}
+        for key, h_est in slot_estimates.items():
+            groups.setdefault(h_est.shape, []).append(key)
+        for keys in groups.values():
+            stack = np.stack([slot_estimates[k] for k in keys])
+            if self.mode is MacMode.CAS:
+                v = batch_naive_precoder(stack, radio.per_antenna_power_mw)
+            else:
+                v = batch_power_balanced_precoder(
+                    stack, radio.per_antenna_power_mw, radio.noise_mw
+                ).v
+            for index, key in enumerate(keys):
+                precoders[key] = v[index]
+
+        # Desired/intra-cell terms, grouped by the same shapes.
+        desired: dict[tuple[int, int], np.ndarray] = {}
+        intra: dict[tuple[int, int], np.ndarray] = {}
+        for keys in groups.values():
+            own = (
+                np.abs(
+                    np.stack([slot_true[k] for k in keys])
+                    @ np.stack([precoders[k] for k in keys])
+                )
+                ** 2
+            )
+            diag = np.diagonal(own, axis1=-2, axis2=-1)
+            row_sums = own.sum(axis=-1)
+            for index, key in enumerate(keys):
+                desired[key] = diag[index]
+                intra[key] = row_sums[index] - diag[index]
+
+        # Cross-AP interference, grouped by (n_rx, n_tx_other, n_streams_other).
+        pair_groups: dict[tuple[int, int, int], list[tuple[int, int, int]]] = {}
+        for b in np.flatnonzero(item_active):
+            for s in range(len(planned[b])):
+                for other in range(len(planned[b])):
+                    if other == s:
+                        continue
+                    k_rx = len(slot_clients[(b, s)])
+                    __, other_ants, other_chosen = planned[b][other]
+                    pair_groups.setdefault(
+                        (k_rx, len(other_ants), len(other_chosen)), []
+                    ).append((b, s, other))
+        cross_terms: dict[tuple[int, int, int], np.ndarray] = {}
+        for keys in pair_groups.values():
+            h_cross = np.stack(
+                [
+                    h[b][np.ix_(slot_clients[(b, s)], planned[b][other][1])]
+                    for b, s, other in keys
+                ]
+            )
+            v_other = np.stack([precoders[(b, other)] for b, s, other in keys])
+            summed = (np.abs(h_cross @ v_other) ** 2).sum(axis=-1)
+            for index, key in enumerate(keys):
+                cross_terms[key] = summed[index]
+
+        # Per-slot external interference, accumulated in the scalar order.
+        externals: dict[tuple[int, int], np.ndarray] = {}
+        for b in np.flatnonzero(item_active):
+            for s in range(len(planned[b])):
+                external = np.zeros(len(slot_clients[(b, s)]))
+                for other in range(len(planned[b])):
+                    if other != s:
+                        external += cross_terms[(b, s, other)]
+                externals[(b, s)] = external
+
+        # SINR -> per-slot capacity, grouped by stream count (stacked
+        # elementwise ops plus the same trailing-axis log2 reduction).
+        slot_capacity: dict[tuple[int, int], float] = {}
+        k_groups: dict[int, list[tuple[int, int]]] = {}
+        for key, external in externals.items():
+            k_groups.setdefault(len(external), []).append(key)
+        for keys in k_groups.values():
+            sinr = np.stack([desired[k] for k in keys]) / (
+                noise_mw
+                + np.stack([intra[k] for k in keys])
+                + np.stack([externals[k] for k in keys])
+            )
+            sums = np.log2(1.0 + sinr).sum(axis=-1)
+            for index, key in enumerate(keys):
+                slot_capacity[key] = float(sums[index])
+
+        # Per-item assembly in the scalar accumulation order.
+        capacity = np.zeros(self.n_items)
+        n_streams = np.zeros(self.n_items, dtype=int)
+        per_ap_streams = np.zeros((self.n_items, self.n_aps), dtype=int)
+        for b in np.flatnonzero(item_active):
+            total = 0.0
+            for s, (ap, __, chosen) in enumerate(planned[b]):
+                total += slot_capacity[(b, s)]
+                n_streams[b] += len(chosen)
+                per_ap_streams[b, ap] = len(chosen)
+            capacity[b] = total
+        return capacity, n_streams, per_ap_streams
+
+    # ------------------------------------------------------------------
+    def evaluate_round(
+        self, primary_ap: int, item_mask=None
+    ) -> list[RoundResult | None]:
+        """One concurrent round for every (selected) item; entry ``i`` is
+        bit-identical to the scalar ``evaluate_round(primary_ap)`` on item
+        ``i``, or ``None`` where ``item_mask`` excludes it."""
+        item_active = (
+            np.ones(self.n_items, dtype=bool)
+            if item_mask is None
+            else np.asarray(item_mask, dtype=bool)
+        )
+        planned, active_mask, served_masks = self._plan_round(
+            primary_ap, item_active
+        )
+        capacity, n_streams, per_ap_streams = self._score_round(
+            planned, item_active
+        )
+        self._settle_round(served_masks, item_active)
+        results: list[RoundResult | None] = []
+        for b in range(self.n_items):
+            if not item_active[b]:
+                results.append(None)
+                continue
+            results.append(
+                RoundResult(
+                    capacity_bps_hz=float(capacity[b]),
+                    n_streams=int(n_streams[b]),
+                    active_antennas=int(active_mask[b].sum()),
+                    per_ap_streams=per_ap_streams[b],
+                )
+            )
+        return results
+
+    def run(self, n_rounds: int = 30, item_mask=None) -> list[RoundBasedResult | None]:
+        """Evaluate ``n_rounds`` rounds for every (selected) item, rotating
+        the primary AP and advancing all fading processes in lockstep."""
+        if n_rounds < 1:
+            raise ValueError("need at least one round")
+        item_active = (
+            np.ones(self.n_items, dtype=bool)
+            if item_mask is None
+            else np.asarray(item_mask, dtype=bool)
+        )
+        per_item: list[list[RoundResult]] = [[] for _ in range(self.n_items)]
+        advance_items = None if item_active.all() else np.flatnonzero(item_active)
+        for r in range(n_rounds):
+            round_results = self.evaluate_round(r % self.n_aps, item_active)
+            for b, result in enumerate(round_results):
+                if result is not None:
+                    per_item[b].append(result)
+            self.channel.advance(self.sim.coherence_block_s, items=advance_items)
+        return [
+            RoundBasedResult(rounds=per_item[b]) if item_active[b] else None
+            for b in range(self.n_items)
+        ]
+
+
+def count_streams_batch(
+    evaluator: RoundBasedEvaluatorBatch, rngs, rounds: int = 12
+) -> np.ndarray:
+    """Stacked mirror of :func:`repro.experiments.fig12_simultaneous_tx.count_streams`.
+
+    ``rngs`` holds one generator per item (the scalar protocol's random
+    1-4 primary streams); draws happen once per round per item, in round
+    order, so each item's stream matches the scalar run.
+    """
+    n_items = evaluator.n_items
+    n_aps = evaluator.n_aps
+    totals = np.zeros((n_items, rounds), dtype=int)
+    for r in range(rounds):
+        order = [(r + i) % n_aps for i in range(n_aps)]
+        primary_antennas = evaluator.antennas_of(order[0])
+        n_primary = np.asarray([int(rng.integers(1, 5)) for rng in rngs])
+        active = np.zeros((n_items, evaluator.carrier_sense.n_antennas), dtype=bool)
+        active[:, primary_antennas] = (
+            np.arange(len(primary_antennas))[None, :] < n_primary[:, None]
+        )
+        total = n_primary.copy()
+        for ap in order[1:]:
+            free = evaluator.free_antenna_masks(ap, active)
+            total = total + free.sum(axis=1)
+            active[:, evaluator.antennas_of(ap)] |= free
+        totals[:, r] = total
+    return totals.mean(axis=1)

@@ -57,12 +57,21 @@ class RoundBasedResult:
 
     rounds: list[RoundResult]
 
+    def _require_rounds(self) -> None:
+        if not self.rounds:
+            raise ValueError(
+                "RoundBasedResult holds no rounds; evaluate at least one "
+                "round before asking for means"
+            )
+
     @property
     def mean_capacity_bps_hz(self) -> float:
+        self._require_rounds()
         return float(np.mean([r.capacity_bps_hz for r in self.rounds]))
 
     @property
     def mean_streams(self) -> float:
+        self._require_rounds()
         return float(np.mean([r.n_streams for r in self.rounds]))
 
 
@@ -212,10 +221,20 @@ class RoundBasedEvaluator:
             n_streams += len(clients_global)
             per_ap_streams[ap] = len(clients_global)
 
-            # Fairness settlement per AP.
+            # Fairness settlement per transmitting AP.
             n_clients = len(self.deployment.clients_of(ap))
             losers = [c for c in range(n_clients) if c not in chosen_local]
             self._drr[ap].settle(chosen_local, losers, txop_units=1.0)
+
+        # Every AP settles every round: one that was blocked (or found no
+        # eligible client) sent nothing, but its backlogged clients still
+        # waited out this round's TXOP -- credit it so they are not starved
+        # relative to the paper's DRR fairness.
+        transmitted = {ap for ap, __, __ in planned}
+        for ap in range(n_aps):
+            if ap not in transmitted:
+                n_clients = len(self.deployment.clients_of(ap))
+                self._drr[ap].credit(range(n_clients), txop_units=1.0)
 
         return RoundResult(
             capacity_bps_hz=capacity,

@@ -12,7 +12,9 @@ from .geometry import (
 from .scenarios import (
     OfficeEnvironment,
     Scenario,
+    dense_office_scenario,
     eight_ap_scenario,
+    grid_region_scenario,
     hidden_terminal_scenario,
     office_a,
     office_b,
@@ -33,7 +35,9 @@ __all__ = [
     "sector_angles_ok",
     "OfficeEnvironment",
     "Scenario",
+    "dense_office_scenario",
     "eight_ap_scenario",
+    "grid_region_scenario",
     "hidden_terminal_scenario",
     "office_a",
     "office_b",

@@ -146,6 +146,7 @@ def paired_scenarios(
     min_sector_deg: float = 0.0,
     min_separation_m: float = 0.0,
     name: str = "paired",
+    modes: tuple[AntennaMode, ...] = (AntennaMode.CAS, AntennaMode.DAS),
 ) -> dict[AntennaMode, Scenario]:
     """Build a CAS scenario and a DAS scenario sharing APs and clients.
 
@@ -153,6 +154,12 @@ def paired_scenarios(
     client annulus to fractions of the environment's CAS coverage range; the
     non-zero inner radius reflects that clients sit in offices and corridors
     away from the AP itself (paper §5.1).
+
+    ``modes`` restricts which stacks are built.  Client and DAS placements
+    draw from *independent* spawned generators, so a CAS-only call followed
+    by a DAS-only call for the same seed reproduces the full pair bit for
+    bit -- batch evaluators use this to defer the (expensive, rejection
+    sampled) DAS layout until a topology passes its acceptance gate.
     """
     rng = rng_mod.make_rng(seed)
     client_rng, das_rng = rng_mod.spawn(rng, 2)
@@ -166,7 +173,7 @@ def paired_scenarios(
         client_radius_fraction * coverage,
     )
     scenarios: dict[AntennaMode, Scenario] = {}
-    for mode in (AntennaMode.CAS, AntennaMode.DAS):
+    for mode in modes:
         antennas, antenna_ap = _antennas_for_mode(
             das_rng if mode is AntennaMode.DAS else rng,
             aps,
@@ -227,6 +234,7 @@ def three_ap_scenario(
     clients_per_ap: int = 4,
     seed: int = 0,
     mac: MacConfig = DEFAULT_MAC,
+    modes: tuple[AntennaMode, ...] = (AntennaMode.CAS, AntennaMode.DAS),
 ) -> dict[AntennaMode, Scenario]:
     """Three APs in an equilateral triangle with ~15 m sides (§5.1, §5.3.1).
 
@@ -256,6 +264,7 @@ def three_ap_scenario(
         das_radius_max_m=0.75 * coverage,
         min_sector_deg=60.0,
         name="three_ap",
+        modes=modes,
     )
 
 
@@ -310,12 +319,91 @@ def eight_ap_scenario(
     )
 
 
+def grid_region_scenario(
+    environment: OfficeEnvironment,
+    *,
+    n_rows: int = 3,
+    n_cols: int = 3,
+    spacing_m: float = 20.0,
+    antennas_per_ap: int = 4,
+    clients_per_ap: int = 4,
+    seed: int = 0,
+    mac: MacConfig = DEFAULT_MAC,
+    modes: tuple[AntennaMode, ...] = (AntennaMode.CAS, AntennaMode.DAS),
+) -> dict[AntennaMode, Scenario]:
+    """``n_rows x n_cols`` APs on a regular grid -- the planned-deployment
+    region scaling of Fig 16's random 8-AP area.
+
+    Enterprise WLANs place APs on a grid at a fixed inter-AP pitch; this
+    family scales the paper's dense-deployment story to arbitrarily large
+    regions (the batched round evaluator's target regime).  DAS antennas
+    follow the Fig 16 rules: a 5-10 m annulus with 5 m mutual separation.
+    """
+    if n_rows < 1 or n_cols < 1 or spacing_m <= 0:
+        raise ValueError("need positive grid dimensions and spacing")
+    aps = [
+        (col * spacing_m, row * spacing_m)
+        for row in range(n_rows)
+        for col in range(n_cols)
+    ]
+    return paired_scenarios(
+        environment,
+        aps,
+        antennas_per_ap=antennas_per_ap,
+        clients_per_ap=clients_per_ap,
+        seed=seed,
+        mac=mac,
+        client_radius_fraction=0.55,
+        das_radius_min_m=5.0,
+        das_radius_max_m=10.0,
+        min_separation_m=5.0,
+        name=f"grid_{n_rows}x{n_cols}",
+        modes=modes,
+    )
+
+
+def dense_office_scenario(
+    environment: OfficeEnvironment,
+    *,
+    n_aps: int = 2,
+    inter_ap_m: float = 15.0,
+    antennas_per_ap: int = 4,
+    clients_per_ap: int = 12,
+    seed: int = 0,
+    mac: MacConfig = DEFAULT_MAC,
+    modes: tuple[AntennaMode, ...] = (AntennaMode.CAS, AntennaMode.DAS),
+) -> dict[AntennaMode, Scenario]:
+    """A row of APs each loaded with many clients (a crowded open-plan
+    office or lecture hall).
+
+    With ``clients_per_ap`` well above the antenna count, only a fraction
+    of the backlog is served per MU-MIMO round, which stresses exactly the
+    mechanisms the round evaluator models: virtual-tag filtering and the
+    DRR fairness settlement (including the waiting credit of blocked APs).
+    """
+    if n_aps < 1 or inter_ap_m <= 0:
+        raise ValueError("need at least one AP and a positive spacing")
+    aps = [(index * inter_ap_m, 0.0) for index in range(n_aps)]
+    return paired_scenarios(
+        environment,
+        aps,
+        antennas_per_ap=antennas_per_ap,
+        clients_per_ap=clients_per_ap,
+        seed=seed,
+        mac=mac,
+        client_radius_fraction=0.6,
+        name=f"dense_office_{n_aps}ap",
+        modes=modes,
+    )
+
+
 def hidden_terminal_scenario(
     environment: OfficeEnvironment,
     *,
     antennas_per_ap: int = 4,
     seed: int = 0,
     mac: MacConfig = DEFAULT_MAC,
+    modes: tuple[AntennaMode, ...] = (AntennaMode.CAS, AntennaMode.DAS),
 ) -> dict[AntennaMode, Scenario]:
     """Two APs beyond mutual carrier-sense range but with overlapping
     interference regions (§5.3.4).
@@ -340,4 +428,5 @@ def hidden_terminal_scenario(
         das_radius_min_m=0.50 * coverage,
         das_radius_max_m=0.75 * coverage,
         name="hidden_terminal",
+        modes=modes,
     )

@@ -134,6 +134,52 @@ class TestRunnerCache:
         runner.run(RunSpec("fig03", n_topologies=2, seed=2, environment="office_b"))
         assert len(list(tmp_path.glob("fig03-*.json"))) == 1
 
+    def test_package_version_invalidates_cache(self, tmp_path, monkeypatch):
+        # Entries must not survive algorithm changes across releases: the
+        # same spec under a different package version gets a fresh key.
+        import repro.api.runner as runner_mod
+
+        spec = RunSpec("fig03", n_topologies=2, seed=2)
+        Runner(cache_dir=tmp_path).run(spec)
+        assert len(list(tmp_path.glob("fig03-*.json"))) == 1
+        monkeypatch.setattr(runner_mod, "_PACKAGE_VERSION", "0.0.0-test")
+        Runner(cache_dir=tmp_path).run(spec)
+        assert len(list(tmp_path.glob("fig03-*.json"))) == 2
+
+
+class TestVectorizedFallback:
+    def test_missing_batch_hook_warns_with_experiment_name(self):
+        from repro.api.experiments import ExperimentDef, register_experiment
+        from repro.api.registry import EXPERIMENTS
+        from repro.api.result import ExperimentResult
+
+        name = "_loop_only_probe"
+        register_experiment(
+            ExperimentDef(
+                name=name,
+                description="loop-only probe experiment",
+                build=lambda seed, params: {"x": float(seed % 7)},
+                finalize=lambda outcomes, params: ExperimentResult(
+                    name=name,
+                    description="probe",
+                    series={"x": np.asarray([o["x"] for o in outcomes])},
+                    params={},
+                ),
+                defaults={"n_topologies": 2},
+            )
+        )
+        try:
+            with pytest.warns(RuntimeWarning, match=name):
+                Runner(backend="vectorized").run(RunSpec(name, n_topologies=2))
+        finally:
+            EXPERIMENTS._items.pop(name, None)
+
+    def test_batched_experiment_does_not_warn(self, recwarn):
+        Runner(backend="vectorized").run(RunSpec("fig03", n_topologies=2, seed=1))
+        assert not [
+            w for w in recwarn.list if issubclass(w.category, RuntimeWarning)
+        ]
+
 
 class TestLegacyEnvironments:
     def test_custom_environment_instance_respected(self):

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from helpers import run_experiment
 from repro.experiments.registry import EXPERIMENTS, get_experiment, main
 
 
@@ -25,22 +26,22 @@ class TestRegistry:
 
 class TestSeriesContracts:
     def test_fig03_series(self):
-        result = EXPERIMENTS["fig03"](n_topologies=3, seed=0)
+        result = run_experiment("fig03", n_topologies=3, seed=0)
         assert set(result.series) == {"cas_drop", "das_drop"}
         for values in result.series.values():
             assert np.all(np.isfinite(values)) and np.all(values >= 0)
 
     def test_fig07_series(self):
-        result = EXPERIMENTS["fig07"](n_topologies=3, seed=0)
+        result = run_experiment("fig07", n_topologies=3, seed=0)
         assert set(result.series) == {"cas_snr_db", "das_snr_db"}
         assert len(result.series["cas_snr_db"]) == 12  # 3 topologies x 4 clients
 
     def test_fig0809_series(self):
-        result = EXPERIMENTS["fig09"](n_topologies=2, seed=0)
+        result = run_experiment("fig09", n_topologies=2, seed=0)
         assert set(result.series) == {"cas_2x2", "midas_2x2", "cas_4x4", "midas_4x4"}
 
     def test_fig10_series(self):
-        result = EXPERIMENTS["fig10"](n_topologies=2, seed=0)
+        result = run_experiment("fig10", n_topologies=2, seed=0)
         assert set(result.series) == {
             "cas_naive",
             "cas_balanced",
@@ -49,76 +50,76 @@ class TestSeriesContracts:
         }
 
     def test_fig11_efficiency_near_one(self):
-        result = EXPERIMENTS["fig11"](n_topologies=3, seed=0)
+        result = run_experiment("fig11", n_topologies=3, seed=0)
         assert result.median("efficiency") > 0.9
 
     def test_fig12_ratio_positive(self):
-        result = EXPERIMENTS["fig12"](n_topologies=2, seed=0)
+        result = run_experiment("fig12", n_topologies=2, seed=0)
         assert np.all(result.series["stream_ratio"] > 0)
 
     def test_fig13_reduction_bounded(self):
-        result = EXPERIMENTS["fig13"](n_topologies=1, seed=0)
+        result = run_experiment("fig13", n_topologies=1, seed=0)
         assert np.all(result.series["reduction"] <= 1.0)
         assert "example_maps" in result.notes
 
     def test_fig14_series(self):
-        result = EXPERIMENTS["fig14"](n_topologies=3, seed=0)
+        result = run_experiment("fig14", n_topologies=3, seed=0)
         assert set(result.series) == {"tagged", "random"}
 
     def test_fig15_series(self):
-        result = EXPERIMENTS["fig15"](n_topologies=1, seed=0, rounds_per_topology=4)
+        result = run_experiment("fig15", n_topologies=1, seed=0, rounds_per_topology=4)
         assert set(result.series) == {"cas", "midas", "stream_ratio"}
 
     def test_fig16_series(self):
-        result = EXPERIMENTS["fig16"](n_topologies=1, seed=0, rounds_per_topology=4)
+        result = run_experiment("fig16", n_topologies=1, seed=0, rounds_per_topology=4)
         assert set(result.series) == {"cas", "midas"}
 
     def test_hidden_terminal_series(self):
-        result = EXPERIMENTS["hidden_terminals"](n_topologies=1, seed=0)
+        result = run_experiment("hidden_terminals", n_topologies=1, seed=0)
         assert set(result.series) == {"cas_spots", "das_spots", "removal"}
 
 
 class TestResultApi:
     def test_summary_mentions_all_series(self):
-        result = EXPERIMENTS["fig03"](n_topologies=2, seed=0)
+        result = run_experiment("fig03", n_topologies=2, seed=0)
         text = result.summary()
         assert "cas_drop" in text and "das_drop" in text
 
     def test_gain_and_median(self):
-        result = EXPERIMENTS["fig10"](n_topologies=3, seed=0)
+        result = run_experiment("fig10", n_topologies=3, seed=0)
         gain = result.gain("das_balanced", "das_naive")
         assert gain == pytest.approx(
             result.median("das_balanced") / result.median("das_naive") - 1
         )
 
     def test_cdf_accessor(self):
-        result = EXPERIMENTS["fig03"](n_topologies=3, seed=0)
+        result = run_experiment("fig03", n_topologies=3, seed=0)
         cdf = result.cdf("das_drop")
         assert len(cdf) == 3
 
     def test_determinism(self):
-        a = EXPERIMENTS["fig03"](n_topologies=2, seed=5)
-        b = EXPERIMENTS["fig03"](n_topologies=2, seed=5)
+        a = run_experiment("fig03", n_topologies=2, seed=5)
+        b = run_experiment("fig03", n_topologies=2, seed=5)
         np.testing.assert_array_equal(a.series["das_drop"], b.series["das_drop"])
 
 
 class TestAblations:
     def test_tag_width_sweep(self):
-        result = EXPERIMENTS["ablation_tag_width"](n_topologies=3, seed=0)
+        result = run_experiment("ablation_tag_width", n_topologies=3, seed=0)
         assert set(result.series) == {"width_1", "width_2", "width_3", "width_4"}
 
     def test_das_radius_sweep(self):
-        result = EXPERIMENTS["ablation_das_radius"](n_topologies=2, seed=0)
+        result = run_experiment("ablation_das_radius", n_topologies=2, seed=0)
         assert len(result.series) == 3
 
     def test_csi_error_monotone_tendency(self):
-        result = EXPERIMENTS["ablation_csi_error"](n_topologies=6, seed=0)
+        result = run_experiment("ablation_csi_error", n_topologies=6, seed=0)
         clean = result.median("err_0")
         worst = result.median("err_0.2")
         assert worst <= clean * 1.05  # allow small noise, degradation expected
 
     def test_precoder_zoo_ordering(self):
-        result = EXPERIMENTS["ablation_precoders"](
+        result = run_experiment("ablation_precoders", 
             n_topologies=2, seed=0, include_full_optimal=False
         )
         assert result.median("balanced") >= result.median("naive") * 0.999

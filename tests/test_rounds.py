@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.sim.network import MacMode, aps_mutually_overhear
-from repro.sim.rounds import RoundBasedEvaluator
+from repro.sim.rounds import RoundBasedEvaluator, RoundBasedResult
 from repro.topology.deployment import AntennaMode
 from repro.topology.scenarios import office_b, three_ap_scenario
 
@@ -71,3 +71,38 @@ class TestMidasRounds:
         a = RoundBasedEvaluator(pair[AntennaMode.DAS], MacMode.MIDAS, seed=seed).run(5)
         b = RoundBasedEvaluator(pair[AntennaMode.DAS], MacMode.MIDAS, seed=seed).run(5)
         assert a.mean_capacity_bps_hz == pytest.approx(b.mean_capacity_bps_hz)
+
+
+class TestEmptyResult:
+    def test_means_raise_on_empty_rounds(self):
+        empty = RoundBasedResult(rounds=[])
+        with pytest.raises(ValueError, match="no rounds"):
+            empty.mean_capacity_bps_hz
+        with pytest.raises(ValueError, match="no rounds"):
+            empty.mean_streams
+
+
+class TestDrrSettlement:
+    def test_blocked_aps_accrue_waiting_credit(self, overhearing_pair):
+        # Regression: every AP settles every round.  Under full CAS
+        # overhearing only the primary transmits; the other two APs send
+        # nothing, and before the fix their DRR counters never moved.
+        pair, seed = overhearing_pair
+        ev = RoundBasedEvaluator(pair[AntennaMode.CAS], MacMode.CAS, seed=seed)
+        result = ev.evaluate_round(primary_ap=0)
+        np.testing.assert_array_equal(np.flatnonzero(result.per_ap_streams), [0])
+        for blocked_ap in (1, 2):
+            np.testing.assert_array_equal(
+                ev._drr[blocked_ap].counters,
+                np.ones(len(ev.deployment.clients_of(blocked_ap))),
+            )
+
+    def test_transmitting_ap_settles_paper_rule(self, overhearing_pair):
+        pair, seed = overhearing_pair
+        ev = RoundBasedEvaluator(pair[AntennaMode.CAS], MacMode.CAS, seed=seed)
+        result = ev.evaluate_round(primary_ap=0)
+        # Four streams, four clients: everyone served, counters at -1 each.
+        assert result.per_ap_streams[0] == 4
+        np.testing.assert_array_equal(
+            ev._drr[0].counters, -np.ones(len(ev.deployment.clients_of(0)))
+        )

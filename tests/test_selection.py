@@ -52,6 +52,13 @@ class TestDrrSettle:
         with pytest.raises(ValueError):
             DeficitRoundRobin(3).settle([0], [0, 1])
 
+    def test_credit_adds_waiting_airtime(self):
+        drr = DeficitRoundRobin(3)
+        drr.credit([0, 2], txop_units=1.5)
+        np.testing.assert_allclose(drr.counters, [1.5, 0.0, 1.5])
+        drr.credit([], txop_units=1.0)  # no clients, no change
+        np.testing.assert_allclose(drr.counters, [1.5, 0.0, 1.5])
+
     def test_long_run_fairness(self):
         # Two clients alternate single-stream service: counters stay bounded
         # and both get half the service.

@@ -1,0 +1,251 @@
+"""Batched round-based engine tests: bit-identity against the scalar path.
+
+Everything here asserts exact equality (``array_equal`` / ``==``) -- the
+batched sim layer inherits the vectorized backend's no-tolerances contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro import rng as rng_mod
+from repro.config import MacConfig
+from repro.core.selection import BatchDeficitRoundRobin, DeficitRoundRobin
+from repro.mac.carrier_sense import CarrierSenseModel
+from repro.sim.batch import (
+    CarrierSenseBatch,
+    RoundBasedEvaluatorBatch,
+    count_streams_batch,
+)
+from repro.sim.network import MacMode, aps_mutually_overhear
+from repro.sim.rounds import RoundBasedEvaluator
+from repro.topology.deployment import AntennaMode
+from repro.topology.scenarios import (
+    dense_office_scenario,
+    grid_region_scenario,
+    office_b,
+    three_ap_scenario,
+)
+
+ENV = office_b()
+SEEDS = [0, 1, 2, 3]
+
+
+def _three_ap(mode, seeds=SEEDS):
+    return [three_ap_scenario(ENV, seed=s)[mode] for s in seeds]
+
+
+def _assert_rounds_equal(batch_result, scalar_result):
+    assert len(batch_result.rounds) == len(scalar_result.rounds)
+    for batch_round, scalar_round in zip(batch_result.rounds, scalar_result.rounds):
+        assert batch_round.capacity_bps_hz == scalar_round.capacity_bps_hz
+        assert batch_round.n_streams == scalar_round.n_streams
+        assert batch_round.active_antennas == scalar_round.active_antennas
+        assert np.array_equal(
+            batch_round.per_ap_streams, scalar_round.per_ap_streams
+        )
+
+
+# ----------------------------------------------------------------------
+# Carrier sense
+# ----------------------------------------------------------------------
+class TestCarrierSenseBatch:
+    @pytest.fixture(scope="class")
+    def stacked(self):
+        rng = np.random.default_rng(5)
+        cross = rng.uniform(-95.0, -55.0, (3, 6, 6))
+        eye = np.eye(6, dtype=bool)
+        cross[:, eye] = np.inf
+        return cross
+
+    def test_matches_scalar_model(self, stacked):
+        mac = MacConfig()
+        batch = CarrierSenseBatch(stacked, mac)
+        rng = np.random.default_rng(9)
+        for __ in range(20):
+            tx_mask = rng.random((3, 6)) < 0.4
+            sensed = batch.sensed_power_mw(tx_mask)
+            busy = batch.busy_mask(tx_mask)
+            decode = batch.decode_mask(tx_mask)
+            nav = batch.nav_blocked_mask(tx_mask)
+            for b in range(3):
+                scalar = CarrierSenseModel(stacked[b], mac)
+                tx = np.flatnonzero(tx_mask[b])
+                for listener in range(6):
+                    assert sensed[b, listener] == scalar.sensed_power_mw(listener, tx)
+                assert np.array_equal(busy[b], scalar.busy_mask(tx))
+                for listener in range(6):
+                    for transmitter in range(6):
+                        assert bool(decode[b, listener, transmitter]) == scalar.decodes(
+                            listener, transmitter, tx
+                        ), (b, listener, transmitter)
+                    expected_nav = any(
+                        scalar.decodes(listener, int(t), tx) for t in tx
+                    )
+                    assert bool(nav[b, listener]) == expected_nav
+
+    def test_listener_restriction_matches_full(self, stacked):
+        mac = MacConfig()
+        batch = CarrierSenseBatch(stacked, mac)
+        tx_mask = np.zeros((3, 6), dtype=bool)
+        tx_mask[:, [1, 4]] = True
+        listeners = np.asarray([0, 2, 5])
+        assert np.array_equal(
+            batch.sensed_power_mw(tx_mask, listeners=listeners),
+            batch.sensed_power_mw(tx_mask)[:, listeners],
+        )
+        assert np.array_equal(
+            batch.decode_mask(tx_mask, listeners=listeners),
+            batch.decode_mask(tx_mask)[:, listeners],
+        )
+        assert np.array_equal(
+            batch.nav_blocked_mask(tx_mask, listeners=listeners),
+            batch.nav_blocked_mask(tx_mask)[:, listeners],
+        )
+
+    def test_rejects_non_stacked_input(self):
+        with pytest.raises(ValueError, match="batch"):
+            CarrierSenseBatch(np.zeros((4, 4)), MacConfig())
+
+
+# ----------------------------------------------------------------------
+# Batched DRR
+# ----------------------------------------------------------------------
+class TestBatchDeficitRoundRobin:
+    def test_mirrors_scalar_sequences(self):
+        n_items, n_clients = 5, 4
+        batch = BatchDeficitRoundRobin(n_items, n_clients)
+        scalars = [DeficitRoundRobin(n_clients) for _ in range(n_items)]
+        rng = np.random.default_rng(3)
+        for __ in range(30):
+            candidates = rng.random((n_items, n_clients)) < 0.6
+            picks = batch.pick(candidates)
+            served = np.zeros((n_items, n_clients), dtype=bool)
+            for b, scalar in enumerate(scalars):
+                expected = scalar.pick(np.flatnonzero(candidates[b]))
+                assert picks[b] == (-1 if expected is None else expected)
+                if expected is not None:
+                    served[b, expected] = True
+            has = served.any(axis=1)
+            losers = ~served & has[:, None]
+            batch.settle(served, losers)
+            batch.credit(~has[:, None])
+            for b, scalar in enumerate(scalars):
+                if has[b]:
+                    scalar.settle(
+                        np.flatnonzero(served[b]), np.flatnonzero(losers[b])
+                    )
+                else:
+                    scalar.credit(range(n_clients))
+                assert np.array_equal(batch.counters[b], scalar.counters)
+
+    def test_tie_breaks_to_lowest_index(self):
+        batch = BatchDeficitRoundRobin(1, 3)
+        assert batch.pick(np.array([[False, True, True]]))[0] == 1
+
+    def test_rejects_overlap(self):
+        batch = BatchDeficitRoundRobin(1, 2)
+        both = np.array([[True, False]])
+        with pytest.raises(ValueError):
+            batch.settle(both, both)
+
+
+# ----------------------------------------------------------------------
+# Round-based evaluator
+# ----------------------------------------------------------------------
+class TestRoundBasedEvaluatorBatch:
+    @pytest.mark.parametrize(
+        "antenna_mode,mac_mode",
+        [(AntennaMode.CAS, MacMode.CAS), (AntennaMode.DAS, MacMode.MIDAS)],
+    )
+    def test_three_ap_bit_identical(self, antenna_mode, mac_mode):
+        scenarios = _three_ap(antenna_mode)
+        batch = RoundBasedEvaluatorBatch(scenarios, mac_mode, seeds=SEEDS)
+        results = batch.run(5)
+        for i, (scenario, seed) in enumerate(zip(scenarios, SEEDS)):
+            scalar = RoundBasedEvaluator(scenario, mac_mode, seed=seed).run(5)
+            _assert_rounds_equal(results[i], scalar)
+
+    def test_item_mask_skips_items(self):
+        scenarios = _three_ap(AntennaMode.DAS)
+        batch = RoundBasedEvaluatorBatch(scenarios, MacMode.MIDAS, seeds=SEEDS)
+        mask = np.array([True, False, True, False])
+        results = batch.run(3, item_mask=mask)
+        assert results[1] is None and results[3] is None
+        scalar = RoundBasedEvaluator(
+            scenarios[2], MacMode.MIDAS, seed=SEEDS[2]
+        ).run(3)
+        _assert_rounds_equal(results[2], scalar)
+
+    def test_mutual_overhear_mask_matches_scalar(self):
+        seeds = list(range(8))
+        scenarios = _three_ap(AntennaMode.CAS, seeds)
+        mask = RoundBasedEvaluatorBatch.mutual_overhear_mask(scenarios, seeds)
+        for i, (scenario, seed) in enumerate(zip(scenarios, seeds)):
+            scalar = RoundBasedEvaluator(scenario, MacMode.CAS, seed=seed)
+            assert bool(mask[i]) == aps_mutually_overhear(
+                scalar.carrier_sense, scalar.deployment
+            )
+
+    def test_count_streams_matches_scalar(self):
+        from repro.experiments.fig12_simultaneous_tx import count_streams
+
+        scenarios = _three_ap(AntennaMode.DAS)
+        batch = RoundBasedEvaluatorBatch(scenarios, MacMode.MIDAS, seeds=SEEDS)
+        counted = count_streams_batch(
+            batch, [rng_mod.make_rng(s) for s in SEEDS], rounds=4
+        )
+        for i, (scenario, seed) in enumerate(zip(scenarios, SEEDS)):
+            scalar = RoundBasedEvaluator(scenario, MacMode.MIDAS, seed=seed)
+            assert counted[i] == count_streams(scalar, rng_mod.make_rng(seed), 4)
+
+    def test_rejects_mixed_structure(self):
+        three = three_ap_scenario(ENV, seed=0)[AntennaMode.DAS]
+        dense = dense_office_scenario(ENV, seed=0)[AntennaMode.DAS]
+        with pytest.raises(ValueError, match="structure|share"):
+            RoundBasedEvaluatorBatch([three, dense], MacMode.MIDAS, seeds=[0, 1])
+
+    def test_rejects_seed_count_mismatch(self):
+        scenarios = _three_ap(AntennaMode.DAS, [0, 1])
+        with pytest.raises(ValueError, match="seed"):
+            RoundBasedEvaluatorBatch(scenarios, MacMode.MIDAS, seeds=[0])
+
+
+# ----------------------------------------------------------------------
+# New scenario families at scale
+# ----------------------------------------------------------------------
+class TestNewScenarioFamilies:
+    @pytest.mark.parametrize(
+        "factory,kwargs",
+        [
+            (grid_region_scenario, {"n_rows": 2, "n_cols": 2, "spacing_m": 18.0}),
+            (dense_office_scenario, {"n_aps": 2, "clients_per_ap": 10}),
+        ],
+    )
+    def test_batch_matches_loop_on_family(self, factory, kwargs):
+        seeds = [0, 1]
+        scenarios = [
+            factory(ENV, seed=s, **kwargs)[AntennaMode.DAS] for s in seeds
+        ]
+        batch = RoundBasedEvaluatorBatch(scenarios, MacMode.MIDAS, seeds=seeds)
+        results = batch.run(3)
+        for i, (scenario, seed) in enumerate(zip(scenarios, seeds)):
+            scalar = RoundBasedEvaluator(scenario, MacMode.MIDAS, seed=seed).run(3)
+            _assert_rounds_equal(results[i], scalar)
+
+    def test_families_are_registered(self):
+        from repro.api.scenarios import scenario_factory
+
+        assert scenario_factory("grid_region") is grid_region_scenario
+        assert scenario_factory("dense_office") is dense_office_scenario
+
+    def test_grid_region_shape(self):
+        pair = grid_region_scenario(ENV, n_rows=2, n_cols=3, seed=1)
+        deployment = pair[AntennaMode.DAS].deployment
+        assert deployment.n_aps == 6
+        assert deployment.n_antennas == 24
+
+    def test_dense_office_overloads_antennas(self):
+        pair = dense_office_scenario(ENV, n_aps=2, clients_per_ap=12, seed=1)
+        deployment = pair[AntennaMode.DAS].deployment
+        assert deployment.n_clients == 24
+        assert deployment.n_clients > deployment.n_antennas

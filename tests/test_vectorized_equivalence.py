@@ -205,6 +205,10 @@ EXPERIMENT_CASES = [
     ("fig12", {"n_topologies": 2}, {"rounds_per_topology": 3}),
     ("fig13", {"n_topologies": 2}, {"grid_step_m": 2.0}),
     ("fig14", {"n_topologies": 6}, {}),
+    ("fig15", {"n_topologies": 2}, {"rounds_per_topology": 3}),
+    ("fig15", {"n_topologies": 2}, {"rounds_per_topology": 2, "dynamic": True, "duration_s": 0.02}),
+    ("fig16", {"n_topologies": 1}, {"rounds_per_topology": 2}),
+    ("hidden_terminals", {"n_topologies": 2}, {"grid_step_m": 2.0}),
     ("ablation_csi_error", {"n_topologies": 3}, {"error_stds": [0.0, 0.1]}),
     ("ablation_das_radius", {"n_topologies": 3}, {"fractions": [[0.5, 0.75]]}),
     ("ablation_precoders", {"n_topologies": 2}, {"include_full_optimal": False}),
@@ -226,17 +230,13 @@ def test_vectorized_backend_is_bit_identical(experiment, spec_kwargs, params):
         assert np.array_equal(loop.series[key], vectorized.series[key]), key
 
 
-def test_batched_experiments_define_the_hook():
-    batched = {
-        "fig03", "fig07", "fig08", "fig09", "fig10", "fig11", "fig13", "fig14",
-        "ablation_csi_error", "ablation_das_radius", "ablation_precoders",
-        "ablation_tag_width",
-    }
-    for name in batched:
+def test_every_registered_experiment_defines_the_hook():
+    # Since the batched round engine landed, all 16 experiments (and the
+    # ablations) run under the vectorized backend -- no fallbacks left.
+    from repro.api import experiment_names
+
+    for name in experiment_names():
         assert get_experiment_def(name).build_batch is not None, name
-    # Network simulations intentionally fall back to the loop path.
-    for name in ("fig12", "fig15", "fig16", "hidden_terminals"):
-        assert get_experiment_def(name).build_batch is None, name
 
 
 def test_runner_rejects_unknown_backend():
