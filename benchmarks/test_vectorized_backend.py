@@ -10,6 +10,12 @@ Opt-in like every benchmark (``python -m pytest benchmarks/``):
   claim: the batched quasi-static network evaluator runs a 100-topology
   fig15 sweep (3-AP CAS vs MIDAS, 24 rounds each, overhearing-gated
   rejection sampling) at >= 3x the loop backend, bit-identically.
+* ``test_vectorized_latency_smoke`` (``-m benchsmoke``) -- the finite-load
+  claim: a 100-topology ``latency_vs_load`` sweep (Poisson arrivals, two
+  offered loads, per-round A-MPDU service and delay accounting on both
+  backends) runs >= 3x faster vectorized, bit-identically.  The queueing
+  layer itself is deliberately shared scalar code, so this guards against
+  it ever growing into the bottleneck that erases the batching win.
 * ``test_vectorized_smoke`` / ``test_vectorized_fig15_smoke``
   (``-m benchsmoke``) -- seconds-scale versions for CI: assert
   bit-identity and always write the timing JSON artifact.
@@ -44,9 +50,13 @@ def _best_of(runner: Runner, spec: RunSpec, repeats: int) -> tuple[float, dict]:
 
 
 def _run_benchmark(
-    experiment: str, n_topologies: int, repeats: int, suffix: str = ""
+    experiment: str,
+    n_topologies: int,
+    repeats: int,
+    suffix: str = "",
+    params: dict | None = None,
 ) -> dict:
-    spec = RunSpec(experiment, n_topologies=n_topologies, seed=0)
+    spec = RunSpec(experiment, n_topologies=n_topologies, seed=0, params=params or {})
     loop_s, loop_series = _best_of(Runner(backend="loop"), spec, repeats)
     vec_s, vec_series = _best_of(Runner(backend="vectorized"), spec, repeats)
     for key in loop_series:
@@ -86,6 +96,29 @@ def test_vectorized_fig15_speedup_100_topologies():
     timings = _run_benchmark("fig15", n_topologies=100, repeats=1, suffix="-fig15")
     assert timings["speedup"] >= 3.0, (
         f"vectorized round engine only {timings['speedup']:.2f}x faster"
+    )
+
+
+#: The finite-load smoke sweep: two offered loads bracketing the CAS knee,
+#: 30 TXOP rounds per topology -- big enough that the stacked round engine
+#: amortizes, small enough to stay seconds-scale on CI.
+_LATENCY_PARAMS = {"offered_loads_mbps": [20.0, 80.0], "rounds_per_topology": 30}
+
+
+@pytest.mark.benchsmoke
+def test_vectorized_latency_smoke():
+    # The finite-load sweep must keep the batching win even though queue
+    # accounting is shared scalar code: >= 3x, bit-identical delay series.
+    timings = _run_benchmark(
+        "latency_vs_load",
+        n_topologies=100,
+        repeats=1,
+        suffix="-latency",
+        params=_LATENCY_PARAMS,
+    )
+    assert timings["bit_identical"]
+    assert timings["speedup"] >= 3.0, (
+        f"vectorized finite-load sweep only {timings['speedup']:.2f}x faster"
     )
 
 

@@ -14,8 +14,7 @@ import sys
 
 import numpy as np
 
-from repro.experiments.fig13_deadzones import run as run_fig13
-from repro.experiments.hidden_terminals import run as run_hidden
+from repro import RunSpec, Runner
 
 
 def ascii_map(points: np.ndarray, mask: np.ndarray, cell_m: float = 2.0) -> str:
@@ -30,7 +29,8 @@ def ascii_map(points: np.ndarray, mask: np.ndarray, cell_m: float = 2.0) -> str:
 
 
 def main(seed: int = 0) -> None:
-    fig13 = run_fig13(n_topologies=6, seed=seed)
+    runner = Runner()
+    fig13 = runner.run(RunSpec("fig13", n_topologies=6, seed=seed))
     cas = fig13.series["cas_deadspots"]
     das = fig13.series["das_deadspots"]
     print("-- Fig 13: deadspots per deployment (0.5 m grid) --")
@@ -48,7 +48,7 @@ def main(seed: int = 0) -> None:
     print(ascii_map(maps["points"], maps["das_mask"]))
     print()
 
-    hidden = run_hidden(n_topologies=6, seed=seed)
+    hidden = runner.run(RunSpec("hidden_terminals", n_topologies=6, seed=seed))
     print("-- §5.3.4: hidden-terminal spots (1 m grid, 2 APs) --")
     print(f"CAS   mean {hidden.series['cas_spots'].mean():7.0f} spots")
     print(f"MIDAS mean {hidden.series['das_spots'].mean():7.0f} spots")

@@ -11,15 +11,15 @@ from __future__ import annotations
 
 import sys
 
+from repro import RunSpec, Runner
 from repro.analysis.report import format_cdf_summary, format_gain_line
-from repro.experiments.fig08_09_capacity import run_office_b
-from repro.experiments.fig10_precoding_impact import run as run_fig10
 
 
 def main(n_topologies: int = 40) -> None:
     print(f"Office B, {n_topologies} random topologies\n")
+    runner = Runner()
 
-    capacity = run_office_b(n_topologies=n_topologies, seed=0)
+    capacity = runner.run(RunSpec("fig09", n_topologies=n_topologies, seed=0))
     print(format_cdf_summary(capacity.series, unit="b/s/Hz"))
     print()
     for n in (2, 4):
@@ -27,7 +27,7 @@ def main(n_topologies: int = 40) -> None:
         print(format_gain_line(f"MIDAS over CAS, {n}x{n}", gain))
     print("(paper: +40-67% at 2x2, +45-80% at 4x4)\n")
 
-    precoding = run_fig10(n_topologies=n_topologies, seed=0)
+    precoding = runner.run(RunSpec("fig10", n_topologies=n_topologies, seed=0))
     print(format_cdf_summary(precoding.series, unit="b/s/Hz"))
     print()
     print(

@@ -14,32 +14,40 @@ import sys
 
 import numpy as np
 
-from repro.config import SimConfig
-from repro.experiments.fig12_simultaneous_tx import run as run_fig12
-from repro.experiments.fig15_three_ap import run as run_fig15
+from repro import RunSpec, Runner
 
 
 def main(n_topologies: int = 8) -> None:
     print(f"3-AP network, {n_topologies} mutually-overhearing topologies\n")
+    runner = Runner()
 
-    fig12 = run_fig12(n_topologies=n_topologies, seed=0)
+    fig12 = runner.run(RunSpec("fig12", n_topologies=n_topologies, seed=0))
     ratios = fig12.series["stream_ratio"]
     print("-- Fig 12 protocol: simultaneous streams, MIDAS / CAS --")
     print(f"median ratio {np.median(ratios):.2f}  (paper: ~1.5)")
     print(f"range {ratios.min():.2f} - {ratios.max():.2f}  (paper: ~0.8 - 2.0)")
     print(f"below 1.0: {(ratios < 1.0).sum()}/{len(ratios)}  (paper: ~2/30)\n")
 
-    fig15 = run_fig15(n_topologies=n_topologies, seed=0, rounds_per_topology=20)
+    fig15 = runner.run(
+        RunSpec(
+            "fig15",
+            n_topologies=n_topologies,
+            seed=0,
+            params={"rounds_per_topology": 20},
+        )
+    )
     print("-- Fig 15 protocol: end-to-end network capacity --")
     print(f"CAS   median {fig15.median('cas'):6.1f} b/s/Hz")
     print(f"MIDAS median {fig15.median('midas'):6.1f} b/s/Hz")
     print(f"gain {fig15.gain('midas', 'cas'):+.0%}  (paper: ~+200%)\n")
 
-    dynamic = run_fig15(
-        n_topologies=max(2, n_topologies // 2),
-        seed=0,
-        dynamic=True,
-        duration_s=0.08,
+    dynamic = runner.run(
+        RunSpec(
+            "fig15",
+            n_topologies=max(2, n_topologies // 2),
+            seed=0,
+            params={"dynamic": True, "duration_s": 0.08},
+        )
     )
     print("-- Extension: closed-loop discrete-event MAC --")
     print(f"CAS   median {dynamic.median('cas'):6.1f} b/s/Hz")

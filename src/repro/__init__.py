@@ -43,7 +43,7 @@ factories) remains importable directly for custom studies; see
 
 # Defined before the subpackage imports below: repro.api.runner folds the
 # version into its cache keys at import time.
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from .analysis import EmpiricalCdf, median_gain
 from .api import (
@@ -59,6 +59,7 @@ from .api import (
     register_experiment,
     register_precoder,
     register_scenario,
+    register_traffic,
 )
 from .channel import ChannelModel, ChannelTrace, coverage_range_m, cs_range_m, record_trace
 from .channel.batch import ChannelBatch
@@ -76,6 +77,7 @@ from .core import (
     zfbf_equal_power,
 )
 from .phy import stream_sinrs, sum_capacity_bps_hz
+from .traffic import AmpduConfig, TrafficModel, resolve_traffic, traffic_names
 from .topology import (
     AntennaMode,
     Deployment,
@@ -105,6 +107,11 @@ __all__ = [
     "register_experiment",
     "register_precoder",
     "register_scenario",
+    "register_traffic",
+    "AmpduConfig",
+    "TrafficModel",
+    "resolve_traffic",
+    "traffic_names",
     "ChannelBatch",
     "ChannelModel",
     "ChannelTrace",

@@ -1,6 +1,12 @@
-"""Result analysis: empirical CDFs, percentile gains, paper-style reports."""
+"""Result analysis: empirical CDFs, percentile gains, delay curves, reports."""
 
 from .cdf import EmpiricalCdf, median, median_gain, percentile_gain
+from .delay import (
+    delay_cdf,
+    delay_percentiles,
+    saturation_load_mbps,
+    throughput_delay_curve,
+)
 from .report import format_cdf_summary, format_series_table
 
 __all__ = [
@@ -8,6 +14,10 @@ __all__ = [
     "median",
     "median_gain",
     "percentile_gain",
+    "delay_cdf",
+    "delay_percentiles",
+    "saturation_load_mbps",
+    "throughput_delay_curve",
     "format_cdf_summary",
     "format_series_table",
 ]

@@ -32,6 +32,7 @@ from .registry import (
     EXPERIMENTS,
     PRECODERS,
     SCENARIOS,
+    TRAFFIC,
     DuplicateNameError,
     Registry,
     UnknownNameError,
@@ -39,6 +40,7 @@ from .registry import (
     register_environment,
     register_precoder,
     register_scenario,
+    register_traffic,
 )
 from .result import ExperimentResult, RunResult
 from .runner import Runner, resolve_params
@@ -60,6 +62,7 @@ __all__ = [
     "EXPERIMENTS",
     "PRECODERS",
     "SCENARIOS",
+    "TRAFFIC",
     "DuplicateNameError",
     "Registry",
     "UnknownNameError",
@@ -67,6 +70,7 @@ __all__ = [
     "register_environment",
     "register_precoder",
     "register_scenario",
+    "register_traffic",
     "ExperimentResult",
     "RunResult",
     "Runner",

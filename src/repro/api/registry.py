@@ -98,6 +98,7 @@ BATCH_PRECODERS: Registry = Registry("batched precoder")
 SCENARIOS: Registry = Registry("scenario")
 ENVIRONMENTS: Registry = Registry("environment")
 EXPERIMENTS: Registry = Registry("experiment")
+TRAFFIC: Registry = Registry("traffic model")
 
 
 def register_precoder(name: str):
@@ -123,3 +124,9 @@ def register_scenario(name: str):
 def register_environment(name: str):
     """Register an :class:`OfficeEnvironment` factory."""
     return ENVIRONMENTS.register(name)
+
+
+def register_traffic(name: str):
+    """Register ``fn(rate_mbps, **kwargs) -> TrafficModel`` as an arrival
+    process (see :mod:`repro.traffic`)."""
+    return TRAFFIC.register(name)

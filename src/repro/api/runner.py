@@ -40,7 +40,7 @@ from pathlib import Path
 from .. import __version__ as _PACKAGE_VERSION
 from .. import rng as rng_mod
 from .experiments import ExperimentDef, get_experiment_def, load_builtin_experiments
-from .registry import ENVIRONMENTS, PRECODERS
+from .registry import ENVIRONMENTS, PRECODERS, TRAFFIC
 from .result import RunResult
 from .spec import RunSpec, normalize_params
 
@@ -72,6 +72,18 @@ def resolve_params(defn: ExperimentDef, spec: RunSpec) -> dict:
             )
         PRECODERS.get(spec.precoder)  # fail early, listing registered names
         params["precoder"] = spec.precoder
+    if spec.traffic is not None:
+        from ..traffic import models as _traffic_models  # populate the registry
+
+        TRAFFIC.get(spec.traffic)  # fail early, listing registered names
+        if "traffic" in allowed:
+            params["traffic"] = spec.traffic
+        elif spec.traffic != "full_buffer":
+            raise ValueError(
+                f"experiment {defn.name!r} does not take a traffic override; "
+                f"experiments with a 'traffic' parameter do (\"full_buffer\" "
+                f"is accepted everywhere because it is the universal default)"
+            )
     unknown = set(spec.params) - allowed
     if unknown:
         raise ValueError(

@@ -55,6 +55,11 @@ class RunSpec:
     precoder:
         Registered precoder name overriding the experiment default (only
         valid for experiments that declare a ``precoder`` parameter).
+    traffic:
+        Registered traffic-model name (see :mod:`repro.traffic`).
+        ``"full_buffer"`` is accepted by every experiment (it is the
+        universal default and changes nothing); any other model requires
+        the experiment to declare a ``traffic`` parameter.
     params:
         Extra experiment keyword parameters; keys must be declared by the
         experiment's defaults.
@@ -65,6 +70,7 @@ class RunSpec:
     seed: int = 0
     environment: str | None = None
     precoder: str | None = None
+    traffic: str | None = None
     params: dict = field(default_factory=dict)
 
     def __post_init__(self):
@@ -77,7 +83,7 @@ class RunSpec:
                 raise ValueError("RunSpec.n_topologies must be >= 1")
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
             raise ValueError("RunSpec.seed must be an int")
-        for label in ("environment", "precoder"):
+        for label in ("environment", "precoder", "traffic"):
             value = getattr(self, label)
             if value is not None and (not isinstance(value, str) or not value):
                 raise ValueError(f"RunSpec.{label} must be a non-empty string or None")
@@ -90,7 +96,7 @@ class RunSpec:
         return dataclasses.replace(self, **changes)
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "experiment": self.experiment,
             "n_topologies": self.n_topologies,
             "seed": self.seed,
@@ -98,6 +104,11 @@ class RunSpec:
             "precoder": self.precoder,
             "params": self.params,
         }
+        # Omitted when unset so canonical encodings, spec hashes, and saved
+        # results from before the traffic axis existed stay valid verbatim.
+        if self.traffic is not None:
+            data["traffic"] = self.traffic
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "RunSpec":

@@ -29,6 +29,7 @@ from . import (  # noqa: F401  (imports trigger experiment registration)
     fig15_three_ap,
     fig16_eight_ap,
     hidden_terminals,
+    latency_vs_load,
 )
 from ..api.registry import EXPERIMENTS as _API_EXPERIMENTS
 from ..api.registry import UnknownNameError
@@ -91,6 +92,12 @@ def main(argv: list[str] | None = None) -> int:
         help="registered precoder override (experiments with a precoder parameter)",
     )
     parser.add_argument(
+        "--traffic",
+        default=None,
+        help="registered traffic model (experiments with a traffic parameter; "
+        "'full_buffer' is accepted everywhere as the saturation default)",
+    )
+    parser.add_argument(
         "--out",
         default=None,
         metavar="PATH",
@@ -109,6 +116,7 @@ def main(argv: list[str] | None = None) -> int:
         n_topologies=args.topologies,
         seed=args.seed,
         precoder=args.precoder,
+        traffic=args.traffic,
     )
     runner = Runner(jobs=args.jobs, cache_dir=args.cache_dir, backend=args.backend)
     result = runner.run(spec)

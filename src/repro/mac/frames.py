@@ -10,6 +10,7 @@ throughput.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from ..config import MacConfig
 from ..phy.sounding import sounding_overhead_us
@@ -47,3 +48,12 @@ def txop_durations(
     sounding = sounding_overhead_us(n_clients, n_antennas) if with_sounding else 0.0
     ack = n_clients * (mac.sifs_us + BLOCK_ACK_US)
     return FrameDurations(sounding_us=sounding, data_us=mac.txop_us, ack_us=ack)
+
+
+@lru_cache(maxsize=1024)
+def data_fraction(
+    mac: MacConfig, n_clients: int, n_antennas: int, with_sounding: bool = True
+) -> float:
+    """Memoized :attr:`FrameDurations.data_fraction` (a pure function of the
+    burst shape; the finite-load engines evaluate it every round)."""
+    return txop_durations(mac, n_clients, n_antennas, with_sounding).data_fraction

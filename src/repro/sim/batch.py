@@ -39,8 +39,9 @@ from ..core.batch import (
 )
 from ..core.selection import BatchDeficitRoundRobin
 from ..core.tagging import TagTable
+from ..mac.frames import data_fraction
 from .network import MacMode
-from .rounds import RoundBasedResult, RoundResult
+from .rounds import RoundBasedResult, RoundResult, build_traffic_state
 
 
 class CarrierSenseBatch:
@@ -197,9 +198,25 @@ class RoundBasedEvaluatorBatch:
     seeds:
         One seed per scenario; item ``i`` consumes randomness exactly like
         ``RoundBasedEvaluator(scenarios[i], mode, sim, seed=seeds[i])``.
+    traffic / traffic_kwargs / ampdu:
+        Finite-load arrivals, as in the scalar evaluator.  One
+        :class:`~repro.traffic.TrafficState` is held per item and driven
+        with the same floats in the same order as a scalar run, so the
+        per-item delay/throughput series are bit-identical.  Backlog enters
+        the engine as masked eligibility arrays over the existing
+        DRR/tag-selection masks.
     """
 
-    def __init__(self, scenarios, mode: MacMode, sim: SimConfig | None = None, seeds=None):
+    def __init__(
+        self,
+        scenarios,
+        mode: MacMode,
+        sim: SimConfig | None = None,
+        seeds=None,
+        traffic=None,
+        traffic_kwargs=None,
+        ampdu=None,
+    ):
         scenarios = list(scenarios)
         if not scenarios:
             raise ValueError("need at least one scenario")
@@ -228,13 +245,23 @@ class RoundBasedEvaluatorBatch:
         self._antennas_of = [structure.antennas_of(ap) for ap in range(self.n_aps)]
         self._clients_of = [structure.clients_of(ap) for ap in range(self.n_aps)]
 
-        # Per-item generator trees, spawned exactly like the scalar evaluator.
-        channel_rngs, self._csi_rngs = [], []
+        # Per-item generator trees, spawned exactly like the scalar evaluator
+        # (which always spawns three children; traffic uses the third).
+        channel_rngs, self._csi_rngs, traffic_rngs = [], [], []
         for seed in seeds:
             root = rng_mod.make_rng(seed)
-            channel_rng, csi_rng = rng_mod.spawn(root, 2)
+            channel_rng, csi_rng, traffic_rng = rng_mod.spawn(root, 3)
             channel_rngs.append(channel_rng)
             self._csi_rngs.append(csi_rng)
+            traffic_rngs.append(traffic_rng)
+        states = [
+            build_traffic_state(
+                traffic, traffic_kwargs, structure.n_clients, traffic_rngs[b],
+                first, ampdu,
+            )
+            for b in range(self.n_items)
+        ]
+        self._traffic = None if states[0] is None else states
         self.channel = ChannelBatch(deployments, first.radio, channel_rngs)
         self.carrier_sense = CarrierSenseBatch(
             self.channel.antenna_cross_power_dbm(), first.mac
@@ -311,6 +338,25 @@ class RoundBasedEvaluatorBatch:
         return ~busy & ~nav
 
     # ------------------------------------------------------------------
+    def _eligibility(self, ap: int) -> tuple[np.ndarray, np.ndarray]:
+        """Stacked (primary-class, any-class) backlog masks for AP ``ap``,
+        each ``(batch, n_clients_of_ap)`` -- the scalar ``_eligibility``
+        evaluated per item.  All-ones under full buffer."""
+        n_local = len(self._clients_of[ap])
+        if self._traffic is None:
+            ones = np.ones((self.n_items, n_local), dtype=bool)
+            return ones, ones
+        clients = self._clients_of[ap]
+        primary_mask = np.empty((self.n_items, n_local), dtype=bool)
+        any_mask = np.empty((self.n_items, n_local), dtype=bool)
+        for b, state in enumerate(self._traffic):
+            any_mask[b] = state.backlog_mask(clients)
+            primary = state.primary_class(clients)
+            primary_mask[b] = (
+                any_mask[b] if primary is None else state.backlog_mask(clients, primary)
+            )
+        return primary_mask, any_mask
+
     def _select_clients(
         self, ap: int, use_mask: np.ndarray, participate: np.ndarray
     ) -> tuple[np.ndarray, list[list[int]]]:
@@ -320,14 +366,23 @@ class RoundBasedEvaluatorBatch:
         (own-antenna order); ``participate`` gates whole items.  Returns the
         chosen-client mask and the per-item pick order (which fixes the
         stream order of the precoded burst, as in the scalar evaluator).
+
+        Finite load gates every pick through the stacked backlog masks:
+        primary-class candidates first, then any-backlog fill-in -- the
+        per-item mirror of the scalar gated pick (``pick`` is pure, so the
+        extra masked call changes nothing when the first pick lands).
         """
         n_clients = len(self._clients_of[ap])
         n_own = use_mask.shape[1]
         drr = self._drr[ap]
+        primary_mask, any_mask = self._eligibility(ap)
         chosen_mask = np.zeros((self.n_items, n_clients), dtype=bool)
         chosen_lists: list[list[int]] = [[] for _ in range(self.n_items)]
 
-        def take(picks: np.ndarray) -> None:
+        def take(candidates: np.ndarray) -> None:
+            first = drr.pick(candidates & primary_mask)
+            fallback = drr.pick(candidates & any_mask)
+            picks = np.where(first >= 0, first, fallback)
             taken = np.flatnonzero(picks >= 0)
             chosen_mask[taken, picks[taken]] = True
             for b in taken:
@@ -335,7 +390,7 @@ class RoundBasedEvaluatorBatch:
 
         if self.mode is MacMode.CAS:
             for __ in range(min(n_own, n_clients)):
-                take(drr.pick(~chosen_mask & participate[:, None]))
+                take(~chosen_mask & participate[:, None])
             return chosen_mask, chosen_lists
         tags = self._tags[ap]
         for local in range(n_own):
@@ -345,7 +400,7 @@ class RoundBasedEvaluatorBatch:
                 & use_mask[:, local][:, None]
                 & participate[:, None]
             )
-            take(drr.pick(candidates))
+            take(candidates)
         return chosen_mask, chosen_lists
 
     def _plan_round(
@@ -402,7 +457,7 @@ class RoundBasedEvaluatorBatch:
 
     def _score_round(
         self, planned: list, item_active: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, dict]:
         """Precode every planned set and score with mutual interference.
 
         Heavy solves and matmuls run grouped by sub-channel shape through
@@ -497,8 +552,10 @@ class RoundBasedEvaluatorBatch:
                 externals[(b, s)] = external
 
         # SINR -> per-slot capacity, grouped by stream count (stacked
-        # elementwise ops plus the same trailing-axis log2 reduction).
+        # elementwise ops plus the same trailing-axis log2 reduction).  The
+        # per-slot SINR rows are kept for the finite-load service step.
         slot_capacity: dict[tuple[int, int], float] = {}
+        slot_sinrs: dict[tuple[int, int], np.ndarray] = {}
         k_groups: dict[int, list[tuple[int, int]]] = {}
         for key, external in externals.items():
             k_groups.setdefault(len(external), []).append(key)
@@ -511,6 +568,7 @@ class RoundBasedEvaluatorBatch:
             sums = np.log2(1.0 + sinr).sum(axis=-1)
             for index, key in enumerate(keys):
                 slot_capacity[key] = float(sums[index])
+                slot_sinrs[key] = sinr[index]
 
         # Per-item assembly in the scalar accumulation order.
         capacity = np.zeros(self.n_items)
@@ -523,7 +581,36 @@ class RoundBasedEvaluatorBatch:
                 n_streams[b] += len(chosen)
                 per_ap_streams[b, ap] = len(chosen)
             capacity[b] = total
-        return capacity, n_streams, per_ap_streams
+        return capacity, n_streams, per_ap_streams, slot_sinrs
+
+    def _serve_round(
+        self, planned: list, slot_sinrs: dict, item_active: np.ndarray
+    ) -> list:
+        """Drain each item's queues against its per-stream SINRs.
+
+        Pure per-item scalar arithmetic in the scalar evaluator's slot and
+        stream order; the SINR rows come out of the stacked score step
+        bit-identical to the scalar ones, so the queue trajectories (and
+        hence every delay sample) match exactly.
+        """
+        metrics: list = [None] * self.n_items
+        if self._traffic is None:
+            return metrics
+        mac = self.scenarios[0].mac
+        for b in np.flatnonzero(item_active):
+            state = self._traffic[b]
+            for s, (ap, antennas, chosen) in enumerate(planned[b]):
+                clients_global = self._clients_of[ap][np.asarray(chosen)]
+                fraction = data_fraction(
+                    mac, len(clients_global), len(antennas),
+                    self.sim.sounding_overhead,
+                )
+                state.serve_burst(
+                    clients_global, slot_sinrs[(b, s)],
+                    state.round_duration_s * fraction,
+                )
+            metrics[b] = state.end_round()
+        return metrics
 
     # ------------------------------------------------------------------
     def evaluate_round(
@@ -537,12 +624,16 @@ class RoundBasedEvaluatorBatch:
             if item_mask is None
             else np.asarray(item_mask, dtype=bool)
         )
+        if self._traffic is not None:
+            for b in np.flatnonzero(item_active):
+                self._traffic[b].begin_round()
         planned, active_mask, served_masks = self._plan_round(
             primary_ap, item_active
         )
-        capacity, n_streams, per_ap_streams = self._score_round(
+        capacity, n_streams, per_ap_streams, slot_sinrs = self._score_round(
             planned, item_active
         )
+        traffic_metrics = self._serve_round(planned, slot_sinrs, item_active)
         self._settle_round(served_masks, item_active)
         results: list[RoundResult | None] = []
         for b in range(self.n_items):
@@ -555,6 +646,7 @@ class RoundBasedEvaluatorBatch:
                     n_streams=int(n_streams[b]),
                     active_antennas=int(active_mask[b].sum()),
                     per_ap_streams=per_ap_streams[b],
+                    traffic=traffic_metrics[b],
                 )
             )
         return results

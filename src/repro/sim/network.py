@@ -37,6 +37,7 @@ from ..mac.carrier_sense import CarrierSenseModel
 from ..mac.frames import txop_durations
 from ..mac.nav import NavTable
 from ..topology.scenarios import Scenario
+from ..traffic import AmpduConfig, TrafficState, TrafficSummary, resolve_traffic
 from .engine import EventQueue
 from .radio_state import ActiveTransmission, TransmissionLog
 
@@ -81,6 +82,8 @@ class SimulationResult:
     stream_count: int
     mean_concurrent_streams: float
     collision_fraction: float  # TXOPs whose interference degraded any stream > 3 dB
+    #: Queueing outcome under finite load; ``None`` for full-buffer runs.
+    traffic: TrafficSummary | None = None
 
     @property
     def network_capacity_bps_hz(self) -> float:
@@ -112,6 +115,9 @@ class NetworkSimulation:
         mode: MacMode,
         sim: SimConfig | None = None,
         seed: int | None = 0,
+        traffic=None,
+        traffic_kwargs=None,
+        ampdu: AmpduConfig | None = None,
     ):
         self.scenario = scenario
         self.mode = mode
@@ -120,7 +126,21 @@ class NetworkSimulation:
         self.deployment = scenario.deployment
 
         root = rng_mod.make_rng(seed)
-        channel_rng, mac_rng, csi_rng = rng_mod.spawn(root, 3)
+        # Four children are always spawned so enabling traffic never
+        # perturbs the channel/MAC/CSI streams (spawn(4)[:3] == spawn(3)).
+        channel_rng, mac_rng, csi_rng, traffic_rng = rng_mod.spawn(root, 4)
+        self._traffic: TrafficState | None = None
+        if traffic is not None:
+            model = resolve_traffic(traffic, **dict(traffic_kwargs or {}))
+            if not model.is_full_buffer:
+                self._traffic = TrafficState(
+                    model,
+                    self.deployment.n_clients,
+                    traffic_rng,
+                    round_duration_s=self.mac.txop_us * 1e-6,
+                    bandwidth_hz=scenario.radio.bandwidth_hz,
+                    ampdu=ampdu,
+                )
         self.channel = ChannelModel(self.deployment, scenario.radio, seed=channel_rng)
         self._csi_rng = csi_rng
         self.carrier_sense = CarrierSenseModel(
@@ -215,17 +235,53 @@ class NetworkSimulation:
         ordered = self.nav.order_by_expiry(available) if available else np.empty(0, dtype=int)
         return ordered, start_us
 
-    def _select_clients_midas(self, ap: int, antennas_in_order: np.ndarray) -> list[int]:
+    def _eligibility(self, ap: int, now_us: float) -> tuple[np.ndarray, np.ndarray]:
+        """(primary-class, any-class) backlog masks over ``ap``'s clients;
+        all-ones under full buffer (see the round engine's twin).
+
+        Eligibility is cut off at ``now_us``: the arrival generator works
+        in whole TXOP windows that can extend past the present, and a
+        packet "arriving" later than the contention decision must neither
+        win the medium nor be DRR-settled as served -- the service step
+        applies the same cutoff at the TXOP start.
+        """
+        n_local = len(self.deployment.clients_of(ap))
+        if self._traffic is None:
+            ones = np.ones(n_local, dtype=bool)
+            return ones, ones
+        clients = self.deployment.clients_of(ap)
+        cutoff_s = now_us * 1e-6
+        any_mask = self._traffic.backlog_mask(clients, arrival_cutoff_s=cutoff_s)
+        primary = self._traffic.primary_class(clients, arrival_cutoff_s=cutoff_s)
+        primary_mask = (
+            any_mask
+            if primary is None
+            else self._traffic.backlog_mask(clients, primary, arrival_cutoff_s=cutoff_s)
+        )
+        return primary_mask, any_mask
+
+    def _gated_pick(self, ap: int, candidates: list[int], masks) -> int | None:
+        """DRR pick among primary-class backlogged candidates, falling back
+        to any-backlog fill-in (a no-op restriction under full buffer)."""
+        primary_mask, any_mask = masks
+        pick = self._drr[ap].pick([c for c in candidates if primary_mask[c]])
+        if pick is None:
+            pick = self._drr[ap].pick([c for c in candidates if any_mask[c]])
+        return pick
+
+    def _select_clients_midas(
+        self, ap: int, antennas_in_order: np.ndarray, now_us: float
+    ) -> list[int]:
         """Per-antenna tagged DRR selection (§3.2.4-5), in local client ids."""
         tags = self._tags[ap]
-        drr = self._drr[ap]
         local_antennas = self._local_antenna_ids(ap, antennas_in_order)
+        masks = self._eligibility(ap, now_us)
         chosen: list[int] = []
         for antenna in local_antennas:
             candidates = [
                 c for c in tags.clients_tagged_to(int(antenna)) if c not in chosen
             ]
-            pick = drr.pick(candidates)
+            pick = self._gated_pick(ap, candidates, masks)
             if pick is not None:
                 chosen.append(pick)
         return chosen
@@ -247,13 +303,21 @@ class NetworkSimulation:
     def _begin_txop(self, contender: _Contender, now_us: float) -> None:
         ap = contender.ap
         own_clients = self.deployment.clients_of(ap)
+        if self._traffic is not None:
+            # Pull the arrival stream up to the present so eligibility sees
+            # everything queued by the time this TXOP wins the medium.
+            self._traffic.advance_arrivals_to(now_us * 1e-6)
         if self.mode is MacMode.CAS:
             antennas = self.deployment.antennas_of(ap)
             n_streams = min(len(antennas), len(own_clients))
-            drr = self._drr[ap]
+            masks = self._eligibility(ap, now_us)
             chosen_local: list[int] = []
             for __ in range(n_streams):
-                pick = drr.pick([c for c in range(len(own_clients)) if c not in chosen_local])
+                pick = self._gated_pick(
+                    ap,
+                    [c for c in range(len(own_clients)) if c not in chosen_local],
+                    masks,
+                )
                 if pick is None:
                     break
                 chosen_local.append(pick)
@@ -263,7 +327,7 @@ class NetworkSimulation:
             if len(antennas) == 0:
                 self._schedule_attempt(contender, now_us + self.mac.difs_us)
                 return
-            chosen_local = self._select_clients_midas(ap, antennas)
+            chosen_local = self._select_clients_midas(ap, antennas, now_us)
             if not chosen_local:
                 # No tagged backlog for any available antenna: skip this
                 # opportunity and recontend.
@@ -338,7 +402,45 @@ class NetworkSimulation:
 
         self.queue.schedule(tx.end_us, lambda t, tx=tx: self._end_txop(tx, t))
 
+    def _tx_sinrs(
+        self, tx: ActiveTransmission, transmissions: list[ActiveTransmission]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(sinr, interference-free snr) per stream of one TXOP, with
+        external interference weighted by TXOP overlap (the paper's §5.1
+        post-hoc scoring rule)."""
+        noise_mw = self.scenario.radio.noise_mw
+        own = np.abs(tx.h_rows[:, tx.antennas] @ tx.v) ** 2  # (clients, streams)
+        desired = np.diag(own)
+        intra = own.sum(axis=1) - desired
+        external = np.zeros(len(tx.clients))
+        for other in transmissions:
+            if other is tx:
+                continue
+            overlap = tx.overlap_us(other)
+            if overlap <= 0:
+                continue
+            cross = np.abs(tx.h_rows[:, other.antennas] @ other.v) ** 2
+            external += cross.sum(axis=1) * (overlap / tx.duration_us)
+        sinr = desired / (noise_mw + intra + external)
+        snr_clean = desired / (noise_mw + intra)
+        return sinr, snr_clean
+
     def _end_txop(self, tx: ActiveTransmission, now_us: float) -> None:
+        if self._traffic is not None:
+            # Every transmission overlapping this TXOP has started by its
+            # end event, so the overlap-weighted SINR computed here equals
+            # the post-hoc score; the A-MPDU model turns it into bytes.
+            sinr, __ = self._tx_sinrs(tx, self.log.all_transmissions())
+            payload_s = tx.data_fraction * tx.duration_us * 1e-6
+            self._traffic.serve_burst(
+                tx.clients,
+                sinr,
+                payload_s,
+                t_depart_s=now_us * 1e-6,
+                # Only packets queued when the burst was assembled ride in
+                # its A-MPDUs; later arrivals wait for the next TXOP.
+                arrival_cutoff_s=tx.start_us * 1e-6,
+            )
         self.log.finish(tx)
         for contender in self._contenders:
             if contender.ap == tx.ap and np.intersect1d(
@@ -370,7 +472,6 @@ class NetworkSimulation:
     # Scoring
     # ------------------------------------------------------------------
     def _score(self, duration_us: float) -> SimulationResult:
-        noise_mw = self.scenario.radio.noise_mw
         per_client = np.zeros(self.deployment.n_clients)
         transmissions = self.log.all_transmissions()
         degraded = 0
@@ -380,20 +481,7 @@ class NetworkSimulation:
             effective_duration = max(0.0, effective_end - tx.start_us)
             if effective_duration <= 0:
                 continue
-            own = np.abs(tx.h_rows[:, tx.antennas] @ tx.v) ** 2  # (clients, streams)
-            desired = np.diag(own)
-            intra = own.sum(axis=1) - desired
-            external = np.zeros(len(tx.clients))
-            for other in transmissions:
-                if other is tx:
-                    continue
-                overlap = tx.overlap_us(other)
-                if overlap <= 0:
-                    continue
-                cross = np.abs(tx.h_rows[:, other.antennas] @ other.v) ** 2
-                external += cross.sum(axis=1) * (overlap / tx.duration_us)
-            sinr = desired / (noise_mw + intra + external)
-            snr_clean = desired / (noise_mw + intra)
+            sinr, snr_clean = self._tx_sinrs(tx, transmissions)
             if np.any(snr_clean / np.maximum(sinr, 1e-30) > 2.0):
                 degraded += 1
             rates = np.log2(1.0 + sinr)
@@ -408,6 +496,9 @@ class NetworkSimulation:
             stream_count=self._stream_count,
             mean_concurrent_streams=float(mean_concurrent),
             collision_fraction=degraded / max(1, len(transmissions)),
+            traffic=(
+                self._traffic.summary(duration_s) if self._traffic is not None else None
+            ),
         )
 
     def run(self, duration_s: float | None = None) -> SimulationResult:

@@ -25,6 +25,7 @@ extension the paper's methodology could not measure.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -37,8 +38,39 @@ from ..core.power_balance import power_balanced_precoder
 from ..core.selection import DeficitRoundRobin
 from ..core.tagging import TagTable
 from ..mac.carrier_sense import CarrierSenseModel
+from ..mac.frames import data_fraction
 from ..topology.scenarios import Scenario
+from ..traffic import AmpduConfig, RoundTrafficMetrics, TrafficState, resolve_traffic
 from .network import MacMode
+
+
+def build_traffic_state(
+    traffic,
+    traffic_kwargs,
+    n_clients: int,
+    rng,
+    scenario: Scenario,
+    ampdu: AmpduConfig | None,
+) -> TrafficState | None:
+    """Resolve an engine's ``traffic=`` argument into a per-run state.
+
+    ``None`` and ``"full_buffer"`` both yield ``None`` -- the engines then
+    take their historical saturation path untouched (bit-identical to every
+    pre-traffic release).  The round clock is one TXOP (``mac.txop_us``).
+    """
+    if traffic is None:
+        return None
+    model = resolve_traffic(traffic, **dict(traffic_kwargs or {}))
+    if model.is_full_buffer:
+        return None
+    return TrafficState(
+        model,
+        n_clients,
+        rng,
+        round_duration_s=scenario.mac.txop_us * 1e-6,
+        bandwidth_hz=scenario.radio.bandwidth_hz,
+        ampdu=ampdu,
+    )
 
 
 @dataclass(frozen=True)
@@ -49,6 +81,9 @@ class RoundResult:
     n_streams: int
     active_antennas: int
     per_ap_streams: np.ndarray
+    #: Queueing outcome of the round under finite load; ``None`` when the
+    #: evaluator ran full-buffer (the default).
+    traffic: RoundTrafficMetrics | None = None
 
 
 @dataclass(frozen=True)
@@ -74,6 +109,100 @@ class RoundBasedResult:
         self._require_rounds()
         return float(np.mean([r.n_streams for r in self.rounds]))
 
+    # ------------------------------------------------------------------
+    # Finite-load (traffic) accessors
+    # ------------------------------------------------------------------
+    @property
+    def has_traffic(self) -> bool:
+        """Whether the evaluator ran with a finite-load traffic model."""
+        return bool(self.rounds) and self.rounds[0].traffic is not None
+
+    def _require_traffic(self) -> None:
+        self._require_rounds()
+        if self.rounds[0].traffic is None:
+            raise ValueError(
+                "no traffic metrics on this result: the evaluator ran "
+                "full-buffer; pass traffic=... to the evaluator to enable "
+                "finite-load queueing"
+            )
+
+    @property
+    def duration_s(self) -> float:
+        """Total MAC time covered (rounds x TXOP window)."""
+        self._require_traffic()
+        return float(sum(r.traffic.duration_s for r in self.rounds))
+
+    @property
+    def offered_bytes(self) -> float:
+        """Bytes that arrived at the queues over the run."""
+        self._require_traffic()
+        return float(sum(r.traffic.arrived_bytes for r in self.rounds))
+
+    @property
+    def served_bytes(self) -> float:
+        """Bytes delivered to clients over the run."""
+        self._require_traffic()
+        return float(sum(r.traffic.served_bytes for r in self.rounds))
+
+    @property
+    def throughput_mbps(self) -> float:
+        """Delivered goodput (Mb/s) over the whole run."""
+        return self.served_bytes * 8.0 / self.duration_s / 1e6
+
+    @property
+    def delay_samples_s(self) -> np.ndarray:
+        """Delays of every departed packet, in departure order."""
+        self._require_traffic()
+        return np.concatenate([r.traffic.delays_s for r in self.rounds])
+
+    @property
+    def delay_category_samples(self) -> np.ndarray:
+        """EDCA access-category value per delay sample."""
+        self._require_traffic()
+        return np.concatenate(
+            [r.traffic.delay_categories for r in self.rounds]
+        ).astype(int)
+
+    @property
+    def mean_delay_s(self) -> float:
+        """Mean packet delay; ``inf`` when nothing departed (overload)."""
+        samples = self.delay_samples_s
+        if samples.size == 0:
+            return math.inf
+        return float(np.mean(samples))
+
+    def delay_quantile(self, q: float) -> float:
+        """Delay quantile (e.g. ``0.95``); ``inf`` when nothing departed."""
+        samples = self.delay_samples_s
+        if samples.size == 0:
+            return math.inf
+        return float(np.quantile(samples, q))
+
+    @property
+    def delay_jitter_s(self) -> float:
+        """Standard deviation of packet delay; ``inf`` when no departures."""
+        samples = self.delay_samples_s
+        if samples.size == 0:
+            return math.inf
+        return float(np.std(samples))
+
+    @property
+    def mean_queue_bytes(self) -> float:
+        """Mean end-of-round backlog across rounds."""
+        self._require_traffic()
+        return float(np.mean([r.traffic.queue_bytes for r in self.rounds]))
+
+    @property
+    def max_queue_bytes(self) -> float:
+        """Peak end-of-round backlog."""
+        self._require_traffic()
+        return float(max(r.traffic.queue_bytes for r in self.rounds))
+
+    def per_client_served_bytes(self) -> np.ndarray:
+        """Total bytes delivered per client over the run."""
+        self._require_traffic()
+        return np.sum([r.traffic.served_per_client for r in self.rounds], axis=0)
+
 
 class RoundBasedEvaluator:
     """Quasi-static evaluation of one scenario (CAS or MIDAS stack)."""
@@ -84,13 +213,22 @@ class RoundBasedEvaluator:
         mode: MacMode,
         sim: SimConfig | None = None,
         seed: int | None = 0,
+        traffic=None,
+        traffic_kwargs=None,
+        ampdu: AmpduConfig | None = None,
     ):
         self.scenario = scenario
         self.mode = mode
         self.sim = sim or SimConfig()
         self.deployment = scenario.deployment
         root = rng_mod.make_rng(seed)
-        channel_rng, self._csi_rng = rng_mod.spawn(root, 2)
+        # Three children are always spawned so enabling traffic never
+        # perturbs the channel/CSI streams (spawn(3)[:2] == spawn(2)).
+        channel_rng, self._csi_rng, traffic_rng = rng_mod.spawn(root, 3)
+        self._traffic = build_traffic_state(
+            traffic, traffic_kwargs, self.deployment.n_clients, traffic_rng,
+            scenario, ampdu,
+        )
         self.channel = ChannelModel(self.deployment, scenario.radio, seed=channel_rng)
         self.carrier_sense = CarrierSenseModel(
             self.channel.antenna_cross_power_dbm(), scenario.mac
@@ -126,14 +264,43 @@ class RoundBasedEvaluator:
                 free.append(int(antenna))
         return np.asarray(free, dtype=int)
 
+    def _eligibility(self, ap: int) -> tuple[np.ndarray, np.ndarray]:
+        """(primary-class, any-class) backlog masks over ``ap``'s clients.
+
+        Full-buffer runs return all-ones masks, reducing selection to the
+        historical unrestricted DRR.  Under finite load the first mask
+        holds clients backlogged in the AP's *primary* EDCA class (the one
+        winning internal contention); the second holds any backlog, used to
+        fill leftover streams (802.11ac's secondary-class rule).
+        """
+        n_local = len(self.deployment.clients_of(ap))
+        if self._traffic is None:
+            ones = np.ones(n_local, dtype=bool)
+            return ones, ones
+        clients = self.deployment.clients_of(ap)
+        any_mask = self._traffic.backlog_mask(clients)
+        primary = self._traffic.primary_class(clients)
+        primary_mask = (
+            any_mask if primary is None else self._traffic.backlog_mask(clients, primary)
+        )
+        return primary_mask, any_mask
+
     def _select_clients(self, ap: int, antennas: np.ndarray) -> list[int]:
         """Local client ids served by ``antennas`` of ``ap`` this round."""
         n_clients = len(self.deployment.clients_of(ap))
         drr = self._drr[ap]
+        primary_mask, any_mask = self._eligibility(ap)
+
+        def gated_pick(candidates: list[int]) -> int | None:
+            pick = drr.pick([c for c in candidates if primary_mask[c]])
+            if pick is None:
+                pick = drr.pick([c for c in candidates if any_mask[c]])
+            return pick
+
         if self.mode is MacMode.CAS:
             chosen: list[int] = []
             for __ in range(min(len(antennas), n_clients)):
-                pick = drr.pick([c for c in range(n_clients) if c not in chosen])
+                pick = gated_pick([c for c in range(n_clients) if c not in chosen])
                 if pick is None:
                     break
                 chosen.append(pick)
@@ -145,7 +312,7 @@ class RoundBasedEvaluator:
         for antenna in antennas:
             local = index_of[int(antenna)]
             candidates = [c for c in tags.clients_tagged_to(local) if c not in chosen]
-            pick = drr.pick(candidates)
+            pick = gated_pick(candidates)
             if pick is not None:
                 chosen.append(pick)
         return chosen
@@ -162,6 +329,8 @@ class RoundBasedEvaluator:
     # ------------------------------------------------------------------
     def evaluate_round(self, primary_ap: int) -> RoundResult:
         """One concurrent round with ``primary_ap`` winning channel access first."""
+        if self._traffic is not None:
+            self._traffic.begin_round()
         n_aps = self.deployment.n_aps
         order = [(primary_ap + i) % n_aps for i in range(n_aps)]
         active_antennas: list[int] = []
@@ -221,6 +390,19 @@ class RoundBasedEvaluator:
             n_streams += len(clients_global)
             per_ap_streams[ap] = len(clients_global)
 
+            # Finite load: each stream's SINR fixes an MCS, the A-MPDU
+            # model converts payload airtime into served bytes.
+            if self._traffic is not None:
+                fraction = data_fraction(
+                    self.scenario.mac,
+                    len(clients_global),
+                    len(antennas),
+                    self.sim.sounding_overhead,
+                )
+                self._traffic.serve_burst(
+                    clients_global, sinr, self._traffic.round_duration_s * fraction
+                )
+
             # Fairness settlement per transmitting AP.
             n_clients = len(self.deployment.clients_of(ap))
             losers = [c for c in range(n_clients) if c not in chosen_local]
@@ -241,6 +423,7 @@ class RoundBasedEvaluator:
             n_streams=n_streams,
             active_antennas=len(active_antennas),
             per_ap_streams=per_ap_streams,
+            traffic=self._traffic.end_round() if self._traffic is not None else None,
         )
 
     def run(self, n_rounds: int = 30) -> RoundBasedResult:

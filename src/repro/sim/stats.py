@@ -27,9 +27,17 @@ class RunSummary:
 
 
 def summarize(results: list[SimulationResult]) -> RunSummary:
-    """Collect the headline series from a batch of runs."""
+    """Collect the headline series from a batch of runs.
+
+    Raises :class:`ValueError` on an empty result list -- summarizing
+    nothing would otherwise surface later as NaN medians plus a
+    ``RuntimeWarning`` deep inside numpy.
+    """
     if not results:
-        raise ValueError("need at least one result")
+        raise ValueError(
+            "summarize() needs at least one SimulationResult; got an empty "
+            "list (did every run get filtered out?)"
+        )
     return RunSummary(
         network_capacities_bps_hz=np.asarray(
             [r.network_capacity_bps_hz for r in results]
@@ -40,10 +48,18 @@ def summarize(results: list[SimulationResult]) -> RunSummary:
 
 
 def jain_fairness(per_client_throughput: np.ndarray) -> float:
-    """Jain's fairness index of a per-client throughput vector."""
+    """Jain's fairness index of a per-client throughput vector.
+
+    Raises :class:`ValueError` on an empty vector or all-zero throughput:
+    the index is 0/0 there, and silently reporting a number (or NaN plus a
+    ``RuntimeWarning``) hides that the run delivered nothing.
+    """
     x = np.asarray(per_client_throughput, dtype=float)
     if x.size == 0:
-        raise ValueError("need at least one client")
+        raise ValueError("jain_fairness() needs at least one client throughput")
     if np.all(x == 0):
-        return 1.0
+        raise ValueError(
+            "jain_fairness() is undefined for all-zero throughput (0/0); "
+            "the run delivered no bytes, check it before asking for fairness"
+        )
     return float((x.sum() ** 2) / (x.size * np.sum(x**2)))

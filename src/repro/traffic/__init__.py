@@ -1,0 +1,56 @@
+"""Finite-load traffic & queueing: arrivals, A-MPDU aggregation, latency.
+
+The round engines and the discrete-event MAC are full-buffer by default;
+this package opens the finite-load axis.  A registered arrival process
+(``full_buffer``, ``poisson``, ``on_off``, ``cbr`` -- see
+:func:`register_traffic <repro.api.registry.register_traffic>`) feeds
+per-client byte queues carved into 802.11e access categories, an 802.11ac
+A-MPDU model converts each stream's post-precoding SINR into served bytes,
+and the engines report per-packet delay, jitter, and queue occupancy
+alongside the usual capacity series.
+
+Quick use::
+
+    from repro.sim.rounds import RoundBasedEvaluator
+    from repro.sim.network import MacMode
+
+    result = RoundBasedEvaluator(
+        scenario, MacMode.MIDAS, seed=0, traffic="poisson",
+        traffic_kwargs={"rate_mbps": 10.0},
+    ).run(40)
+    result.mean_delay_s, result.throughput_mbps
+
+or declaratively, ``RunSpec("latency_vs_load", traffic="poisson")``.
+"""
+
+from .ampdu import VHT_MAX_AMPDU_BYTES, AmpduConfig
+from .models import (
+    CbrTraffic,
+    FullBufferTraffic,
+    OnOffTraffic,
+    PoissonTraffic,
+    TrafficModel,
+    access_category,
+    resolve_traffic,
+    traffic_names,
+)
+from .queues import ClientQueues, Packet
+from .state import RoundTrafficMetrics, TrafficState, TrafficSummary
+
+__all__ = [
+    "AmpduConfig",
+    "VHT_MAX_AMPDU_BYTES",
+    "CbrTraffic",
+    "FullBufferTraffic",
+    "OnOffTraffic",
+    "PoissonTraffic",
+    "TrafficModel",
+    "access_category",
+    "resolve_traffic",
+    "traffic_names",
+    "ClientQueues",
+    "Packet",
+    "RoundTrafficMetrics",
+    "TrafficState",
+    "TrafficSummary",
+]

@@ -84,9 +84,22 @@ class TestJainFairness:
     def test_single_winner_is_1_over_n(self):
         assert jain_fairness(np.array([1.0, 0.0, 0.0, 0.0])) == pytest.approx(0.25)
 
-    def test_all_zero_defined_as_fair(self):
-        assert jain_fairness(np.zeros(4)) == 1.0
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError, match="all-zero"):
+            jain_fairness(np.zeros(4))
 
     def test_rejects_empty(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="at least one client"):
             jain_fairness(np.array([]))
+
+    def test_no_runtime_warning_on_valid_input(self):
+        with np.errstate(all="raise"):
+            assert jain_fairness(np.array([1.0, 2.0])) == pytest.approx(0.9)
+
+
+class TestSummarize:
+    def test_empty_list_raises_clear_error(self):
+        from repro.sim.stats import summarize
+
+        with pytest.raises(ValueError, match="at least one SimulationResult"):
+            summarize([])

@@ -1,0 +1,298 @@
+"""Finite-load engine tests: scalar/batch bit-identity (no tolerances),
+full-buffer no-op guarantees, result accessors, the latency_vs_load
+experiment on both Runner backends, and the event-driven MAC's traffic."""
+
+import numpy as np
+import pytest
+
+from repro.api import RunSpec, Runner
+from repro.config import SimConfig
+from repro.sim.batch import RoundBasedEvaluatorBatch
+from repro.sim.network import MacMode, NetworkSimulation
+from repro.sim.rounds import RoundBasedEvaluator
+from repro.topology.deployment import AntennaMode
+from repro.topology.scenarios import office_b, single_ap_scenario, three_ap_scenario
+
+ENV = office_b()
+SEEDS = [0, 1, 2]
+
+TRAFFIC_CASES = [
+    ("poisson", {"rate_mbps": 6.0}),
+    ("on_off", {"rate_mbps": 4.0, "duty_cycle": 0.5}),
+    ("cbr", {"rate_mbps": 2.0, "packet_bytes": 300.0}),
+]
+
+
+def _assert_traffic_equal(batch_result, scalar_result):
+    assert len(batch_result.rounds) == len(scalar_result.rounds)
+    for br, sr in zip(batch_result.rounds, scalar_result.rounds):
+        assert br.capacity_bps_hz == sr.capacity_bps_hz
+        assert br.n_streams == sr.n_streams
+        assert br.traffic.arrived_bytes == sr.traffic.arrived_bytes
+        assert br.traffic.served_bytes == sr.traffic.served_bytes
+        assert br.traffic.queue_bytes == sr.traffic.queue_bytes
+        assert np.array_equal(br.traffic.delays_s, sr.traffic.delays_s)
+        assert np.array_equal(br.traffic.delay_categories, sr.traffic.delay_categories)
+        assert np.array_equal(
+            br.traffic.served_per_client, sr.traffic.served_per_client
+        )
+
+
+class TestRoundEngineBitIdentity:
+    @pytest.mark.parametrize("traffic,kwargs", TRAFFIC_CASES)
+    @pytest.mark.parametrize("mode,antenna_mode", [
+        (MacMode.MIDAS, AntennaMode.DAS),
+        (MacMode.CAS, AntennaMode.CAS),
+    ])
+    def test_three_ap_batch_matches_scalar(self, traffic, kwargs, mode, antenna_mode):
+        scenarios = [three_ap_scenario(ENV, seed=s)[antenna_mode] for s in SEEDS]
+        batch = RoundBasedEvaluatorBatch(
+            scenarios, mode, seeds=SEEDS, traffic=traffic, traffic_kwargs=kwargs
+        ).run(8)
+        for i, seed in enumerate(SEEDS):
+            scalar = RoundBasedEvaluator(
+                scenarios[i], mode, seed=seed, traffic=traffic, traffic_kwargs=kwargs
+            ).run(8)
+            _assert_traffic_equal(batch[i], scalar)
+
+    def test_single_ap_batch_matches_scalar(self):
+        scenarios = [
+            single_ap_scenario(ENV, AntennaMode.DAS, seed=s) for s in SEEDS
+        ]
+        batch = RoundBasedEvaluatorBatch(
+            scenarios, MacMode.MIDAS, seeds=SEEDS,
+            traffic="poisson", traffic_kwargs={"rate_mbps": 10.0},
+        ).run(12)
+        for i, seed in enumerate(SEEDS):
+            scalar = RoundBasedEvaluator(
+                scenarios[i], MacMode.MIDAS, seed=seed,
+                traffic="poisson", traffic_kwargs={"rate_mbps": 10.0},
+            ).run(12)
+            _assert_traffic_equal(batch[i], scalar)
+            assert batch[i].throughput_mbps == scalar.throughput_mbps
+            assert np.array_equal(batch[i].delay_samples_s, scalar.delay_samples_s)
+
+    def test_item_mask_skips_inactive_items(self):
+        scenarios = [
+            single_ap_scenario(ENV, AntennaMode.DAS, seed=s) for s in SEEDS
+        ]
+        mask = np.array([True, False, True])
+        results = RoundBasedEvaluatorBatch(
+            scenarios, MacMode.MIDAS, seeds=SEEDS,
+            traffic="poisson", traffic_kwargs={"rate_mbps": 10.0},
+        ).run(6, item_mask=mask)
+        assert results[1] is None
+        scalar = RoundBasedEvaluator(
+            scenarios[2], MacMode.MIDAS, seed=SEEDS[2],
+            traffic="poisson", traffic_kwargs={"rate_mbps": 10.0},
+        ).run(6)
+        _assert_traffic_equal(results[2], scalar)
+
+
+class TestFullBufferNoOp:
+    def test_full_buffer_equals_no_traffic_scalar(self):
+        scenario = three_ap_scenario(ENV, seed=0)[AntennaMode.DAS]
+        plain = RoundBasedEvaluator(scenario, MacMode.MIDAS, seed=0).run(6)
+        full = RoundBasedEvaluator(
+            scenario, MacMode.MIDAS, seed=0, traffic="full_buffer"
+        ).run(6)
+        assert [r.capacity_bps_hz for r in plain.rounds] == [
+            r.capacity_bps_hz for r in full.rounds
+        ]
+        assert all(r.traffic is None for r in full.rounds)
+
+    def test_full_buffer_equals_no_traffic_batch(self):
+        scenarios = [three_ap_scenario(ENV, seed=s)[AntennaMode.DAS] for s in SEEDS]
+        plain = RoundBasedEvaluatorBatch(scenarios, MacMode.MIDAS, seeds=SEEDS).run(6)
+        full = RoundBasedEvaluatorBatch(
+            scenarios, MacMode.MIDAS, seeds=SEEDS, traffic="full_buffer"
+        ).run(6)
+        for p, f in zip(plain, full):
+            assert [r.capacity_bps_hz for r in p.rounds] == [
+                r.capacity_bps_hz for r in f.rounds
+            ]
+
+    def test_accessors_raise_without_traffic(self):
+        scenario = single_ap_scenario(ENV, AntennaMode.DAS, seed=0)
+        result = RoundBasedEvaluator(scenario, MacMode.MIDAS, seed=0).run(2)
+        assert not result.has_traffic
+        with pytest.raises(ValueError, match="full-buffer"):
+            result.mean_delay_s
+        with pytest.raises(ValueError, match="full-buffer"):
+            result.throughput_mbps
+
+
+class TestResultAccessors:
+    @pytest.fixture(scope="class")
+    def loaded(self):
+        scenario = single_ap_scenario(ENV, AntennaMode.DAS, seed=1)
+        return RoundBasedEvaluator(
+            scenario, MacMode.MIDAS, seed=1,
+            traffic="poisson", traffic_kwargs={"rate_mbps": 8.0},
+        ).run(30)
+
+    def test_conservation_and_positivity(self, loaded):
+        assert loaded.has_traffic
+        assert loaded.served_bytes <= loaded.offered_bytes
+        assert loaded.served_bytes > 0
+        assert np.all(loaded.delay_samples_s > 0)
+        assert loaded.mean_queue_bytes <= loaded.max_queue_bytes
+
+    def test_throughput_consistent_with_bytes(self, loaded):
+        expected = loaded.served_bytes * 8 / loaded.duration_s / 1e6
+        assert loaded.throughput_mbps == expected
+
+    def test_delay_statistics_ordered(self, loaded):
+        assert loaded.mean_delay_s > 0
+        assert loaded.delay_quantile(0.95) >= loaded.delay_quantile(0.5)
+        assert np.isfinite(loaded.delay_jitter_s)
+
+    def test_per_client_served_sums_to_total(self, loaded):
+        per_client = loaded.per_client_served_bytes()
+        assert per_client.shape == (4,)
+        assert per_client.sum() == pytest.approx(loaded.served_bytes)
+
+
+class TestLatencyVsLoadExperiment:
+    SPEC = RunSpec(
+        "latency_vs_load",
+        n_topologies=3,
+        seed=0,
+        params={"offered_loads_mbps": [10.0, 80.0], "rounds_per_topology": 10},
+    )
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return (
+            Runner(backend="loop").run(self.SPEC),
+            Runner(backend="vectorized").run(self.SPEC),
+        )
+
+    def test_backends_bit_identical(self, results):
+        loop, vectorized = results
+        assert set(loop.series) == set(vectorized.series)
+        for key in loop.series:
+            assert np.array_equal(loop.series[key], vectorized.series[key]), key
+
+    def test_series_shapes_and_sanity(self, results):
+        loop, __ = results
+        for system in ("cas", "midas"):
+            for metric in ("throughput_mbps", "delay_ms", "p95_delay_ms", "queue_kbytes"):
+                assert loop.series[f"{system}_{metric}"].shape == (3, 2)
+            delay = loop.series[f"{system}_delay_ms"]
+            # Median delay grows with offered load (queueing).
+            assert np.median(delay[:, 1]) >= np.median(delay[:, 0])
+
+    def test_traffic_spec_override(self):
+        spec = self.SPEC.replace(traffic="cbr", n_topologies=2)
+        result = Runner().run(spec)
+        assert result.params["traffic"] == "cbr"
+
+    def test_full_buffer_rejected(self):
+        with pytest.raises(ValueError, match="finite-load"):
+            Runner().run(self.SPEC.replace(traffic="full_buffer", n_topologies=1))
+
+    def test_analysis_helpers(self, results):
+        from repro.analysis import (
+            delay_cdf,
+            delay_percentiles,
+            saturation_load_mbps,
+            throughput_delay_curve,
+        )
+
+        loop, __ = results
+        offered, throughput, delay = throughput_delay_curve(loop, "midas")
+        assert np.array_equal(offered, [10.0, 80.0])
+        assert throughput.shape == delay.shape == (2,)
+        assert saturation_load_mbps(loop, "midas", delay_budget_ms=1e9) == 80.0
+        samples = np.asarray([0.001, 0.002, 0.004])
+        assert len(delay_cdf(samples)) == 3
+        assert np.array_equal(
+            delay_percentiles(samples, (0.0, 1.0)), [0.001, 0.004]
+        )
+        with pytest.raises(ValueError, match="no departed packets"):
+            delay_cdf(np.array([]))
+
+
+class TestExistingExperimentsFullBuffer:
+    def test_fig15_accepts_full_buffer_spec(self):
+        base = RunSpec("fig15", n_topologies=2, seed=0,
+                       params={"rounds_per_topology": 4})
+        with_traffic = base.replace(traffic="full_buffer")
+        a = Runner().run(base)
+        b = Runner().run(with_traffic)
+        for key in a.series:
+            assert np.array_equal(a.series[key], b.series[key]), key
+
+
+class TestDynamicMacTraffic:
+    def test_finite_load_metrics(self):
+        scenario = three_ap_scenario(ENV, seed=0)[AntennaMode.DAS]
+        result = NetworkSimulation(
+            scenario, MacMode.MIDAS, SimConfig(duration_s=0.04), seed=0,
+            traffic="poisson", traffic_kwargs={"rate_mbps": 5.0},
+        ).run()
+        summary = result.traffic
+        assert summary is not None
+        assert 0 < summary.served_bytes <= summary.arrived_bytes
+        assert summary.delays_s.size > 0
+        assert np.all(summary.delays_s > 0)
+        assert summary.throughput_mbps > 0
+        assert np.isfinite(summary.mean_delay_s)
+
+    def test_full_buffer_unchanged(self):
+        scenario = three_ap_scenario(ENV, seed=0)[AntennaMode.DAS]
+        sim_cfg = SimConfig(duration_s=0.03)
+        plain = NetworkSimulation(scenario, MacMode.MIDAS, sim_cfg, seed=0).run()
+        full = NetworkSimulation(
+            scenario, MacMode.MIDAS, sim_cfg, seed=0, traffic="full_buffer"
+        ).run()
+        assert plain.traffic is None and full.traffic is None
+        assert np.array_equal(
+            plain.per_client_bits_per_hz, full.per_client_bits_per_hz
+        )
+        assert plain.txop_count == full.txop_count
+
+    def test_no_zero_byte_bursts_on_decodable_streams(self, monkeypatch):
+        # Regression: eligibility once saw arrival-window packets timestamped
+        # after the contention decision, so an AP could win a TXOP for a
+        # client whose packets the serve-time arrival cutoff then excluded --
+        # a full TXOP burned for zero bytes and a wrong DRR settlement.
+        # With eligibility cut off at the decision time, a selected client
+        # always has a servable packet: a burst serves zero bytes only when
+        # every stream's SINR is below MCS 0.
+        from repro.phy.mcs import MCS_TABLE
+        from repro.traffic import TrafficState
+
+        calls = []
+        original = TrafficState.serve_burst
+
+        def recording(self, clients, sinrs, payload_s, t_depart_s=None,
+                      arrival_cutoff_s=None):
+            served = original(self, clients, sinrs, payload_s, t_depart_s,
+                              arrival_cutoff_s)
+            calls.append((served, np.max(np.asarray(sinrs, dtype=float))))
+            return served
+
+        monkeypatch.setattr(TrafficState, "serve_burst", recording)
+        scenario = single_ap_scenario(ENV, AntennaMode.DAS, seed=0)
+        NetworkSimulation(
+            scenario, MacMode.MIDAS, SimConfig(duration_s=0.5), seed=0,
+            traffic="poisson", traffic_kwargs={"rate_mbps": 0.5},
+        ).run()
+        assert calls, "expected TXOP bursts under light load"
+        mcs0 = 10 ** (MCS_TABLE[0].min_snr_db / 10.0)
+        wasted = [c for c in calls if c[0] == 0.0 and c[1] >= mcs0]
+        assert not wasted, f"{len(wasted)}/{len(calls)} zero-byte bursts"
+
+    def test_light_load_delays_below_saturation_queueing(self):
+        scenario = single_ap_scenario(ENV, AntennaMode.DAS, seed=3)
+        light = NetworkSimulation(
+            scenario, MacMode.MIDAS, SimConfig(duration_s=0.05), seed=3,
+            traffic="poisson", traffic_kwargs={"rate_mbps": 1.0},
+        ).run()
+        heavy = NetworkSimulation(
+            scenario, MacMode.MIDAS, SimConfig(duration_s=0.05), seed=3,
+            traffic="poisson", traffic_kwargs={"rate_mbps": 60.0},
+        ).run()
+        assert light.traffic.queue_bytes <= heavy.traffic.queue_bytes

@@ -213,6 +213,16 @@ EXPERIMENT_CASES = [
     ("ablation_das_radius", {"n_topologies": 3}, {"fractions": [[0.5, 0.75]]}),
     ("ablation_precoders", {"n_topologies": 2}, {"include_full_optimal": False}),
     ("ablation_tag_width", {"n_topologies": 4}, {"widths": [1, 2]}),
+    (
+        "latency_vs_load",
+        {"n_topologies": 2},
+        {"offered_loads_mbps": [15.0, 60.0], "rounds_per_topology": 6},
+    ),
+    (
+        "latency_vs_load",
+        {"n_topologies": 2, "traffic": "on_off"},
+        {"offered_loads_mbps": [30.0], "rounds_per_topology": 6},
+    ),
 ]
 
 
