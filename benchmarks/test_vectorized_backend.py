@@ -16,6 +16,13 @@ Opt-in like every benchmark (``python -m pytest benchmarks/``):
   backends) runs >= 3x faster vectorized, bit-identically.  The queueing
   layer itself is deliberately shared scalar code, so this guards against
   it ever growing into the bottleneck that erases the batching win.
+* ``test_vectorized_mobility_smoke`` (``-m benchsmoke``) -- the
+  moving-channel claim: a 100-topology ``mobility_capacity`` sweep
+  (pedestrian Gauss-Markov trajectories, per-client Doppler, stale-CSI
+  precoding with periodic re-sounding and tag re-derivation on both
+  backends) runs >= 3x faster vectorized, bit-identically.  Mobility adds
+  per-item python work (trajectory steps, per-item shadowing resampling)
+  to both backends; this guards the batching win against that overhead.
 * ``test_vectorized_smoke`` / ``test_vectorized_fig15_smoke``
   (``-m benchsmoke``) -- seconds-scale versions for CI: assert
   bit-identity and always write the timing JSON artifact.
@@ -119,6 +126,30 @@ def test_vectorized_latency_smoke():
     assert timings["bit_identical"]
     assert timings["speedup"] >= 3.0, (
         f"vectorized finite-load sweep only {timings['speedup']:.2f}x faster"
+    )
+
+
+#: The moving-channel smoke sweep: two pedestrian speeds, 30 rounds per
+#: topology with re-sounding every 4th round -- big enough to amortize the
+#: stacked round engine, seconds-scale on CI.
+_MOBILITY_PARAMS = {"speeds_mps": [1.0, 3.0], "rounds_per_topology": 30}
+
+
+@pytest.mark.benchsmoke
+def test_vectorized_mobility_smoke():
+    # The mobility sweep must keep the batching win even though trajectory
+    # stepping and large-scale re-evaluation are per-item python code:
+    # >= 3x, bit-identical capacity and sounding-overhead series.
+    timings = _run_benchmark(
+        "mobility_capacity",
+        n_topologies=100,
+        repeats=1,
+        suffix="-mobility",
+        params=_MOBILITY_PARAMS,
+    )
+    assert timings["bit_identical"]
+    assert timings["speedup"] >= 3.0, (
+        f"vectorized mobility sweep only {timings['speedup']:.2f}x faster"
     )
 
 

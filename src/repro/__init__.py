@@ -43,7 +43,7 @@ factories) remains importable directly for custom studies; see
 
 # Defined before the subpackage imports below: repro.api.runner folds the
 # version into its cache keys at import time.
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from .analysis import EmpiricalCdf, median_gain
 from .api import (
@@ -57,6 +57,7 @@ from .api import (
     register_batch_precoder,
     register_environment,
     register_experiment,
+    register_mobility,
     register_precoder,
     register_scenario,
     register_traffic,
@@ -64,6 +65,7 @@ from .api import (
 from .channel import ChannelModel, ChannelTrace, coverage_range_m, cs_range_m, record_trace
 from .channel.batch import ChannelBatch
 from .config import MacConfig, MidasConfig, RadioConfig, SimConfig
+from .mobility import MobilityModel, mobility_names, resolve_mobility
 from .core import (
     DeficitRoundRobin,
     PrecodingResult,
@@ -105,6 +107,7 @@ __all__ = [
     "register_batch_precoder",
     "register_environment",
     "register_experiment",
+    "register_mobility",
     "register_precoder",
     "register_scenario",
     "register_traffic",
@@ -112,6 +115,9 @@ __all__ = [
     "TrafficModel",
     "resolve_traffic",
     "traffic_names",
+    "MobilityModel",
+    "mobility_names",
+    "resolve_mobility",
     "ChannelBatch",
     "ChannelModel",
     "ChannelTrace",

@@ -19,6 +19,16 @@ def _as_delay_samples(delays) -> np.ndarray:
     return np.asarray(samples, dtype=float).ravel()
 
 
+def _require_samples(samples: np.ndarray) -> np.ndarray:
+    """Shared empty-run guard: an empty delay distribution has no summary."""
+    if samples.size == 0:
+        raise ValueError(
+            "no departed packets: the run produced no delay samples "
+            "(overloaded or too short)"
+        )
+    return samples
+
+
 def delay_cdf(delays) -> EmpiricalCdf:
     """Empirical CDF of packet delays.
 
@@ -26,20 +36,17 @@ def delay_cdf(delays) -> EmpiricalCdf:
     with a ``delay_samples_s`` attribute).  Raises :class:`ValueError` when
     no packet ever departed -- an empty delay distribution has no CDF.
     """
-    samples = _as_delay_samples(delays)
-    if samples.size == 0:
-        raise ValueError(
-            "no departed packets: the run produced no delay samples "
-            "(overloaded or too short)"
-        )
-    return EmpiricalCdf(samples)
+    return EmpiricalCdf(_require_samples(_as_delay_samples(delays)))
 
 
 def delay_percentiles(delays, qs=(0.5, 0.9, 0.95, 0.99)) -> np.ndarray:
-    """Delay quantiles at ``qs``; ``inf`` entries when nothing departed."""
-    samples = _as_delay_samples(delays)
-    if samples.size == 0:
-        return np.full(len(tuple(qs)), np.inf)
+    """Delay quantiles at ``qs``.
+
+    Raises :class:`ValueError` when no packet ever departed, exactly like
+    :func:`delay_cdf` (use :attr:`RoundBasedResult.delay_quantile` if an
+    ``inf`` sentinel is preferred over an exception).
+    """
+    samples = _require_samples(_as_delay_samples(delays))
     return np.quantile(samples, np.asarray(tuple(qs), dtype=float))
 
 

@@ -30,6 +30,7 @@ from .registry import (
     BATCH_PRECODERS,
     ENVIRONMENTS,
     EXPERIMENTS,
+    MOBILITY,
     PRECODERS,
     SCENARIOS,
     TRAFFIC,
@@ -38,6 +39,7 @@ from .registry import (
     UnknownNameError,
     register_batch_precoder,
     register_environment,
+    register_mobility,
     register_precoder,
     register_scenario,
     register_traffic,
@@ -60,6 +62,7 @@ __all__ = [
     "BATCH_PRECODERS",
     "ENVIRONMENTS",
     "EXPERIMENTS",
+    "MOBILITY",
     "PRECODERS",
     "SCENARIOS",
     "TRAFFIC",
@@ -68,6 +71,7 @@ __all__ = [
     "UnknownNameError",
     "register_batch_precoder",
     "register_environment",
+    "register_mobility",
     "register_precoder",
     "register_scenario",
     "register_traffic",

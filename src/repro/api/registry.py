@@ -99,6 +99,7 @@ SCENARIOS: Registry = Registry("scenario")
 ENVIRONMENTS: Registry = Registry("environment")
 EXPERIMENTS: Registry = Registry("experiment")
 TRAFFIC: Registry = Registry("traffic model")
+MOBILITY: Registry = Registry("mobility model")
 
 
 def register_precoder(name: str):
@@ -130,3 +131,9 @@ def register_traffic(name: str):
     """Register ``fn(rate_mbps, **kwargs) -> TrafficModel`` as an arrival
     process (see :mod:`repro.traffic`)."""
     return TRAFFIC.register(name)
+
+
+def register_mobility(name: str):
+    """Register ``fn(**kwargs) -> MobilityModel`` as a client mobility model
+    (see :mod:`repro.mobility`)."""
+    return MOBILITY.register(name)

@@ -40,7 +40,7 @@ from pathlib import Path
 from .. import __version__ as _PACKAGE_VERSION
 from .. import rng as rng_mod
 from .experiments import ExperimentDef, get_experiment_def, load_builtin_experiments
-from .registry import ENVIRONMENTS, PRECODERS, TRAFFIC
+from .registry import ENVIRONMENTS, MOBILITY, PRECODERS, TRAFFIC
 from .result import RunResult
 from .spec import RunSpec, normalize_params
 
@@ -72,18 +72,32 @@ def resolve_params(defn: ExperimentDef, spec: RunSpec) -> dict:
             )
         PRECODERS.get(spec.precoder)  # fail early, listing registered names
         params["precoder"] = spec.precoder
-    if spec.traffic is not None:
-        from ..traffic import models as _traffic_models  # populate the registry
-
-        TRAFFIC.get(spec.traffic)  # fail early, listing registered names
-        if "traffic" in allowed:
-            params["traffic"] = spec.traffic
-        elif spec.traffic != "full_buffer":
+    def axis_override(field: str, registry, universal: str, populate) -> None:
+        """Shared validation for model axes with a universal no-op default
+        (traffic's full_buffer, mobility's static): fail early on unknown
+        names, fold into params only for experiments declaring the axis."""
+        value = getattr(spec, field)
+        if value is None:
+            return
+        populate()  # import the built-in models so the registry is loaded
+        registry.get(value)  # fail early, listing registered names
+        if field in allowed:
+            params[field] = value
+        elif value != universal:
             raise ValueError(
-                f"experiment {defn.name!r} does not take a traffic override; "
-                f"experiments with a 'traffic' parameter do (\"full_buffer\" "
-                f"is accepted everywhere because it is the universal default)"
+                f"experiment {defn.name!r} does not take a {field} override; "
+                f"experiments with a {field!r} parameter do ({universal!r} is "
+                f"accepted everywhere because it is the universal default)"
             )
+
+    def _load_traffic():
+        from ..traffic import models  # noqa: F401
+
+    def _load_mobility():
+        from ..mobility import models  # noqa: F401
+
+    axis_override("traffic", TRAFFIC, "full_buffer", _load_traffic)
+    axis_override("mobility", MOBILITY, "static", _load_mobility)
     unknown = set(spec.params) - allowed
     if unknown:
         raise ValueError(

@@ -60,6 +60,11 @@ class RunSpec:
         ``"full_buffer"`` is accepted by every experiment (it is the
         universal default and changes nothing); any other model requires
         the experiment to declare a ``traffic`` parameter.
+    mobility:
+        Registered mobility-model name (see :mod:`repro.mobility`).
+        ``"static"`` is accepted by every experiment (it is the universal
+        default and changes nothing); any other model requires the
+        experiment to declare a ``mobility`` parameter.
     params:
         Extra experiment keyword parameters; keys must be declared by the
         experiment's defaults.
@@ -71,6 +76,7 @@ class RunSpec:
     environment: str | None = None
     precoder: str | None = None
     traffic: str | None = None
+    mobility: str | None = None
     params: dict = field(default_factory=dict)
 
     def __post_init__(self):
@@ -83,7 +89,7 @@ class RunSpec:
                 raise ValueError("RunSpec.n_topologies must be >= 1")
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
             raise ValueError("RunSpec.seed must be an int")
-        for label in ("environment", "precoder", "traffic"):
+        for label in ("environment", "precoder", "traffic", "mobility"):
             value = getattr(self, label)
             if value is not None and (not isinstance(value, str) or not value):
                 raise ValueError(f"RunSpec.{label} must be a non-empty string or None")
@@ -105,9 +111,12 @@ class RunSpec:
             "params": self.params,
         }
         # Omitted when unset so canonical encodings, spec hashes, and saved
-        # results from before the traffic axis existed stay valid verbatim.
+        # results from before the traffic/mobility axes existed stay valid
+        # verbatim.
         if self.traffic is not None:
             data["traffic"] = self.traffic
+        if self.mobility is not None:
+            data["mobility"] = self.mobility
         return data
 
     @classmethod

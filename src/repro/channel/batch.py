@@ -29,7 +29,7 @@ from ..topology import geometry
 from . import walls
 from .fading import _project_psd, correlation_sqrt, sample_fading
 from .pathloss import LogDistancePathLoss
-from .shadowing import ShadowingField, group_antenna_sites
+from .shadowing import ShadowingField, group_antenna_sites, prepare_points
 
 
 def stacked_correlation(
@@ -146,44 +146,82 @@ class ChannelBatch:
     # ------------------------------------------------------------------
     # Large-scale propagation
     # ------------------------------------------------------------------
-    def shadowing_db(self, rx_points) -> np.ndarray:
+    def _item_indices(self, items) -> np.ndarray:
+        if items is None:
+            return np.arange(self.n_items)
+        return np.asarray(items, dtype=int)
+
+    def shadowing_db(self, rx_points, items=None) -> np.ndarray:
         """Stacked shadowing ``(batch, n_points, n_antennas)``.
 
         ``rx_points`` is either one shared ``(n_points, 2)`` set (survey
         grids) or a per-item ``(batch, n_points, 2)`` stack.  Lattice draws
         happen per item in site order, matching the scalar model.
+        ``items`` restricts evaluation (and the draws) to the given item
+        indices; the leading axis then has ``len(items)`` entries.
         """
+        idx = self._item_indices(items)
         pts = geometry.as_point_stack(rx_points)
         shared = pts.ndim == 2
         n_points = pts.shape[-2]
         n_antennas = self._antennas.shape[1]
-        shadow = np.zeros((self.n_items, n_points, n_antennas))
-        for b in range(self.n_items):
-            item_pts = pts if shared else pts[b]
+        shadow = np.zeros((len(idx), n_points, n_antennas))
+        if self.radio.shadowing_sigma_db == 0.0:
+            return shadow
+        # Lattice-geometry preparation is shared across an item's site
+        # fields (and across items for a shared point set); per-item draws
+        # stay in site order, matching the scalar model.
+        correlation = self.radio.shadowing_correlation_m
+        prep = prepare_points(pts, correlation) if shared else None
+        for row, b in enumerate(idx):
+            item_prep = prep if shared else prepare_points(pts[row], correlation)
             site_of = self._site_of_antenna[b]
             for site, field in enumerate(self._site_fields[b]):
                 columns = np.flatnonzero(site_of == site)
                 if columns.size:
-                    shadow[b][:, columns] = field.sample(item_pts)[:, None]
+                    shadow[row][:, columns] = field.sample_prepared(item_prep)[:, None]
         return shadow
 
-    def large_scale_gain_db(self, rx_points) -> np.ndarray:
+    def large_scale_gain_db(self, rx_points, items=None) -> np.ndarray:
         """Median channel gain in dB, ``(batch, n_points, n_antennas)``;
-        the stacked mirror of ``ChannelModel.large_scale_gain_db``."""
+        the stacked mirror of ``ChannelModel.large_scale_gain_db``.
+        ``items`` restricts the computation to an item subset (per-item
+        ``rx_points`` stacks must then carry ``len(items)`` entries)."""
+        idx = self._item_indices(items)
+        antennas = self._antennas[idx]
         pts = geometry.as_point_stack(rx_points)
-        dists = geometry.stacked_pairwise_distances(pts, self._antennas)
+        dists = geometry.stacked_pairwise_distances(pts, antennas)
         gain = -self._pathloss.loss_db(dists)
         if self.radio.wall_loss_db > 0:
             gain = gain - walls.wall_loss_db(
                 pts,
-                self._antennas,
+                antennas,
                 self.radio.wall_spacing_m,
                 self.radio.wall_loss_db,
                 max_walls=self.radio.max_wall_count,
             )
-        gain += self.shadowing_db(pts)
-        gain -= self._cable_loss_db[:, None, :]
+        gain += self.shadowing_db(pts, items=items)
+        gain -= self._cable_loss_db[idx][:, None, :]
         return gain
+
+    def update_client_positions(self, positions, items=None) -> None:
+        """Move clients and re-evaluate their large-scale gains, the
+        stacked mirror of ``ChannelModel.update_client_positions``.
+
+        ``positions`` is ``(len(items), n_clients, 2)`` (whole batch when
+        ``items`` is ``None``).  Each item's shadowing draws come from its
+        own site fields in site order, bit-identical to the scalar model
+        updating that item alone; skipped items consume nothing.
+        """
+        idx = self._item_indices(items)
+        pts = geometry.as_point_stack(positions)
+        expected = (len(idx),) + self._clients.shape[1:]
+        if pts.shape != expected:
+            raise ValueError(
+                f"expected {expected} client positions, got {pts.shape}"
+            )
+        self._clients[idx] = pts
+        self._client_gain_db[idx] = self.large_scale_gain_db(pts, items=idx)
 
     @property
     def cable_loss_db(self) -> np.ndarray:
@@ -277,7 +315,7 @@ class ChannelBatch:
         amplitude = np.sqrt(units.db_to_linear(np.asarray(self._client_gain_db)))
         return amplitude * self._state
 
-    def advance(self, dt_s: float, items=None) -> None:
+    def advance(self, dt_s: float, items=None, doppler_hz=None) -> None:
         """Advance fading by ``dt_s`` seconds.
 
         ``items`` restricts the update to the given item indices (each item
@@ -286,19 +324,48 @@ class ChannelBatch:
         Note that :attr:`time_s` is the clock of the *advanced* items --
         after masked advances it does not describe the skipped items'
         (stale) fading states.
+
+        ``doppler_hz`` optionally supplies per-item, per-client Doppler
+        spreads of shape ``(len(items), n_clients)`` (mobility-derived
+        speeds), replacing the global :attr:`RadioConfig.doppler_hz`.  Like
+        the scalar :meth:`FadingProcess.advance`, the per-client path always
+        draws one innovation per advanced item -- ``rho = 1`` rows keep
+        their state exactly -- so each item's generator stream matches the
+        matching scalar model bit for bit.
         """
         if dt_s < 0:
             raise ValueError("dt_s must be non-negative")
-        if dt_s == 0 or self.radio.doppler_hz == 0:
+        if doppler_hz is None:
+            if dt_s == 0 or self.radio.doppler_hz == 0:
+                self._time_s += dt_s
+                return
+            rho = float(j0(2.0 * np.pi * self.radio.doppler_hz * dt_s))
+            rho = float(np.clip(rho, -1.0, 1.0))
+            scale = np.sqrt(max(0.0, 1.0 - rho * rho))
+            state = self._state  # materialize the initial draw first
+            if items is None:
+                self._lazy_state = rho * state + scale * self._innovation()
+            else:
+                items = np.asarray(items, dtype=int)
+                state[items] = rho * state[items] + scale * self._innovation(items)
             self._time_s += dt_s
             return
-        rho = float(j0(2.0 * np.pi * self.radio.doppler_hz * dt_s))
-        rho = float(np.clip(rho, -1.0, 1.0))
-        scale = np.sqrt(max(0.0, 1.0 - rho * rho))
+        idx = self._item_indices(items)
+        n_clients = self._clients.shape[1]
+        fd = np.broadcast_to(
+            np.asarray(doppler_hz, dtype=float), (len(idx), n_clients)
+        )
+        if np.any(fd < 0):
+            raise ValueError("doppler_hz must be non-negative")
+        if dt_s == 0:
+            self._time_s += dt_s
+            return
+        rho = np.clip(j0(2.0 * np.pi * fd * dt_s), -1.0, 1.0)
+        scale = np.sqrt(np.maximum(0.0, 1.0 - rho * rho))
         state = self._state  # materialize the initial draw first
+        innovation = self._innovation(None if items is None else idx)
         if items is None:
-            self._lazy_state = rho * state + scale * self._innovation()
+            self._lazy_state = rho[..., None] * state + scale[..., None] * innovation
         else:
-            items = np.asarray(items, dtype=int)
-            state[items] = rho * state[items] + scale * self._innovation(items)
+            state[idx] = rho[..., None] * state[idx] + scale[..., None] * innovation
         self._time_s += dt_s

@@ -147,13 +147,33 @@ class FadingProcess:
         """Current fading matrix, shape ``(n_rx, n_tx)``."""
         return self._state
 
-    def advance(self, dt_s: float) -> np.ndarray:
-        """Evolve the fading by ``dt_s`` seconds and return the new matrix."""
+    def advance(self, dt_s: float, doppler_hz=None) -> np.ndarray:
+        """Evolve the fading by ``dt_s`` seconds and return the new matrix.
+
+        ``doppler_hz`` optionally overrides the process's scalar Doppler
+        with a per-receiver array of shape ``(n_rx,)`` (mobility: each
+        client decorrelates at its own speed).  The per-receiver path
+        always draws one innovation -- even for receivers at ``rho = 1``,
+        whose rows keep their state exactly -- so the generator stream
+        advances identically however the speeds are distributed (the
+        scalar/batched bit-identity contract).
+        """
         if dt_s < 0:
             raise ValueError("dt_s must be non-negative")
-        if dt_s == 0 or self._doppler_hz == 0:
+        if doppler_hz is None:
+            if dt_s == 0 or self._doppler_hz == 0:
+                return self._state
+            rho = float(j0(2.0 * np.pi * self._doppler_hz * dt_s))
+            rho = float(np.clip(rho, -1.0, 1.0))
+            self._state = rho * self._state + np.sqrt(max(0.0, 1.0 - rho * rho)) * self._innovation()
             return self._state
-        rho = float(j0(2.0 * np.pi * self._doppler_hz * dt_s))
-        rho = float(np.clip(rho, -1.0, 1.0))
-        self._state = rho * self._state + np.sqrt(max(0.0, 1.0 - rho * rho)) * self._innovation()
+        fd = np.broadcast_to(np.asarray(doppler_hz, dtype=float), (self._n_rx,))
+        if np.any(fd < 0):
+            raise ValueError("doppler_hz must be non-negative")
+        if dt_s == 0:
+            return self._state
+        rho = np.clip(j0(2.0 * np.pi * fd * dt_s), -1.0, 1.0)
+        scale = np.sqrt(np.maximum(0.0, 1.0 - rho * rho))
+        innovation = self._innovation()
+        self._state = rho[:, None] * self._state + scale[:, None] * innovation
         return self._state

@@ -27,7 +27,7 @@ from ..topology.deployment import Deployment
 from . import walls
 from .fading import FadingProcess
 from .pathloss import LogDistancePathLoss
-from .shadowing import ShadowingField, group_antenna_sites
+from .shadowing import ShadowingField, group_antenna_sites, prepare_points
 
 
 @dataclass(frozen=True)
@@ -96,6 +96,7 @@ class ChannelModel:
         self._cable_loss_db = radio.cable_loss_db_per_m * cable_lengths
 
         self._time_s = 0.0
+        self._client_positions = deployment.client_positions
         self._client_gain_db = self.large_scale_gain_db(deployment.client_positions)
 
     # ------------------------------------------------------------------
@@ -111,10 +112,15 @@ class ChannelModel:
         """
         pts = geometry.as_points(rx_points)
         shadow = np.zeros((len(pts), self.deployment.n_antennas))
+        if self.radio.shadowing_sigma_db == 0.0 or not self._site_fields:
+            return shadow
+        # One lattice-geometry preparation serves every site field (they
+        # share the correlation length); per-site draws stay in site order.
+        prep = prepare_points(pts, self.radio.shadowing_correlation_m)
         for site, field in enumerate(self._site_fields):
             columns = np.flatnonzero(self._site_of_antenna == site)
             if columns.size:
-                shadow[:, columns] = field.sample(pts)[:, None]
+                shadow[:, columns] = field.sample_prepared(prep)[:, None]
         return shadow
 
     def large_scale_gain_db(self, rx_points) -> np.ndarray:
@@ -149,6 +155,32 @@ class ChannelModel:
         """Cached large-scale gains for the deployment's clients,
         shape ``(n_clients, n_antennas)``."""
         return self._client_gain_db
+
+    @property
+    def client_positions(self) -> np.ndarray:
+        """Current client positions -- the deployment's draw until a
+        mobility model moves them via :meth:`update_client_positions`."""
+        return self._client_positions
+
+    def update_client_positions(self, positions) -> None:
+        """Move the clients and re-evaluate their large-scale channel.
+
+        The shadowing fields resample at the new positions from the cached
+        lattice (spatially consistent with everything sampled so far);
+        pathloss, walls, and cable loss recompute deterministically.  The
+        small-scale fading state is *not* reset -- it keeps evolving under
+        whatever Doppler :meth:`advance` is given, which is the mobility
+        contract: large-scale drift and fading decorrelation are separate
+        axes of the same trajectory.
+        """
+        pts = geometry.as_points(positions)
+        if pts.shape != (self.deployment.n_clients, 2):
+            raise ValueError(
+                f"expected ({self.deployment.n_clients}, 2) client positions, "
+                f"got {pts.shape}"
+            )
+        self._client_positions = pts
+        self._client_gain_db = self.large_scale_gain_db(pts)
 
     def client_rx_power_dbm(self) -> np.ndarray:
         """Large-scale RSSI each client sees from each antenna (dBm).
@@ -212,9 +244,14 @@ class ChannelModel:
         """Snapshot of the current channel with the receiver noise floor."""
         return ChannelSample(h=self.channel_matrix(), noise_mw=self.radio.noise_mw, time_s=self._time_s)
 
-    def advance(self, dt_s: float) -> None:
-        """Advance the fading process by ``dt_s`` seconds."""
-        self._fading.advance(dt_s)
+    def advance(self, dt_s: float, doppler_hz=None) -> None:
+        """Advance the fading process by ``dt_s`` seconds.
+
+        ``doppler_hz`` optionally supplies per-client Doppler spreads
+        (shape ``(n_clients,)``) derived from actual client speeds,
+        overriding the global :attr:`RadioConfig.doppler_hz` for this step
+        (see :meth:`FadingProcess.advance`)."""
+        self._fading.advance(dt_s, doppler_hz=doppler_hz)
         self._time_s += dt_s
 
 

@@ -34,6 +34,35 @@ _KEY_STRIDE = 2**31
 _CORNERS = np.array([[0, 0], [1, 0], [0, 1], [1, 1]], dtype=np.int64)
 
 
+class PreparedPoints:
+    """Lattice keys and bilinear weights of one query-point set, reusable
+    across every :class:`ShadowingField` sharing the correlation length."""
+
+    __slots__ = ("n_points", "keys", "key_list", "weights", "norm")
+
+    def __init__(self, pts: np.ndarray, correlation_m: float):
+        scaled = pts / correlation_m
+        base = np.floor(scaled).astype(np.int64)
+        frac = scaled - base
+        corners = base[:, None, :] + _CORNERS[None, :, :]  # (n, 4, 2)
+        self.n_points = len(pts)
+        self.keys = corners[..., 0] * _KEY_STRIDE + corners[..., 1]
+        # Only the small-set dict-walk branch of sample_prepared reads the
+        # boxed key list; large point sets (survey grids) skip the boxing.
+        self.key_list = self.keys.ravel().tolist() if self.keys.size <= 64 else None
+        fx = frac[:, 0]
+        fy = frac[:, 1]
+        self.weights = np.stack(
+            [(1 - fx) * (1 - fy), fx * (1 - fy), (1 - fx) * fy, fx * fy], axis=1
+        )
+        self.norm = np.sqrt(np.sum(self.weights * self.weights, axis=1))
+
+
+def prepare_points(points, correlation_m: float) -> PreparedPoints:
+    """Pre-compute the lattice-interpolation geometry for ``points``."""
+    return PreparedPoints(geometry.as_points(points), correlation_m)
+
+
 class ShadowingField:
     """A smooth 2-D Gaussian field with st.dev. ``sigma_db``.
 
@@ -88,11 +117,21 @@ class ShadowingField:
         pts = geometry.as_points(points)
         if self.sigma_db == 0.0:
             return np.zeros(len(pts))
-        scaled = pts / self.correlation_m
-        base = np.floor(scaled).astype(np.int64)
-        frac = scaled - base
-        corners = base[:, None, :] + _CORNERS[None, :, :]  # (n, 4, 2)
-        keys = corners[..., 0] * _KEY_STRIDE + corners[..., 1]
+        return self.sample_prepared(prepare_points(pts, self.correlation_m))
+
+    def sample_prepared(self, prep: "PreparedPoints") -> np.ndarray:
+        """Shadowing at points pre-processed by :func:`prepare_points`.
+
+        Several fields sharing one correlation length (the per-site fields
+        of one deployment) can reuse a single preparation of the same query
+        points -- the mobility engines re-evaluate every site toward the
+        same moved client set each round, and the lattice-key/weight math
+        is identical across sites.  Values and draw order match
+        :meth:`sample` exactly.
+        """
+        if self.sigma_db == 0.0:
+            return np.zeros(prep.n_points)
+        keys, key_list = prep.keys, prep.key_list
         if keys.size <= 64:
             # Few points (client sets): a direct dict walk beats the
             # np.unique machinery.  Same first-visit draw order either way.
@@ -103,38 +142,51 @@ class ShadowingField:
                     nodes[key]
                     if key in nodes
                     else nodes.setdefault(key, float(rng.standard_normal()))
-                    for key in keys.ravel().tolist()
+                    for key in key_list
                 ]
-            ).reshape(len(pts), 4)
+            ).reshape(prep.n_points, 4)
         else:
-            node_values = self._node_values(keys.ravel()).reshape(len(pts), 4)
-        fx = frac[:, 0]
-        fy = frac[:, 1]
-        weights = np.stack(
-            [(1 - fx) * (1 - fy), fx * (1 - fy), (1 - fx) * fy, fx * fy], axis=1
-        )
-        raw = np.sum(weights * node_values, axis=1)
+            node_values = self._node_values(keys.ravel()).reshape(prep.n_points, 4)
+        raw = np.sum(prep.weights * node_values, axis=1)
         # Bilinear mixing shrinks the variance; restore the marginal sigma.
-        norm = np.sqrt(np.sum(weights * weights, axis=1))
-        return raw / norm * self.sigma_db
+        return raw / prep.norm * self.sigma_db
 
 
 def group_antenna_sites(antenna_positions, tolerance_m: float = 1.0) -> np.ndarray:
-    """Group antennas into shadowing *sites*: indices of antennas within
-    ``tolerance_m`` of each other share a site id.
+    """Group antennas into shadowing *sites*: single-linkage clusters of the
+    "within ``tolerance_m``" relation, so any chain of close pairs shares one
+    site regardless of antenna order (union-find over all close pairs).
 
     A CAS array (half-wavelength spacing) collapses to one site; DAS antennas
-    5+ m apart each get their own.
+    5+ m apart each get their own.  Site ids are assigned in order of each
+    cluster's first antenna, matching the historical greedy assignment on
+    every non-chained layout (where the two are identical).
     """
     pts = geometry.as_points(antenna_positions)
-    site_of = np.full(len(pts), -1, dtype=int)
+    n = len(pts)
+    parent = np.arange(n)
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]  # path halving
+            i = parent[i]
+        return int(i)
+
+    dists = geometry.pairwise_distances(pts, pts) if n else np.empty((0, 0))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if dists[i, j] <= tolerance_m:
+                root_i, root_j = find(i), find(j)
+                if root_i != root_j:
+                    # Keep the smaller index as root so cluster roots stay in
+                    # first-antenna order for the relabeling below.
+                    parent[max(root_i, root_j)] = min(root_i, root_j)
+    site_of = np.full(n, -1, dtype=int)
     next_site = 0
-    for i in range(len(pts)):
-        if site_of[i] >= 0:
-            continue
-        site_of[i] = next_site
-        for j in range(i + 1, len(pts)):
-            if site_of[j] < 0 and np.linalg.norm(pts[i] - pts[j]) <= tolerance_m:
-                site_of[j] = next_site
-        next_site += 1
+    for i in range(n):
+        root = find(i)
+        if site_of[root] < 0:
+            site_of[root] = next_site
+            next_site += 1
+        site_of[i] = site_of[root]
     return site_of

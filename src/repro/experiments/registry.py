@@ -30,6 +30,7 @@ from . import (  # noqa: F401  (imports trigger experiment registration)
     fig16_eight_ap,
     hidden_terminals,
     latency_vs_load,
+    mobility_capacity,
 )
 from ..api.registry import EXPERIMENTS as _API_EXPERIMENTS
 from ..api.registry import UnknownNameError
@@ -98,6 +99,12 @@ def main(argv: list[str] | None = None) -> int:
         "'full_buffer' is accepted everywhere as the saturation default)",
     )
     parser.add_argument(
+        "--mobility",
+        default=None,
+        help="registered mobility model (experiments with a mobility "
+        "parameter; 'static' is accepted everywhere as the frozen default)",
+    )
+    parser.add_argument(
         "--out",
         default=None,
         metavar="PATH",
@@ -117,6 +124,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         precoder=args.precoder,
         traffic=args.traffic,
+        mobility=args.mobility,
     )
     runner = Runner(jobs=args.jobs, cache_dir=args.cache_dir, backend=args.backend)
     result = runner.run(spec)

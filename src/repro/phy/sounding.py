@@ -31,8 +31,10 @@ def sounding_overhead_us(n_clients: int, n_antennas: int) -> float:
     """Total airtime of one sounding exchange for ``n_clients`` receivers of a
     ``n_antennas``-antenna transmission.
 
-    NDPA + SIFS + NDP + per-client (SIFS + [poll for clients after the
-    first] + report).
+    NDPA + SIFS + NDP + SIFS + report, then for every further client a
+    Beamforming Report Poll and its report, each preceded by a SIFS
+    (SIFS + poll + SIFS + report): every frame of the exchange -- polls
+    *and* the reports that answer them -- is separated by one SIFS.
     """
     if n_clients < 1 or n_antennas < 1:
         raise ValueError("need at least one client and one antenna")
@@ -40,7 +42,7 @@ def sounding_overhead_us(n_clients: int, n_antennas: int) -> float:
     report = REPORT_BASE_US + REPORT_PER_ANTENNA_US * n_antennas
     total = NDPA_US + SIFS_US + ndp
     for client_index in range(n_clients):
-        total += SIFS_US + report
         if client_index > 0:
-            total += POLL_US
+            total += SIFS_US + POLL_US
+        total += SIFS_US + report
     return total

@@ -40,6 +40,8 @@ from ..core.batch import (
 from ..core.selection import BatchDeficitRoundRobin
 from ..core.tagging import TagTable
 from ..mac.frames import data_fraction
+from ..mobility import build_mobility_state
+from ..phy.sounding import sounding_overhead_us
 from .network import MacMode
 from .rounds import RoundBasedResult, RoundResult, build_traffic_state
 
@@ -216,6 +218,9 @@ class RoundBasedEvaluatorBatch:
         traffic=None,
         traffic_kwargs=None,
         ampdu=None,
+        mobility=None,
+        mobility_kwargs=None,
+        resound_period_rounds: int = 1,
     ):
         scenarios = list(scenarios)
         if not scenarios:
@@ -245,15 +250,19 @@ class RoundBasedEvaluatorBatch:
         self._antennas_of = [structure.antennas_of(ap) for ap in range(self.n_aps)]
         self._clients_of = [structure.clients_of(ap) for ap in range(self.n_aps)]
 
+        if resound_period_rounds < 1:
+            raise ValueError("resound_period_rounds must be >= 1")
         # Per-item generator trees, spawned exactly like the scalar evaluator
-        # (which always spawns three children; traffic uses the third).
-        channel_rngs, self._csi_rngs, traffic_rngs = [], [], []
+        # (which always spawns four children; traffic uses the third,
+        # mobility the fourth).
+        channel_rngs, self._csi_rngs, traffic_rngs, mobility_rngs = [], [], [], []
         for seed in seeds:
             root = rng_mod.make_rng(seed)
-            channel_rng, csi_rng, traffic_rng = rng_mod.spawn(root, 3)
+            channel_rng, csi_rng, traffic_rng, mobility_rng = rng_mod.spawn(root, 4)
             channel_rngs.append(channel_rng)
             self._csi_rngs.append(csi_rng)
             traffic_rngs.append(traffic_rng)
+            mobility_rngs.append(mobility_rng)
         states = [
             build_traffic_state(
                 traffic, traffic_kwargs, structure.n_clients, traffic_rngs[b],
@@ -262,6 +271,18 @@ class RoundBasedEvaluatorBatch:
             for b in range(self.n_items)
         ]
         self._traffic = None if states[0] is None else states
+        mobility_states = [
+            build_mobility_state(
+                mobility, mobility_kwargs, deployments[b], mobility_rngs[b]
+            )
+            for b in range(self.n_items)
+        ]
+        self._mobility = None if mobility_states[0] is None else mobility_states
+        self._resound_period = int(resound_period_rounds)
+        self._round_index = 0
+        #: Stacked stale-CSI snapshots of a mobility run (see the scalar
+        #: evaluator); ``None`` until the first sounding round.
+        self._h_csi: np.ndarray | None = None
         self.channel = ChannelBatch(deployments, first.radio, channel_rngs)
         self.carrier_sense = CarrierSenseBatch(
             self.channel.antenna_cross_power_dbm(), first.mac
@@ -270,8 +291,15 @@ class RoundBasedEvaluatorBatch:
             ap: BatchDeficitRoundRobin(self.n_items, len(self._clients_of[ap]))
             for ap in range(self.n_aps)
         }
-        rssi = self.channel.client_rx_power_dbm()
         self._tags = {}
+        self._rebuild_tags()
+
+    def _rebuild_tags(self) -> None:
+        """(Re-)derive the stacked per-AP tag tables from every item's
+        current client RSSI -- the batch mirror of the scalar evaluator's
+        ``_rebuild_tags`` (construction time and mobility sounding rounds)."""
+        first = self.scenarios[0]
+        rssi = self.channel.client_rx_power_dbm()
         for ap in range(self.n_aps):
             clients = self._clients_of[ap]
             antennas = self._antennas_of[ap]
@@ -456,7 +484,7 @@ class RoundBasedEvaluatorBatch:
             self._drr[ap].credit((item_active & ~has_served)[:, None])
 
     def _score_round(
-        self, planned: list, item_active: np.ndarray
+        self, planned: list, item_active: np.ndarray, sounding_round: bool = True
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, dict]:
         """Precode every planned set and score with mutual interference.
 
@@ -465,6 +493,11 @@ class RoundBasedEvaluatorBatch:
         accumulation order so every float matches bit for bit.
         """
         h = self.channel.channel_matrices()
+        # Precoders see the stale CSI snapshot of a mobility run; scoring
+        # below always uses the current channel (the scalar contract).
+        if self._mobility is not None and sounding_round:
+            self._h_csi = h  # never mutated; aliasing the snapshot is safe
+        h_csi = h if self._h_csi is None else self._h_csi
         radio = self.scenarios[0].radio
         noise_mw = radio.noise_mw
 
@@ -476,11 +509,12 @@ class RoundBasedEvaluatorBatch:
         for b in np.flatnonzero(item_active):
             for s, (ap, antennas, chosen) in enumerate(planned[b]):
                 clients_global = self._clients_of[ap][np.asarray(chosen)]
-                h_sub = h[b][np.ix_(clients_global, antennas)]
-                slot_true[(b, s)] = h_sub
+                slot_true[(b, s)] = h[b][np.ix_(clients_global, antennas)]
                 slot_clients[(b, s)] = clients_global
                 slot_estimates[(b, s)] = apply_csi_error(
-                    h_sub, self.sim.csi_error_std, self._csi_rngs[b]
+                    h_csi[b][np.ix_(clients_global, antennas)],
+                    self.sim.csi_error_std,
+                    self._csi_rngs[b],
                 )
 
         # Stacked precoding, grouped by (n_streams, n_antennas).
@@ -584,7 +618,8 @@ class RoundBasedEvaluatorBatch:
         return capacity, n_streams, per_ap_streams, slot_sinrs
 
     def _serve_round(
-        self, planned: list, slot_sinrs: dict, item_active: np.ndarray
+        self, planned: list, slot_sinrs: dict, item_active: np.ndarray,
+        with_sounding: bool,
     ) -> list:
         """Drain each item's queues against its per-stream SINRs.
 
@@ -602,8 +637,7 @@ class RoundBasedEvaluatorBatch:
             for s, (ap, antennas, chosen) in enumerate(planned[b]):
                 clients_global = self._clients_of[ap][np.asarray(chosen)]
                 fraction = data_fraction(
-                    mac, len(clients_global), len(antennas),
-                    self.sim.sounding_overhead,
+                    mac, len(clients_global), len(antennas), with_sounding,
                 )
                 state.serve_burst(
                     clients_global, slot_sinrs[(b, s)],
@@ -627,13 +661,36 @@ class RoundBasedEvaluatorBatch:
         if self._traffic is not None:
             for b in np.flatnonzero(item_active):
                 self._traffic[b].begin_round()
+        # CSI staleness: sounding rounds re-derive every item's tags here
+        # and refresh the stacked snapshot inside the score step (no
+        # generator draws either way, so touching inactive items changes
+        # nothing they will ever report).
+        sounding_round = True
+        if self._mobility is not None:
+            sounding_round = self._round_index % self._resound_period == 0
+            if sounding_round:
+                self._rebuild_tags()
+        self._round_index += 1
+        with_sounding = self.sim.sounding_overhead and (
+            self._mobility is None or sounding_round
+        )
         planned, active_mask, served_masks = self._plan_round(
             primary_ap, item_active
         )
         capacity, n_streams, per_ap_streams, slot_sinrs = self._score_round(
-            planned, item_active
+            planned, item_active, sounding_round
         )
-        traffic_metrics = self._serve_round(planned, slot_sinrs, item_active)
+        sounding_us = np.zeros(self.n_items)
+        if self._mobility is not None and with_sounding:
+            # Per-item accumulation in the scalar evaluator's slot order.
+            for b in np.flatnonzero(item_active):
+                for ap, antennas, chosen in planned[b]:
+                    sounding_us[b] += sounding_overhead_us(
+                        len(chosen), len(antennas)
+                    )
+        traffic_metrics = self._serve_round(
+            planned, slot_sinrs, item_active, with_sounding
+        )
         self._settle_round(served_masks, item_active)
         results: list[RoundResult | None] = []
         for b in range(self.n_items):
@@ -647,13 +704,37 @@ class RoundBasedEvaluatorBatch:
                     active_antennas=int(active_mask[b].sum()),
                     per_ap_streams=per_ap_streams[b],
                     traffic=traffic_metrics[b],
+                    sounding_us=float(sounding_us[b]),
                 )
             )
         return results
 
+    def advance_between_rounds(self, advance_items=None) -> None:
+        """Advance fading (and any client mobility) by one coherence block
+        for the selected items -- the stacked mirror of the scalar
+        evaluator's ``advance_between_rounds``."""
+        dt_s = self.sim.coherence_block_s
+        if self._mobility is None:
+            self.channel.advance(dt_s, items=advance_items)
+            return
+        idx = (
+            np.arange(self.n_items)
+            if advance_items is None
+            else np.asarray(advance_items, dtype=int)
+        )
+        wavelength = self.scenarios[0].radio.wavelength_m
+        for b in idx:
+            self._mobility[b].advance(dt_s)
+        doppler = np.stack([self._mobility[b].doppler_hz(wavelength) for b in idx])
+        self.channel.advance(dt_s, items=advance_items, doppler_hz=doppler)
+        self.channel.update_client_positions(
+            np.stack([self._mobility[b].positions for b in idx]), items=idx
+        )
+
     def run(self, n_rounds: int = 30, item_mask=None) -> list[RoundBasedResult | None]:
         """Evaluate ``n_rounds`` rounds for every (selected) item, rotating
-        the primary AP and advancing all fading processes in lockstep."""
+        the primary AP and advancing all fading processes (and client
+        trajectories) in lockstep."""
         if n_rounds < 1:
             raise ValueError("need at least one round")
         item_active = (
@@ -668,7 +749,7 @@ class RoundBasedEvaluatorBatch:
             for b, result in enumerate(round_results):
                 if result is not None:
                     per_item[b].append(result)
-            self.channel.advance(self.sim.coherence_block_s, items=advance_items)
+            self.advance_between_rounds(advance_items)
         return [
             RoundBasedResult(rounds=per_item[b]) if item_active[b] else None
             for b in range(self.n_items)

@@ -36,6 +36,7 @@ from ..mac.backoff import BackoffState
 from ..mac.carrier_sense import CarrierSenseModel
 from ..mac.frames import txop_durations
 from ..mac.nav import NavTable
+from ..mobility import build_mobility_state
 from ..topology.scenarios import Scenario
 from ..traffic import AmpduConfig, TrafficState, TrafficSummary, resolve_traffic
 from .engine import EventQueue
@@ -118,17 +119,22 @@ class NetworkSimulation:
         traffic=None,
         traffic_kwargs=None,
         ampdu: AmpduConfig | None = None,
+        mobility=None,
+        mobility_kwargs=None,
+        resound_interval_s: float | None = None,
     ):
         self.scenario = scenario
         self.mode = mode
         self.sim = sim or SimConfig()
         self.mac: MacConfig = scenario.mac
         self.deployment = scenario.deployment
+        if resound_interval_s is not None and resound_interval_s <= 0:
+            raise ValueError("resound_interval_s must be positive (or None)")
 
         root = rng_mod.make_rng(seed)
-        # Four children are always spawned so enabling traffic never
-        # perturbs the channel/MAC/CSI streams (spawn(4)[:3] == spawn(3)).
-        channel_rng, mac_rng, csi_rng, traffic_rng = rng_mod.spawn(root, 4)
+        # Five children are always spawned so enabling traffic/mobility
+        # never perturbs the channel/MAC/CSI streams (spawn(5)[:3] == spawn(3)).
+        channel_rng, mac_rng, csi_rng, traffic_rng, mobility_rng = rng_mod.spawn(root, 5)
         self._traffic: TrafficState | None = None
         if traffic is not None:
             model = resolve_traffic(traffic, **dict(traffic_kwargs or {}))
@@ -141,6 +147,23 @@ class NetworkSimulation:
                     bandwidth_hz=scenario.radio.bandwidth_hz,
                     ampdu=ampdu,
                 )
+        self._mobility = build_mobility_state(
+            mobility, mobility_kwargs, self.deployment, mobility_rng
+        )
+        #: Mobility CSI staleness: with an interval, TXOPs between
+        #: re-soundings precode from the snapshot captured at the last
+        #: sounding (and skip the per-TXOP sounding airtime); ``None``
+        #: keeps the historical sound-every-TXOP behavior.
+        self._resound_interval_us = (
+            None if resound_interval_s is None else resound_interval_s * 1e6
+        )
+        self._h_csi: np.ndarray | None = None
+        self._last_resound_us = -np.inf
+        #: Count of soundings whose triggering TXOPs aborted (no free
+        #: antennas / no tagged backlog): they happened on the air but were
+        #: not paid for yet; subsequent transmitting TXOPs charge them one
+        #: at a time.
+        self._sounding_unpaid = 0
         self.channel = ChannelModel(self.deployment, scenario.radio, seed=channel_rng)
         self._csi_rng = csi_rng
         self.carrier_sense = CarrierSenseModel(
@@ -155,13 +178,8 @@ class NetworkSimulation:
             ap: DeficitRoundRobin(len(self.deployment.clients_of(ap)))
             for ap in range(self.deployment.n_aps)
         }
-        rssi = self.channel.client_rx_power_dbm()
         self._tags = {}
-        for ap in range(self.deployment.n_aps):
-            clients = self.deployment.clients_of(ap)
-            antennas = self.deployment.antennas_of(ap)
-            width = min(self.mac.tag_width, len(antennas))
-            self._tags[ap] = TagTable.from_rssi(rssi[np.ix_(clients, antennas)], width)
+        self._rebuild_tags()
 
         contender_rngs = rng_mod.spawn(mac_rng, self.deployment.n_aps * 8)
         self._contenders: list[_Contender] = []
@@ -187,6 +205,17 @@ class NetworkSimulation:
         self._last_channel_advance_us = 0.0
         self._txop_count = 0
         self._stream_count = 0
+
+    def _rebuild_tags(self) -> None:
+        """(Re-)derive virtual packet tags from the clients' current RSSI --
+        at construction, and at every mobility re-sounding so tag-based
+        selection hands roaming clients off between antennas."""
+        rssi = self.channel.client_rx_power_dbm()
+        for ap in range(self.deployment.n_aps):
+            clients = self.deployment.clients_of(ap)
+            antennas = self.deployment.antennas_of(ap)
+            width = min(self.mac.tag_width, len(antennas))
+            self._tags[ap] = TagTable.from_rssi(rssi[np.ix_(clients, antennas)], width)
 
     # ------------------------------------------------------------------
     # Medium state queries
@@ -296,13 +325,53 @@ class NetworkSimulation:
     # ------------------------------------------------------------------
     def _advance_channel(self, now_us: float) -> None:
         dt_s = (now_us - self._last_channel_advance_us) * 1e-6
-        if dt_s > 0:
+        if dt_s <= 0:
+            return
+        if self._mobility is None:
             self.channel.advance(dt_s)
-            self._last_channel_advance_us = now_us
+        else:
+            self._mobility.advance(dt_s)
+            self.channel.advance(
+                dt_s,
+                doppler_hz=self._mobility.doppler_hz(
+                    self.scenario.radio.wavelength_m
+                ),
+            )
+            self.channel.update_client_positions(self._mobility.positions)
+        self._last_channel_advance_us = now_us
+
+    def _maybe_resound(self, now_us: float) -> None:
+        """Refresh the stale-CSI snapshot (and the tags) when the
+        re-sounding interval has elapsed; mobility runs only.  The
+        sounding's airtime is marked unpaid until a TXOP actually
+        transmits and charges it (the triggering TXOP may still abort).
+
+        Without an interval every TXOP sounds fresh CSI, so the tags --
+        which real hardware derives from the sounding's RSSI -- re-derive
+        on every call too (anchor handoff tracks the roaming clients).
+        """
+        if self._mobility is None:
+            return
+        if self._resound_interval_us is None:
+            self._rebuild_tags()
+            return
+        if (
+            self._h_csi is None
+            or now_us - self._last_resound_us >= self._resound_interval_us
+        ):
+            self._h_csi = self.channel.channel_matrix()
+            self._rebuild_tags()
+            self._last_resound_us = now_us
+            self._sounding_unpaid += 1
 
     def _begin_txop(self, contender: _Contender, now_us: float) -> None:
         ap = contender.ap
         own_clients = self.deployment.clients_of(ap)
+        if self._mobility is not None:
+            # Pull the trajectory (and fading) up to the present before any
+            # tag/CSI decision, then re-sound if the interval has elapsed.
+            self._advance_channel(now_us)
+            self._maybe_resound(now_us)
         if self._traffic is not None:
             # Pull the arrival stream up to the present so eligibility sees
             # everything queued by the time this TXOP wins the medium.
@@ -350,7 +419,12 @@ class NetworkSimulation:
         self._advance_channel(start_us)
         h_full = self.channel.channel_matrix()
         h_rows = h_full[clients_global, :]
-        h_sub = h_rows[:, antennas]
+        # CSI staleness: with a re-sounding interval, precoders see the
+        # snapshot captured at the last sounding while SINRs (h_rows) track
+        # the live channel; without one, every TXOP sounds fresh CSI.
+        stale = self._mobility is not None and self._resound_interval_us is not None
+        h_source = self._h_csi if stale else h_full
+        h_sub = h_source[clients_global, :][:, antennas]
         h_est = apply_csi_error(h_sub, self.sim.csi_error_std, self._csi_rng)
 
         radio = self.scenario.radio
@@ -361,8 +435,16 @@ class NetworkSimulation:
                 h_est, radio.per_antenna_power_mw, radio.noise_mw
             ).v
 
+        # A stale run pays sounding airtime only on TXOPs carrying an (as
+        # yet unpaid) sounding exchange; fresh runs pay every TXOP.
+        pay_sounding = not stale or self._sounding_unpaid > 0
+        if stale and self._sounding_unpaid:
+            self._sounding_unpaid -= 1
         durations = txop_durations(
-            self.mac, len(clients_global), len(antennas), self.sim.sounding_overhead
+            self.mac,
+            len(clients_global),
+            len(antennas),
+            self.sim.sounding_overhead and pay_sounding,
         )
         tx = ActiveTransmission(
             ap=ap,

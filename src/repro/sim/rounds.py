@@ -39,6 +39,8 @@ from ..core.selection import DeficitRoundRobin
 from ..core.tagging import TagTable
 from ..mac.carrier_sense import CarrierSenseModel
 from ..mac.frames import data_fraction
+from ..mobility import build_mobility_state
+from ..phy.sounding import sounding_overhead_us
 from ..topology.scenarios import Scenario
 from ..traffic import AmpduConfig, RoundTrafficMetrics, TrafficState, resolve_traffic
 from .network import MacMode
@@ -84,6 +86,10 @@ class RoundResult:
     #: Queueing outcome of the round under finite load; ``None`` when the
     #: evaluator ran full-buffer (the default).
     traffic: RoundTrafficMetrics | None = None
+    #: Sounding airtime charged this round (microseconds); non-zero only on
+    #: re-sounding rounds of a mobility run (the historical static path
+    #: folds sounding into every TXOP's data fraction instead).
+    sounding_us: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -203,6 +209,22 @@ class RoundBasedResult:
         self._require_traffic()
         return np.sum([r.traffic.served_per_client for r in self.rounds], axis=0)
 
+    # ------------------------------------------------------------------
+    # Mobility / re-sounding accessors
+    # ------------------------------------------------------------------
+    @property
+    def mean_sounding_us(self) -> float:
+        """Mean per-round sounding airtime (microseconds): the explicit
+        re-sounding charge of a mobility run, zero for static runs."""
+        self._require_rounds()
+        return float(np.mean([r.sounding_us for r in self.rounds]))
+
+    @property
+    def total_sounding_us(self) -> float:
+        """Total sounding airtime charged over the run (microseconds)."""
+        self._require_rounds()
+        return float(sum(r.sounding_us for r in self.rounds))
+
 
 class RoundBasedEvaluator:
     """Quasi-static evaluation of one scenario (CAS or MIDAS stack)."""
@@ -216,19 +238,35 @@ class RoundBasedEvaluator:
         traffic=None,
         traffic_kwargs=None,
         ampdu: AmpduConfig | None = None,
+        mobility=None,
+        mobility_kwargs=None,
+        resound_period_rounds: int = 1,
     ):
         self.scenario = scenario
         self.mode = mode
         self.sim = sim or SimConfig()
         self.deployment = scenario.deployment
+        if resound_period_rounds < 1:
+            raise ValueError("resound_period_rounds must be >= 1")
         root = rng_mod.make_rng(seed)
-        # Three children are always spawned so enabling traffic never
-        # perturbs the channel/CSI streams (spawn(3)[:2] == spawn(2)).
-        channel_rng, self._csi_rng, traffic_rng = rng_mod.spawn(root, 3)
+        # Four children are always spawned so enabling traffic/mobility
+        # never perturbs the channel/CSI streams (spawn(4)[:2] == spawn(2)).
+        channel_rng, self._csi_rng, traffic_rng, mobility_rng = rng_mod.spawn(root, 4)
         self._traffic = build_traffic_state(
             traffic, traffic_kwargs, self.deployment.n_clients, traffic_rng,
             scenario, ampdu,
         )
+        self._mobility = build_mobility_state(
+            mobility, mobility_kwargs, self.deployment, mobility_rng
+        )
+        self._resound_period = int(resound_period_rounds)
+        self._round_index = 0
+        #: Channel snapshot captured at the last sounding; precoders of a
+        #: mobility run are computed from this (possibly stale) CSI while
+        #: SINRs are scored against the current channel.  ``None`` until
+        #: the first sounding round (and always for static runs, which
+        #: keep the historical sound-every-TXOP behavior).
+        self._h_csi: np.ndarray | None = None
         self.channel = ChannelModel(self.deployment, scenario.radio, seed=channel_rng)
         self.carrier_sense = CarrierSenseModel(
             self.channel.antenna_cross_power_dbm(), scenario.mac
@@ -237,12 +275,19 @@ class RoundBasedEvaluator:
             ap: DeficitRoundRobin(len(self.deployment.clients_of(ap)))
             for ap in range(self.deployment.n_aps)
         }
-        rssi = self.channel.client_rx_power_dbm()
         self._tags = {}
+        self._rebuild_tags()
+
+    def _rebuild_tags(self) -> None:
+        """(Re-)derive every AP's anchor-antenna preference tags from the
+        clients' *current* large-scale RSSI -- at construction, and on every
+        re-sounding round of a mobility run (so tag-based selection hands
+        roaming clients off between antennas as their geometry drifts)."""
+        rssi = self.channel.client_rx_power_dbm()
         for ap in range(self.deployment.n_aps):
             clients = self.deployment.clients_of(ap)
             antennas = self.deployment.antennas_of(ap)
-            width = min(scenario.mac.tag_width, len(antennas))
+            width = min(self.scenario.mac.tag_width, len(antennas))
             self._tags[ap] = TagTable.from_rssi(rssi[np.ix_(clients, antennas)], width)
 
     # ------------------------------------------------------------------
@@ -331,6 +376,19 @@ class RoundBasedEvaluator:
         """One concurrent round with ``primary_ap`` winning channel access first."""
         if self._traffic is not None:
             self._traffic.begin_round()
+        # CSI staleness (mobility runs): sounding rounds re-capture the CSI
+        # snapshot and re-derive the anchor-antenna tags at the clients'
+        # current positions; in between, precoders keep using the stale
+        # snapshot while SINRs are scored against the live channel.
+        sounding_round = True
+        if self._mobility is not None:
+            sounding_round = self._round_index % self._resound_period == 0
+            if sounding_round:
+                # The CSI snapshot itself is captured at scoring time below
+                # (the channel cannot change within a round) to avoid
+                # materializing the channel matrix twice.
+                self._rebuild_tags()
+        self._round_index += 1
         n_aps = self.deployment.n_aps
         order = [(primary_ap + i) % n_aps for i in range(n_aps)]
         active_antennas: list[int] = []
@@ -363,16 +421,25 @@ class RoundBasedEvaluator:
             active_antennas.extend(int(a) for a in antennas)
 
         # Precode every planned set, then score with mutual interference.
+        # Precoders see the CSI captured at the last sounding (``h_csi``);
+        # the SINR scoring below always uses the current channel ``h``.
         h = self.channel.channel_matrix()
+        if self._mobility is not None and sounding_round:
+            self._h_csi = h  # never mutated; aliasing the snapshot is safe
+        h_csi = h if self._h_csi is None else self._h_csi
+        with_sounding = self.sim.sounding_overhead and (
+            self._mobility is None or sounding_round
+        )
         noise_mw = self.scenario.radio.noise_mw
         precoders = []
         for ap, antennas, chosen_local in planned:
             clients_global = self.deployment.clients_of(ap)[np.asarray(chosen_local)]
-            h_sub = h[np.ix_(clients_global, antennas)]
+            h_sub = h_csi[np.ix_(clients_global, antennas)]
             precoders.append(self._precoder(h_sub))
 
         capacity = 0.0
         n_streams = 0
+        sounding_us = 0.0
         per_ap_streams = np.zeros(n_aps, dtype=int)
         for index, (ap, antennas, chosen_local) in enumerate(planned):
             clients_global = self.deployment.clients_of(ap)[np.asarray(chosen_local)]
@@ -390,6 +457,13 @@ class RoundBasedEvaluator:
             n_streams += len(clients_global)
             per_ap_streams[ap] = len(clients_global)
 
+            # Mobility runs charge sounding airtime explicitly, only on the
+            # rounds that actually sound (the re-sounding period).
+            if self._mobility is not None and with_sounding:
+                sounding_us += sounding_overhead_us(
+                    len(clients_global), len(antennas)
+                )
+
             # Finite load: each stream's SINR fixes an MCS, the A-MPDU
             # model converts payload airtime into served bytes.
             if self._traffic is not None:
@@ -397,7 +471,7 @@ class RoundBasedEvaluator:
                     self.scenario.mac,
                     len(clients_global),
                     len(antennas),
-                    self.sim.sounding_overhead,
+                    with_sounding,
                 )
                 self._traffic.serve_burst(
                     clients_global, sinr, self._traffic.round_duration_s * fraction
@@ -424,15 +498,38 @@ class RoundBasedEvaluator:
             active_antennas=len(active_antennas),
             per_ap_streams=per_ap_streams,
             traffic=self._traffic.end_round() if self._traffic is not None else None,
+            sounding_us=sounding_us,
         )
+
+    def advance_between_rounds(self) -> None:
+        """Advance the channel (and, if configured, the clients) by one
+        coherence block.
+
+        Static runs keep the historical global-Doppler fading step.  A
+        mobility run additionally moves every client along its trajectory,
+        derives each client's Doppler from its actual speed, and
+        re-evaluates the large-scale channel at the new positions (the
+        shadowing lattice cache keeps the field spatially consistent).
+        """
+        dt_s = self.sim.coherence_block_s
+        if self._mobility is None:
+            self.channel.advance(dt_s)
+            return
+        self._mobility.advance(dt_s)
+        self.channel.advance(
+            dt_s,
+            doppler_hz=self._mobility.doppler_hz(self.scenario.radio.wavelength_m),
+        )
+        self.channel.update_client_positions(self._mobility.positions)
 
     def run(self, n_rounds: int = 30) -> RoundBasedResult:
         """Evaluate ``n_rounds`` rounds, rotating the primary AP and advancing
-        the fading between rounds by one coherence block."""
+        the fading (and any client mobility) between rounds by one coherence
+        block."""
         if n_rounds < 1:
             raise ValueError("need at least one round")
         rounds = []
         for r in range(n_rounds):
             rounds.append(self.evaluate_round(primary_ap=r % self.deployment.n_aps))
-            self.channel.advance(self.sim.coherence_block_s)
+            self.advance_between_rounds()
         return RoundBasedResult(rounds=rounds)

@@ -101,6 +101,28 @@ class TestFrameDurations:
         assert durations.data_us > 0
         assert durations.ack_us > 0
 
+    def test_sounding_golden_numbers(self):
+        # NDPA(50) + SIFS(16) + NDP(40 + 4*4) = 122, report = 60 + 20*4 =
+        # 140; the first client costs SIFS + report, every further client a
+        # SIFS-separated poll *and* its report: SIFS + POLL(30) + SIFS +
+        # report = 202 (each poll is followed by a SIFS before the report).
+        single = txop_durations(MacConfig(), 1, 4)
+        four = txop_durations(MacConfig(), 4, 4)
+        assert single.sounding_us == pytest.approx(278.0)
+        assert four.sounding_us == pytest.approx(122.0 + 156.0 + 3 * 202.0)
+
+    def test_txop_total_golden_number(self):
+        # sounding 884 + data txop 3008 + 4 * (SIFS 16 + block-ack 46).
+        durations = txop_durations(MacConfig(), 4, 4)
+        assert durations.total_us == pytest.approx(884.0 + 3008.0 + 248.0)
+
+    def test_polled_clients_cost_sifs_and_poll(self):
+        # Marginal cost of each client after the first: SIFS + poll + SIFS
+        # + report, not just poll + report (the pre-fix arithmetic).
+        two = txop_durations(MacConfig(), 2, 4).sounding_us
+        three = txop_durations(MacConfig(), 3, 4).sounding_us
+        assert three - two == pytest.approx(16.0 + 30.0 + 16.0 + 140.0)
+
     def test_data_fraction_below_one(self):
         durations = txop_durations(MacConfig(), 4, 4)
         assert 0 < durations.data_fraction < 1

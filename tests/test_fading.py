@@ -152,3 +152,118 @@ class TestFadingProcess:
         g = proc.current
         sample_corr = np.abs(np.mean(g[:, 0] * np.conj(g[:, 1])))
         assert sample_corr > 0.5
+
+
+class TestTemporalEvolution:
+    """The Gauss-Markov update must preserve the marginal fading statistics
+    over arbitrarily many steps -- otherwise long mobility runs would slowly
+    cool (or heat) every channel they touch."""
+
+    def _ensemble(self, advance):
+        proc = FadingProcess(
+            np.random.default_rng(3),
+            n_rx=1500,
+            antenna_positions=[(0, 0), (6, 0), (0, 7)],
+            wavelength_m=WAVELENGTH,
+            doppler_hz=12.0,
+        )
+        for __ in range(60):
+            advance(proc)
+        return proc.current
+
+    def test_rayleigh_variance_preserved_global_doppler(self):
+        g = self._ensemble(lambda proc: proc.advance(0.02))
+        assert np.mean(np.abs(g) ** 2) == pytest.approx(1.0, rel=0.05)
+        # Real/imag parts stay zero-mean circular Gaussian halves.
+        assert np.mean(g.real) == pytest.approx(0.0, abs=0.02)
+        assert np.var(g.real) == pytest.approx(0.5, rel=0.1)
+
+    def test_rayleigh_variance_preserved_per_client_doppler(self):
+        fd = np.linspace(0.0, 40.0, 1500)  # parked through vehicular
+        g = self._ensemble(lambda proc: proc.advance(0.02, doppler_hz=fd))
+        assert np.mean(np.abs(g) ** 2) == pytest.approx(1.0, rel=0.05)
+        # The fast rows must not have drifted away from unit power either.
+        fast = g[1000:]
+        assert np.mean(np.abs(fast) ** 2) == pytest.approx(1.0, rel=0.1)
+
+    def test_rician_variance_preserved(self):
+        proc = FadingProcess(
+            np.random.default_rng(4),
+            n_rx=1500,
+            antenna_positions=[(0, 0), (6, 0)],
+            wavelength_m=WAVELENGTH,
+            doppler_hz=12.0,
+            rician_k=4.0,
+        )
+        for __ in range(40):
+            proc.advance(0.02, doppler_hz=np.full(1500, 15.0))
+        assert np.mean(np.abs(proc.current) ** 2) == pytest.approx(1.0, rel=0.05)
+
+    def test_zero_doppler_rows_frozen_under_per_client_advance(self):
+        proc = FadingProcess(
+            np.random.default_rng(5),
+            n_rx=4,
+            antenna_positions=[(0, 0), (6, 0)],
+            wavelength_m=WAVELENGTH,
+            doppler_hz=8.0,
+        )
+        before = proc.current.copy()
+        proc.advance(0.02, doppler_hz=np.array([0.0, 0.0, 25.0, 25.0]))
+        np.testing.assert_array_equal(proc.current[:2], before[:2])
+        assert not np.array_equal(proc.current[2:], before[2:])
+
+    def test_negative_doppler_rejected(self):
+        proc = FadingProcess(
+            np.random.default_rng(6),
+            n_rx=2,
+            antenna_positions=[(0, 0)],
+            wavelength_m=WAVELENGTH,
+        )
+        with pytest.raises(ValueError):
+            proc.advance(0.02, doppler_hz=np.array([-1.0, 3.0]))
+
+
+class TestScalarBatchAdvanceBitIdentity:
+    """``ChannelModel.advance`` and ``ChannelBatch.advance(items=...)`` must
+    agree bit for bit under per-item, per-client Doppler."""
+
+    def _build(self):
+        from repro.channel.batch import ChannelBatch
+        from repro.channel.model import ChannelModel
+        from repro.topology.deployment import AntennaMode
+        from repro.topology.scenarios import office_a, single_ap_scenario
+
+        env = office_a()
+        seeds = [0, 1, 2]
+        scens = [
+            single_ap_scenario(env, AntennaMode.DAS, seed=s) for s in seeds
+        ]
+        models = [
+            ChannelModel(s.deployment, s.radio, seed=seed)
+            for s, seed in zip(scens, seeds)
+        ]
+        batch = ChannelBatch([s.deployment for s in scens], scens[0].radio, seeds)
+        return models, batch
+
+    def test_full_batch_per_item_doppler(self):
+        models, batch = self._build()
+        fd = np.random.default_rng(9).uniform(0.0, 50.0, (3, 4))
+        for __ in range(3):
+            for i, model in enumerate(models):
+                model.advance(0.02, doppler_hz=fd[i])
+            batch.advance(0.02, doppler_hz=fd)
+            stacked = batch.channel_matrices()
+            for i, model in enumerate(models):
+                np.testing.assert_array_equal(model.channel_matrix(), stacked[i])
+
+    def test_masked_items_subset(self):
+        models, batch = self._build()
+        fd = np.random.default_rng(10).uniform(0.0, 50.0, (3, 4))
+        batch.advance(0.02, items=[0, 2], doppler_hz=fd[[0, 2]])
+        for i in (0, 2):
+            models[i].advance(0.02, doppler_hz=fd[i])
+        stacked = batch.channel_matrices()
+        for i in (0, 2):
+            np.testing.assert_array_equal(models[i].channel_matrix(), stacked[i])
+        # The skipped item's state (and generator) must be untouched.
+        np.testing.assert_array_equal(models[1].channel_matrix(), stacked[1])

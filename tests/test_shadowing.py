@@ -56,6 +56,30 @@ class TestSiteGrouping:
         assert sites[2] == sites[3]
         assert sites[0] != sites[2]
 
+    def test_chained_triplet_single_linkage(self):
+        # A-B and B-C are each within tolerance while A-C is not: true
+        # single-linkage puts all three in one site.  The old greedy pass
+        # visited A first, pulled in B, and then orphaned C into its own
+        # site because C was only close to (already-assigned) B.
+        sites = group_antenna_sites([(0.0, 0.0), (0.8, 0.0), (1.6, 0.0)])
+        assert len(set(sites)) == 1
+
+    def test_chain_order_independent(self):
+        # Same chained triplet in every visiting order: one site each time.
+        triplet = np.array([(0.0, 0.0), (0.8, 0.0), (1.6, 0.0)])
+        for order in ([0, 1, 2], [1, 0, 2], [2, 0, 1], [0, 2, 1]):
+            sites = group_antenna_sites(triplet[order])
+            assert len(set(sites)) == 1, order
+
+    def test_site_ids_keep_first_visit_order(self):
+        # Cluster ids must come out in first-antenna order (the generator
+        # spawn order the channel model relies on), including for clusters
+        # merged through a chain.
+        sites = group_antenna_sites(
+            [(0.0, 0.0), (20.0, 0.0), (1.6, 0.0), (0.8, 0.0)]
+        )
+        np.testing.assert_array_equal(sites, [0, 1, 0, 0])
+
 
 class TestVectorizedSampling:
     """The vectorized sampler must match the historical point-by-point walk

@@ -210,8 +210,11 @@ class TestLatencyVsLoadExperiment:
         assert np.array_equal(
             delay_percentiles(samples, (0.0, 1.0)), [0.001, 0.004]
         )
+        # Both empty-run helpers raise with the same documented message.
         with pytest.raises(ValueError, match="no departed packets"):
             delay_cdf(np.array([]))
+        with pytest.raises(ValueError, match="no departed packets"):
+            delay_percentiles(np.array([]))
 
 
 class TestExistingExperimentsFullBuffer:
