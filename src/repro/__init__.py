@@ -43,9 +43,15 @@ factories) remains importable directly for custom studies; see
 
 # Defined before the subpackage imports below: repro.api.runner folds the
 # version into its cache keys at import time.
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
-from .analysis import EmpiricalCdf, median_gain
+from .analysis import (
+    EmpiricalCdf,
+    QuantileSketch,
+    RunningStats,
+    StreamingSummary,
+    median_gain,
+)
 from .api import (
     ExperimentDef,
     ExperimentResult,
@@ -62,6 +68,7 @@ from .api import (
     register_scenario,
     register_traffic,
 )
+from .campaign import CampaignResult, CampaignRunner, CampaignSpec
 from .channel import ChannelModel, ChannelTrace, coverage_range_m, cs_range_m, record_trace
 from .channel.batch import ChannelBatch
 from .config import MacConfig, MidasConfig, RadioConfig, SimConfig
@@ -96,7 +103,13 @@ from .topology import (
 
 __all__ = [
     "EmpiricalCdf",
+    "QuantileSketch",
+    "RunningStats",
+    "StreamingSummary",
     "median_gain",
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
     "ExperimentDef",
     "ExperimentResult",
     "RunResult",

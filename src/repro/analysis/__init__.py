@@ -1,4 +1,5 @@
-"""Result analysis: empirical CDFs, percentile gains, delay curves, reports."""
+"""Result analysis: empirical CDFs, percentile gains, delay curves, reports,
+and mergeable streaming accumulators for sharded campaigns."""
 
 from .cdf import EmpiricalCdf, median, median_gain, percentile_gain
 from .delay import (
@@ -8,12 +9,22 @@ from .delay import (
     throughput_delay_curve,
 )
 from .report import format_cdf_summary, format_series_table
+from .streaming import (
+    ExactSum,
+    QuantileSketch,
+    RunningStats,
+    StreamingSummary,
+)
 
 __all__ = [
     "EmpiricalCdf",
     "median",
     "median_gain",
     "percentile_gain",
+    "ExactSum",
+    "QuantileSketch",
+    "RunningStats",
+    "StreamingSummary",
     "delay_cdf",
     "delay_percentiles",
     "saturation_load_mbps",

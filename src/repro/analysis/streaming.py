@@ -1,0 +1,401 @@
+"""Mergeable streaming accumulators for sharded sweeps.
+
+A campaign-scale sweep (see :mod:`repro.campaign`) evaluates millions of
+topologies in shard-sized work units that complete in whatever order the
+process pool produces them.  The headline statistics -- capacity CDFs,
+means, percentiles -- must therefore be computable *incrementally* (one
+shard at a time, never holding every sample in memory) and must be
+**merge-order invariant**: the reported aggregates may not depend on which
+shard finished first.  The accumulators here make that invariance *exact*,
+not approximate:
+
+* :class:`ExactSum` keeps a running float sum as a Shewchuk expansion (the
+  ``math.fsum`` representation): the stored value is the *exact* real sum
+  of everything added, and :meth:`ExactSum.value` rounds it once at the
+  end.  Exact addition is commutative and associative, so any merge order
+  produces bit-identical totals.
+* :class:`RunningStats` builds count / mean / variance / min / max on top
+  of :class:`ExactSum` (sums of values and of squared values; squaring is
+  a deterministic per-element rounding, identical on every shard).
+* :class:`QuantileSketch` is an integer-count histogram over a fixed
+  lattice of bins (``floor(x / resolution)``).  Integer counts add
+  exactly, so merged sketches are bit-identical in any order; quantiles
+  and CDF evaluations are exact to within one ``resolution``.
+* :class:`StreamingSummary` bundles one of each per named series and is
+  the unit the campaign journal checkpoints (``state()`` round-trips
+  through JSON).
+
+Every accumulator supports ``add`` (ingest raw samples), ``merge``
+(combine another accumulator in place), and ``state`` / ``from_state``
+(JSON-safe checkpointing).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+#: Default sketch bin width.  A power of two, so ``x / resolution`` is an
+#: exact float scaling and bin assignment never depends on rounding mode.
+DEFAULT_RESOLUTION = 1.0 / 128.0
+
+
+class ExactSum:
+    """Exact running sum of floats (Shewchuk expansion, as ``math.fsum``).
+
+    The internal ``partials`` list represents the *exact* real-number sum
+    of every value added so far as a sum of non-overlapping floats.
+    Because the represented value is exact, addition order cannot change
+    it; :meth:`value` performs the single correct rounding at read time.
+    """
+
+    __slots__ = ("partials",)
+
+    def __init__(self, partials: Iterable[float] = ()):  # noqa: D107
+        self.partials: list[float] = [float(p) for p in partials]
+
+    def add(self, x: float) -> None:
+        """Add one value exactly (Shewchuk's grow-expansion step)."""
+        x = float(x)
+        if not math.isfinite(x):
+            raise ValueError("ExactSum requires finite values")
+        partials = self.partials
+        i = 0
+        for y in partials:
+            if abs(x) < abs(y):
+                x, y = y, x
+            hi = x + y
+            lo = y - (hi - x)
+            if lo:
+                partials[i] = lo
+                i += 1
+            x = hi
+        partials[i:] = [x]
+
+    def add_many(self, values) -> None:
+        arr = np.asarray(values, dtype=float).ravel()
+        if arr.size and not np.all(np.isfinite(arr)):
+            raise ValueError("ExactSum requires finite values")
+        for v in arr.tolist():
+            self.add(v)
+
+    def merge(self, other: "ExactSum") -> None:
+        """Fold another exact sum in (exact, hence order-invariant)."""
+        for p in other.partials:
+            self.add(p)
+
+    def value(self) -> float:
+        """The correctly-rounded sum (one rounding, at the very end)."""
+        return math.fsum(self.partials)
+
+    def state(self) -> list[float]:
+        return list(self.partials)
+
+    @classmethod
+    def from_state(cls, state: Iterable[float]) -> "ExactSum":
+        return cls(state)
+
+
+class RunningStats:
+    """Mergeable count / mean / std / min / max over streamed samples.
+
+    Sums are exact (:class:`ExactSum`), counts are integers, and min/max
+    are exact comparisons, so two :class:`RunningStats` built from the
+    same samples in any grouping and merge order report bit-identical
+    statistics.
+    """
+
+    __slots__ = ("count", "_sum", "_sumsq", "_min", "_max")
+
+    def __init__(self):  # noqa: D107
+        self.count = 0
+        self._sum = ExactSum()
+        self._sumsq = ExactSum()
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, values) -> None:
+        """Ingest raw samples (any shape; raveled)."""
+        arr = np.asarray(values, dtype=float).ravel()
+        if arr.size == 0:
+            return
+        if not np.all(np.isfinite(arr)):
+            raise ValueError("RunningStats requires finite samples")
+        self.count += int(arr.size)
+        # x*x is one deterministic rounding per element -- identical on
+        # every shard that sees the element, so sums of squares stay
+        # merge-order invariant too.
+        for v in arr.tolist():
+            self._sum.add(v)
+            self._sumsq.add(v * v)
+        self._min = min(self._min, float(arr.min()))
+        self._max = max(self._max, float(arr.max()))
+
+    def merge(self, other: "RunningStats") -> None:
+        self.count += other.count
+        self._sum.merge(other._sum)
+        self._sumsq.merge(other._sumsq)
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    # -- derived statistics ------------------------------------------------
+    @property
+    def total(self) -> float:
+        return self._sum.value()
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("RunningStats.mean requires at least one sample")
+        return self._sum.value() / self.count
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation (clamped at zero)."""
+        if self.count == 0:
+            raise ValueError("RunningStats.std requires at least one sample")
+        mean = self.mean
+        var = self._sumsq.value() / self.count - mean * mean
+        return math.sqrt(max(var, 0.0))
+
+    @property
+    def min(self) -> float:
+        if self.count == 0:
+            raise ValueError("RunningStats.min requires at least one sample")
+        return self._min
+
+    @property
+    def max(self) -> float:
+        if self.count == 0:
+            raise ValueError("RunningStats.max requires at least one sample")
+        return self._max
+
+    def state(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self._sum.state(),
+            "sumsq": self._sumsq.state(),
+            "min": self._min if self.count else None,
+            "max": self._max if self.count else None,
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping) -> "RunningStats":
+        out = cls()
+        out.count = int(state["count"])
+        out._sum = ExactSum.from_state(state["sum"])
+        out._sumsq = ExactSum.from_state(state["sumsq"])
+        out._min = math.inf if state["min"] is None else float(state["min"])
+        out._max = -math.inf if state["max"] is None else float(state["max"])
+        return out
+
+
+class QuantileSketch:
+    """Fixed-lattice histogram sketch with exactly order-invariant merges.
+
+    Samples land in bins indexed by ``floor(x / resolution)``; the sketch
+    stores integer counts per occupied bin plus the exact min/max.  Merging
+    adds integer counts, which is exactly commutative and associative --
+    unlike t-digest/KLL-style sketches whose state depends on insertion
+    order.  The price is bounded, known error instead of bounded memory:
+    quantile and CDF answers are exact to within one ``resolution``, and
+    memory scales with the occupied value range
+    (``(max - min) / resolution`` bins at worst, one dict entry each).
+    """
+
+    __slots__ = ("resolution", "counts", "_min", "_max")
+
+    def __init__(self, resolution: float = DEFAULT_RESOLUTION):  # noqa: D107
+        if not (isinstance(resolution, (int, float)) and resolution > 0):
+            raise ValueError("QuantileSketch resolution must be positive")
+        self.resolution = float(resolution)
+        self.counts: dict[int, int] = {}
+        self._min = math.inf
+        self._max = -math.inf
+
+    @property
+    def count(self) -> int:
+        return sum(self.counts.values())
+
+    def add(self, values) -> None:
+        arr = np.asarray(values, dtype=float).ravel()
+        if arr.size == 0:
+            return
+        if not np.all(np.isfinite(arr)):
+            raise ValueError("QuantileSketch requires finite samples")
+        bins = np.floor(arr / self.resolution).astype(np.int64)
+        uniq, freq = np.unique(bins, return_counts=True)
+        for b, f in zip(uniq.tolist(), freq.tolist()):
+            self.counts[b] = self.counts.get(b, 0) + f
+        self._min = min(self._min, float(arr.min()))
+        self._max = max(self._max, float(arr.max()))
+
+    def merge(self, other: "QuantileSketch") -> None:
+        if other.resolution != self.resolution:
+            raise ValueError(
+                "cannot merge QuantileSketch instances with different "
+                f"resolutions ({self.resolution} vs {other.resolution})"
+            )
+        for b, f in other.counts.items():
+            self.counts[b] = self.counts.get(b, 0) + f
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    # -- queries -----------------------------------------------------------
+    def quantile(self, q) -> float | np.ndarray:
+        """Inverse CDF at probability ``q`` (scalar or array).
+
+        Linear interpolation inside the bin containing the requested
+        rank, clamped to the exact observed [min, max].  Guarantee: the
+        returned value lies within one ``resolution`` of an order
+        statistic adjacent to rank ``q * (count - 1)`` -- i.e. of the
+        uninterpolated empirical quantile -- regardless of how samples
+        were sharded or merges ordered.
+        """
+        total = self.count
+        if total == 0:
+            raise ValueError("QuantileSketch.quantile requires at least one sample")
+        qs = np.asarray(q, dtype=float)
+        if np.any((qs < 0.0) | (qs > 1.0)):
+            raise ValueError("quantile probabilities must be in [0, 1]")
+        bins = sorted(self.counts)
+        cum = np.cumsum([self.counts[b] for b in bins])
+        # Rank in [0, total-1], numpy-style "linear" positioning.
+        ranks = np.atleast_1d(qs) * (total - 1)
+        out = np.empty(ranks.shape, dtype=float)
+        for i, rank in enumerate(ranks.ravel()):
+            # Exact endpoints: q=0 is the observed min, q=1 the observed max
+            # (interpolation inside a bin would otherwise bias q=0 upward).
+            if rank <= 0.0:
+                out.ravel()[i] = self._min
+                continue
+            if rank >= total - 1:
+                out.ravel()[i] = self._max
+                continue
+            j = int(np.searchsorted(cum, rank + 1.0, side="left"))
+            j = min(j, len(bins) - 1)
+            prev = 0 if j == 0 else int(cum[j - 1])
+            inside = self.counts[bins[j]]
+            frac = (rank + 1.0 - prev) / inside
+            value = (bins[j] + min(max(frac, 0.0), 1.0)) * self.resolution
+            out.ravel()[i] = min(max(value, self._min), self._max)
+        if np.isscalar(q) or qs.ndim == 0:
+            return float(out.ravel()[0])
+        return out
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def evaluate(self, x) -> np.ndarray:
+        """P[X <= x] at bin granularity (sketched empirical CDF)."""
+        total = self.count
+        if total == 0:
+            raise ValueError("QuantileSketch.evaluate requires at least one sample")
+        xs = np.asarray(x, dtype=float)
+        bins = sorted(self.counts)
+        cum = np.cumsum([self.counts[b] for b in bins])
+        idx = np.searchsorted(bins, np.floor(np.atleast_1d(xs) / self.resolution), side="right")
+        frac = np.where(idx > 0, cum[idx - 1], 0) / total
+        return frac.reshape(xs.shape)
+
+    def curve(self) -> tuple[np.ndarray, np.ndarray]:
+        """(x, F(x)) step points at bin upper edges, for plotting."""
+        total = self.count
+        if total == 0:
+            raise ValueError("QuantileSketch.curve requires at least one sample")
+        bins = sorted(self.counts)
+        edges = (np.asarray(bins, dtype=float) + 1.0) * self.resolution
+        fractions = np.cumsum([self.counts[b] for b in bins]) / total
+        return edges, fractions
+
+    def support(self) -> tuple[float, float]:
+        if self.count == 0:
+            raise ValueError("QuantileSketch.support requires at least one sample")
+        return self._min, self._max
+
+    def state(self) -> dict:
+        empty = self.count == 0
+        return {
+            "resolution": self.resolution,
+            # JSON objects only take string keys; bin indices round-trip
+            # through str() losslessly.
+            "counts": {str(b): f for b, f in sorted(self.counts.items())},
+            "min": None if empty else self._min,
+            "max": None if empty else self._max,
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping) -> "QuantileSketch":
+        out = cls(resolution=float(state["resolution"]))
+        out.counts = {int(b): int(f) for b, f in state["counts"].items()}
+        out._min = math.inf if state["min"] is None else float(state["min"])
+        out._max = -math.inf if state["max"] is None else float(state["max"])
+        return out
+
+
+class StreamingSummary:
+    """One series' streaming aggregate: exact moments plus a CDF sketch.
+
+    The unit the campaign layer accumulates per (cell, series): ingest a
+    shard's samples with :meth:`add`, checkpoint with :meth:`state`, and
+    fold shards together with :meth:`merge` -- in any order, with
+    bit-identical reported aggregates.
+    """
+
+    __slots__ = ("stats", "sketch")
+
+    def __init__(self, resolution: float = DEFAULT_RESOLUTION):  # noqa: D107
+        self.stats = RunningStats()
+        self.sketch = QuantileSketch(resolution=resolution)
+
+    def add(self, values) -> None:
+        self.stats.add(values)
+        self.sketch.add(values)
+
+    def merge(self, other: "StreamingSummary") -> None:
+        self.stats.merge(other.stats)
+        self.sketch.merge(other.sketch)
+
+    # -- delegated queries -------------------------------------------------
+    @property
+    def count(self) -> int:
+        return self.stats.count
+
+    @property
+    def mean(self) -> float:
+        return self.stats.mean
+
+    @property
+    def std(self) -> float:
+        return self.stats.std
+
+    @property
+    def min(self) -> float:
+        return self.stats.min
+
+    @property
+    def max(self) -> float:
+        return self.stats.max
+
+    def quantile(self, q):
+        return self.sketch.quantile(q)
+
+    @property
+    def median(self) -> float:
+        return self.sketch.median
+
+    def cdf_curve(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.sketch.curve()
+
+    def state(self) -> dict[str, Any]:
+        return {"stats": self.stats.state(), "sketch": self.sketch.state()}
+
+    @classmethod
+    def from_state(cls, state: Mapping) -> "StreamingSummary":
+        out = cls.__new__(cls)
+        out.stats = RunningStats.from_state(state["stats"])
+        out.sketch = QuantileSketch.from_state(state["sketch"])
+        return out

@@ -10,11 +10,28 @@ disk keyed by spec hash and fed back into ``repro.analysis`` unchanged.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
 import numpy as np
+
+
+def _atomic_write(path: Path, write_to) -> None:
+    """Write via a same-directory temp file, then ``os.replace``.
+
+    A crash (including ``kill -9``) mid-write leaves either the old file
+    or nothing -- never a torn file -- so cached results and campaign
+    shards can be trusted byte-for-byte whenever they exist.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    try:
+        write_to(tmp)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
 
 from ..analysis.cdf import EmpiricalCdf, median_gain
 from ..analysis.report import format_cdf_summary
@@ -133,8 +150,16 @@ class RunResult(ExperimentResult):
             "notes": _encode(self.notes),
         }
         arrays = {f"series/{k}": np.asarray(v) for k, v in self.series.items()}
-        path.parent.mkdir(parents=True, exist_ok=True)
-        np.savez(path, __meta__=np.array(json.dumps(meta, sort_keys=True)), **arrays)
+
+        def write_to(tmp: Path) -> None:
+            # An open handle keeps numpy from appending ".npz" to the temp
+            # file's name and makes the rename below atomic.
+            with open(tmp, "wb") as fh:
+                np.savez(
+                    fh, __meta__=np.array(json.dumps(meta, sort_keys=True)), **arrays
+                )
+
+        _atomic_write(path, write_to)
         return path
 
     @classmethod
@@ -163,12 +188,16 @@ class RunResult(ExperimentResult):
     # Suffix-dispatching convenience
     # ------------------------------------------------------------------
     def save(self, path: str | Path, indent: int | None = 2) -> Path:
-        """Write to ``path``; ``.npz`` saves binary, anything else JSON."""
+        """Write to ``path``; ``.npz`` saves binary, anything else JSON.
+
+        Both formats write atomically (temp sibling + ``os.replace``), so
+        an interrupted save never leaves a torn file behind.
+        """
         path = Path(path)
         if path.suffix == ".npz":
             return self.save_npz(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_json(indent=indent))
+        text = self.to_json(indent=indent)
+        _atomic_write(path, lambda tmp: tmp.write_text(text))
         return path
 
     @classmethod

@@ -32,8 +32,9 @@ import hashlib
 import json
 import math
 import warnings
+import zipfile
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from itertools import repeat
 from pathlib import Path
 
@@ -125,6 +126,20 @@ _VECTORIZED_BATCH_CAP = 1024
 
 _BACKENDS = ("loop", "vectorized")
 
+_CACHE_FORMATS = ("json", "npz")
+
+#: Everything a cache entry can legitimately throw when the file on disk is
+#: truncated, torn, or otherwise unreadable.  ``Runner`` treats these as a
+#: cache miss (recompute and rewrite) rather than crashing forever on the
+#: same poisoned entry.
+_CACHE_READ_ERRORS = (
+    OSError,
+    EOFError,
+    KeyError,
+    ValueError,  # includes json.JSONDecodeError and format-version errors
+    zipfile.BadZipFile,
+)
+
 
 @dataclass
 class Runner:
@@ -146,12 +161,23 @@ class Runner:
         ``"loop"`` (default) or ``"vectorized"``.  Bit-identical results;
         the vectorized backend evaluates stacked topology batches through
         the experiment's ``build_batch`` hook when it defines one.
+    cache_format:
+        On-disk cache encoding: ``"json"`` (default, human-readable) or
+        ``"npz"`` (binary series; what campaign shards use).  Both
+        round-trip losslessly; the format is not part of the cache key
+        beyond the file suffix.
     """
 
     jobs: int = 1
     cache_dir: str | Path | None = None
     batch_size: int | None = None
     backend: str = "loop"
+    cache_format: str = "json"
+    # A pool installed by run_many() so consecutive specs share workers
+    # instead of paying pool startup per spec; never part of identity.
+    _shared_pool: ProcessPoolExecutor | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self):
         if self.jobs < 1:
@@ -162,6 +188,11 @@ class Runner:
             raise ValueError(
                 f"Runner.backend must be one of {_BACKENDS}, got {self.backend!r}"
             )
+        if self.cache_format not in _CACHE_FORMATS:
+            raise ValueError(
+                f"Runner.cache_format must be one of {_CACHE_FORMATS}, "
+                f"got {self.cache_format!r}"
+            )
 
     def run(self, spec: RunSpec) -> RunResult:
         """Execute ``spec`` (or load it from cache) into a :class:`RunResult`."""
@@ -169,8 +200,9 @@ class Runner:
         params = resolve_params(defn, spec)
 
         cache_path = self._cache_path(spec, params)
-        if cache_path is not None and cache_path.exists():
-            return RunResult.load(cache_path)
+        cached = self._load_cache(cache_path)
+        if cached is not None:
+            return cached
 
         outcomes = self._sweep(defn, params)
         base = defn.finalize(outcomes, params)
@@ -180,12 +212,92 @@ class Runner:
             result.save(cache_path)
         return result
 
+    def run_window(self, spec: RunSpec, seed_start: int, seed_count: int) -> RunResult:
+        """Execute ``spec`` over a fixed window of the derived-seed stream.
+
+        Evaluates exactly the topology-seed indices
+        ``seed_start .. seed_start + seed_count - 1`` of ``spec.seed``'s
+        derived stream -- the same seeds :meth:`run` would walk -- and
+        keeps whatever passes the experiment's placement constraints (no
+        rejection top-up: the window *is* the work unit, so a partition of
+        windows always covers each seed index exactly once).  This is the
+        shard primitive of :mod:`repro.campaign`: disjoint windows of one
+        spec are independently computable, independently cacheable (the
+        window is folded into the cache key; keys without a window are
+        unchanged), and their union reproduces a monolithic sweep.
+
+        ``spec.n_topologies`` is ignored; the window defines the work.
+        The result's ``notes`` record the window and the accepted count.
+        """
+        if seed_start < 0:
+            raise ValueError("seed_start must be >= 0")
+        if seed_count < 1:
+            raise ValueError("seed_count must be >= 1")
+        defn = get_experiment_def(spec.experiment)
+        params = resolve_params(defn, spec)
+        params["n_topologies"] = seed_count
+        window = (int(seed_start), int(seed_count))
+
+        cache_path = self._cache_path(spec, params, window=window)
+        cached = self._load_cache(cache_path)
+        if cached is not None:
+            return cached
+
+        outcomes = self._sweep(defn, params, window=window)
+        base = defn.finalize(outcomes, params)
+        result = RunResult.from_experiment_result(base, spec)
+        notes = dict(result.notes)
+        notes["seed_window"] = [window[0], window[1]]
+        notes["n_accepted"] = len(outcomes)
+        result = RunResult(
+            name=result.name,
+            description=result.description,
+            series=result.series,
+            params=result.params,
+            notes=notes,
+            spec=result.spec,
+        )
+
+        if cache_path is not None:
+            result.save(cache_path)
+        return result
+
     def run_many(self, specs) -> list[RunResult]:
-        """Execute several specs in order (shared cache, shared pool sizing)."""
+        """Execute several specs in order, sharing one worker pool.
+
+        With ``jobs > 1`` a single ``ProcessPoolExecutor`` serves every
+        spec in the list (instead of paying pool startup/teardown per
+        spec); scheduling only -- results stay bit-identical to running
+        each spec on its own.
+        """
+        specs = list(specs)
+        if self.jobs > 1 and len(specs) > 1 and self._shared_pool is None:
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                self._shared_pool = pool
+                try:
+                    return [self.run(spec) for spec in specs]
+                finally:
+                    self._shared_pool = None
         return [self.run(spec) for spec in specs]
 
     # ------------------------------------------------------------------
-    def _cache_path(self, spec: RunSpec, params: dict) -> Path | None:
+    def window_cache_path(
+        self, spec: RunSpec, seed_start: int, seed_count: int
+    ) -> Path | None:
+        """Cache file a :meth:`run_window` call would use (or ``None``)."""
+        defn = get_experiment_def(spec.experiment)
+        params = resolve_params(defn, spec)
+        params["n_topologies"] = int(seed_count)
+        return self._cache_path(
+            spec, params, window=(int(seed_start), int(seed_count))
+        )
+
+    def _cache_path(
+        self,
+        spec: RunSpec,
+        params: dict,
+        window: tuple[int, int] | None = None,
+    ) -> Path | None:
         """Cache file keyed by the *resolved* parameters.
 
         Hashing the resolved params (experiment defaults merged in) rather
@@ -193,29 +305,62 @@ class Runner:
         stating it explicitly share one entry, and editing an experiment's
         registered defaults invalidates stale cached results.  The package
         version is folded in so entries do not survive algorithm changes
-        across releases.
+        across releases.  Seed-window runs additionally fold the window
+        into the key (full runs keep their historical keys verbatim);
+        because the resolved ``n_topologies`` of a window run is the
+        window length, shard entries are shared by every campaign that
+        covers the same (spec, window) -- regardless of campaign totals.
         """
         if self.cache_dir is None:
             return None
-        payload = json.dumps(
-            {
-                "experiment": spec.experiment,
-                "params": normalize_params(params),
-                "version": _PACKAGE_VERSION,
-            },
-            sort_keys=True,
-            separators=(",", ":"),
-        )
+        body = {
+            "experiment": spec.experiment,
+            "params": normalize_params(params),
+            "version": _PACKAGE_VERSION,
+        }
+        if window is not None:
+            body["seed_window"] = [int(window[0]), int(window[1])]
+        payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
         digest = hashlib.sha256(payload.encode()).hexdigest()[:16]
-        return Path(self.cache_dir) / f"{spec.experiment}-{digest}.json"
+        suffix = "npz" if self.cache_format == "npz" else "json"
+        return Path(self.cache_dir) / f"{spec.experiment}-{digest}.{suffix}"
 
-    def _sweep(self, defn: ExperimentDef, params: dict) -> list:
-        """Accepted per-topology outcomes, in derived-seed-stream order."""
+    @staticmethod
+    def _load_cache(cache_path: Path | None) -> RunResult | None:
+        """Load a cache entry, treating unreadable/corrupt files as a miss."""
+        if cache_path is None or not cache_path.exists():
+            return None
+        try:
+            return RunResult.load(cache_path)
+        except _CACHE_READ_ERRORS as exc:
+            warnings.warn(
+                f"cache entry {cache_path} is unreadable "
+                f"({type(exc).__name__}: {exc}); recomputing",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+
+    def _sweep(
+        self,
+        defn: ExperimentDef,
+        params: dict,
+        window: tuple[int, int] | None = None,
+    ) -> list:
+        """Accepted per-topology outcomes, in derived-seed-stream order.
+
+        With ``window=(start, count)`` the sweep evaluates exactly the
+        seed-stream indices ``start .. start+count-1`` -- no rejection
+        top-up, no attempt cap -- and returns whatever those indices
+        accept (the campaign shard contract).  Without a window it keeps
+        drawing until ``params["n_topologies"]`` topologies are accepted.
+        """
         n = int(params["n_topologies"])
         if n < 1:
             raise ValueError("need at least one topology")
         root_seed = int(params["seed"])
-        max_attempts = max(200, 80 * n)
+        stream_start = 0 if window is None else int(window[0])
+        max_attempts = n if window is not None else max(200, 80 * n)
         vectorized = self.backend == "vectorized" and defn.build_batch is not None
         if self.backend == "vectorized" and defn.build_batch is None:
             warnings.warn(
@@ -233,32 +378,44 @@ class Runner:
 
         accepted: list = []
         attempts = 0
-        executor: ProcessPoolExecutor | None = None
+        executor = self._shared_pool
+        owns_executor = False
         try:
-            while len(accepted) < n and attempts < max_attempts:
-                # Aim for exactly what is still needed (padded to keep every
-                # worker busy) so a parallel run schedules no more builds
-                # than a serial one; the cap only bounds a single round.
-                target = max(n - len(accepted), min(self.jobs, batch_cap))
-                if vectorized and attempts:
-                    # Rejection-heavy sweeps would otherwise shrink to
-                    # deficit-sized (eventually single-seed) batches and
-                    # forfeit the stacking win.  Overdraw by the observed
-                    # acceptance rate instead: the derived-seed stream and
-                    # each seed's accept/reject verdict are deterministic
-                    # and outcomes are consumed in stream order up to n,
-                    # so results are unchanged -- extra draws only cost the
-                    # (rejected) build work.
-                    rate = max(len(accepted) / attempts, 1.0 / 64.0)
-                    target = max(target, math.ceil((n - len(accepted)) / rate))
+            while attempts < max_attempts and (
+                window is not None or len(accepted) < n
+            ):
+                if window is not None:
+                    # The window is the work unit: evaluate every index in
+                    # it, chunked only to bound per-round memory.
+                    target = max_attempts - attempts
+                else:
+                    # Aim for exactly what is still needed (padded to keep
+                    # every worker busy) so a parallel run schedules no more
+                    # builds than a serial one; the cap only bounds a single
+                    # round.
+                    target = max(n - len(accepted), min(self.jobs, batch_cap))
+                    if vectorized and attempts:
+                        # Rejection-heavy sweeps would otherwise shrink to
+                        # deficit-sized (eventually single-seed) batches and
+                        # forfeit the stacking win.  Overdraw by the observed
+                        # acceptance rate instead: the derived-seed stream and
+                        # each seed's accept/reject verdict are deterministic
+                        # and outcomes are consumed in stream order up to n,
+                        # so results are unchanged -- extra draws only cost
+                        # the (rejected) build work.
+                        rate = max(len(accepted) / attempts, 1.0 / 64.0)
+                        target = max(target, math.ceil((n - len(accepted)) / rate))
                 count = min(target, batch_cap, max_attempts - attempts)
-                seeds = rng_mod.derived_seeds(root_seed, attempts, count)
+                seeds = rng_mod.derived_seeds(
+                    root_seed, stream_start + attempts, count
+                )
                 attempts += count
                 if vectorized:
                     outcomes = defn.build_batch(seeds, params)
                 elif self.jobs > 1:
                     if executor is None:
                         executor = ProcessPoolExecutor(max_workers=self.jobs)
+                        owns_executor = True
                     outcomes = executor.map(
                         _build_one, repeat(defn.name), seeds, repeat(params)
                     )
@@ -268,12 +425,12 @@ class Runner:
                     if outcome is None:
                         continue
                     accepted.append(outcome)
-                    if len(accepted) == n:
+                    if window is None and len(accepted) == n:
                         break
         finally:
-            if executor is not None:
+            if owns_executor and executor is not None:
                 executor.shutdown()
-        if len(accepted) < n:
+        if window is None and len(accepted) < n:
             raise RuntimeError(
                 f"only {len(accepted)}/{n} topologies satisfied the "
                 f"placement constraints after {attempts} attempts"

@@ -1,0 +1,44 @@
+"""Sharded, resumable sweep campaigns with streaming aggregates.
+
+The campaign layer scales the :class:`~repro.api.runner.Runner` from one
+spec to production-sized parameter grids::
+
+    from repro.campaign import CampaignSpec, CampaignRunner
+
+    campaign = CampaignSpec(
+        "fig15",
+        n_topologies=10_000,
+        shard_size=500,
+        axes={"rounds_per_topology": [12, 24]},
+    )
+    result = CampaignRunner("results/fig15-campaign", jobs=8).run(campaign)
+    print(result.summary())
+    xs, fs = result.cell(rounds_per_topology=24).cdf_curve("midas")
+
+A campaign expands into deterministic shard-sized work units (spec-hash +
+seed-range keyed, cached through the ordinary Runner disk cache), executes
+them across a process pool with retry/timeout, journals every completion,
+and folds per-shard streaming accumulators into per-cell aggregates --
+so an interrupted campaign resumes without recomputing finished shards
+(``CampaignRunner(...).run(campaign, resume=True)``, CLI ``--resume``)
+and the reported aggregates are independent of shard completion order.
+"""
+
+from .executor import CampaignError, CampaignRunner, ShardTimeout
+from .journal import CampaignJournal, read_manifest, write_manifest
+from .result import CampaignResult, CellAggregate
+from .spec import CampaignCell, CampaignSpec, ShardPlan
+
+__all__ = [
+    "CampaignCell",
+    "CampaignError",
+    "CampaignJournal",
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
+    "CellAggregate",
+    "ShardPlan",
+    "ShardTimeout",
+    "read_manifest",
+    "write_manifest",
+]

@@ -1,0 +1,112 @@
+"""Append-only campaign journal and atomic manifest.
+
+Checkpointing is split between two files in the campaign directory:
+
+``manifest.json``
+    Written **atomically** once at campaign start: the full
+    :class:`~repro.campaign.spec.CampaignSpec`, its hash, the package
+    version, and the planned shard keys.  A resume re-reads it to verify
+    the requested spec matches the directory's campaign before touching
+    anything.
+
+``journal.jsonl``
+    One JSON object per line, appended (with flush + fsync) as events
+    happen: ``campaign_start``, one ``shard_done`` per completed shard
+    (carrying the shard's accumulator states, accepted count, and whether
+    it was computed or served from cache), ``campaign_done``.  A process
+    killed mid-append (``kill -9``) can leave at most one torn final
+    line; :meth:`CampaignJournal.events` tolerates and drops it, so
+    resume sees exactly the shards whose completion records were fully
+    durable.  Shard *results* live in the Runner's atomic disk cache;
+    the journal only ever references them, so a torn journal line never
+    implies a torn result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+MANIFEST_NAME = "manifest.json"
+JOURNAL_NAME = "journal.jsonl"
+
+
+class CampaignJournal:
+    """Append-only JSONL event log with torn-tail-tolerant reads."""
+
+    def __init__(self, path: str | Path):  # noqa: D107
+        self.path = Path(path)
+
+    def append(self, event: Mapping[str, Any]) -> None:
+        """Durably append one event (newline-framed JSON, flushed + fsynced)."""
+        if "event" not in event:
+            raise ValueError("journal events must carry an 'event' field")
+        line = json.dumps(dict(event), sort_keys=True, separators=(",", ":"))
+        if "\n" in line:
+            raise ValueError("journal events must encode to a single line")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def events(self) -> Iterator[dict]:
+        """Yield fully-written events; a torn final line is dropped.
+
+        Any undecodable line stops the scan (everything before it is
+        trusted, nothing after): an append-only log corrupted mid-file
+        means later records were written after the torn one and cannot be
+        ordered reliably.
+        """
+        if not self.path.exists():
+            return
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                try:
+                    event = json.loads(stripped)
+                except json.JSONDecodeError:
+                    return
+                if not isinstance(event, dict) or "event" not in event:
+                    return
+                yield event
+
+    def completed_shards(self) -> dict[str, dict]:
+        """Map of shard key -> latest fully-recorded ``shard_done`` event."""
+        done: dict[str, dict] = {}
+        for event in self.events():
+            if event.get("event") == "shard_done" and "shard" in event:
+                done[str(event["shard"])] = event
+        return done
+
+    def campaign_completed(self) -> bool:
+        return any(e.get("event") == "campaign_done" for e in self.events())
+
+
+def write_manifest(path: str | Path, data: Mapping[str, Any]) -> Path:
+    """Atomically write the campaign manifest (temp sibling + replace)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    try:
+        tmp.write_text(json.dumps(dict(data), indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return path
+
+
+def read_manifest(path: str | Path) -> dict:
+    """Read the manifest; raises with a clear message when unreadable."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"campaign manifest {path} is unreadable: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ValueError(f"campaign manifest {path} must be a JSON object")
+    return data

@@ -1,0 +1,211 @@
+"""Campaign results: per-cell streamed aggregates with a JSON round-trip.
+
+A :class:`CampaignResult` is to a campaign what
+:class:`~repro.api.result.RunResult` is to a single run: the computed
+output plus the spec that produced it, serializable losslessly.  What it
+holds per cell is *not* the raw per-topology series (a million-topology
+sweep never materializes those in one place) but their
+:class:`~repro.analysis.streaming.StreamingSummary` aggregates -- exact
+count/mean/std/min/max plus a lattice quantile sketch per series -- which
+are what the paper-style distribution claims (capacity CDFs, median
+gains) are read from.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..analysis.streaming import StreamingSummary
+from .spec import CampaignSpec
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CellAggregate:
+    """One grid cell's streamed aggregates."""
+
+    coords: dict[str, Any]
+    n_attempted: int
+    n_accepted: int
+    series: dict[str, StreamingSummary]
+
+    def label(self) -> str:
+        if not self.coords:
+            return "(base)"
+        return ",".join(f"{k}={self.coords[k]}" for k in sorted(self.coords))
+
+    def mean(self, series_name: str) -> float:
+        return self.series[series_name].mean
+
+    def quantile(self, series_name: str, q):
+        return self.series[series_name].quantile(q)
+
+    def median(self, series_name: str) -> float:
+        return self.series[series_name].median
+
+    def cdf_curve(self, series_name: str) -> tuple[np.ndarray, np.ndarray]:
+        """(x, F(x)) step points of the sketched CDF (fig15-style plots)."""
+        return self.series[series_name].cdf_curve()
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Aggregated outcome of a campaign, cell by cell.
+
+    ``cells`` are in the campaign's canonical cell order.  ``notes``
+    carries execution metadata (shard counts, cache hits, wall time);
+    like :class:`RunResult` the whole object saves/loads losslessly
+    (``.save(path)`` / ``CampaignResult.load(path)``).
+    """
+
+    campaign: CampaignSpec
+    cells: list[CellAggregate]
+    notes: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Lookup & reporting
+    # ------------------------------------------------------------------
+    def cell(self, **coords) -> CellAggregate:
+        """The unique cell matching the given axis coordinates."""
+        matches = [
+            c
+            for c in self.cells
+            if all(c.coords.get(k) == v for k, v in coords.items())
+        ]
+        if not matches:
+            raise KeyError(f"no cell matches {coords!r}")
+        if len(matches) > 1:
+            raise KeyError(
+                f"{len(matches)} cells match {coords!r}; give more coordinates"
+            )
+        return matches[0]
+
+    def series_names(self) -> list[str]:
+        names: list[str] = []
+        for cell in self.cells:
+            for name in cell.series:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def summary(self) -> str:
+        """Paper-style text table: one row per (cell, series)."""
+        header = (
+            f"{'cell':<36}{'series':<22}{'n':>8}{'mean':>10}{'std':>9}"
+            f"{'p5':>9}{'median':>9}{'p95':>9}"
+        )
+        lines = [
+            f"== campaign {self.campaign.experiment}: "
+            f"{self.campaign.n_cells} cell(s) ==",
+            header,
+            "-" * len(header),
+        ]
+        for cell in self.cells:
+            for name, agg in cell.series.items():
+                if agg.count == 0:
+                    lines.append(f"{cell.label():<36}{name:<22}{0:>8}  (empty)")
+                    continue
+                lines.append(
+                    f"{cell.label():<36}{name:<22}{agg.count:>8}"
+                    f"{agg.mean:>10.3f}{agg.std:>9.3f}"
+                    f"{agg.quantile(0.05):>9.3f}{agg.median:>9.3f}"
+                    f"{agg.quantile(0.95):>9.3f}"
+                )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # JSON round-trip
+    # ------------------------------------------------------------------
+    def to_json(self, indent: int | None = None) -> str:
+        payload = {
+            "format_version": _FORMAT_VERSION,
+            "campaign": self.campaign.to_dict(),
+            "cells": [
+                {
+                    "coords": cell.coords,
+                    "n_attempted": cell.n_attempted,
+                    "n_accepted": cell.n_accepted,
+                    "series": {
+                        name: agg.state() for name, agg in cell.series.items()
+                    },
+                }
+                for cell in self.cells
+            ],
+            "notes": self.notes,
+        }
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignResult":
+        payload = json.loads(text)
+        version = payload.get("format_version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported CampaignResult format version {version!r}"
+            )
+        cells = [
+            CellAggregate(
+                coords=dict(entry["coords"]),
+                n_attempted=int(entry["n_attempted"]),
+                n_accepted=int(entry["n_accepted"]),
+                series={
+                    name: StreamingSummary.from_state(state)
+                    for name, state in entry["series"].items()
+                },
+            )
+            for entry in payload["cells"]
+        ]
+        return cls(
+            campaign=CampaignSpec.from_dict(payload["campaign"]),
+            cells=cells,
+            notes=dict(payload.get("notes", {})),
+        )
+
+    def save(self, path: str | Path, indent: int | None = 2) -> Path:
+        """Atomically write the result as JSON."""
+        from ..api.result import _atomic_write
+
+        path = Path(path)
+        text = self.to_json(indent=indent)
+        _atomic_write(path, lambda tmp: tmp.write_text(text))
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CampaignResult":
+        return cls.from_json(Path(path).read_text())
+
+    @staticmethod
+    def _states_equal(a: Mapping, b: Mapping) -> bool:
+        return json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def aggregates_equal(self, other: "CampaignResult") -> bool:
+        """True when every cell's aggregates match ``other`` exactly.
+
+        The check the resume tests (and CI) make: an interrupted+resumed
+        campaign must report bit-identical aggregates to an uninterrupted
+        one.
+        """
+        if len(self.cells) != len(other.cells):
+            return False
+        for mine, theirs in zip(self.cells, other.cells):
+            if mine.coords != theirs.coords:
+                return False
+            if (mine.n_attempted, mine.n_accepted) != (
+                theirs.n_attempted,
+                theirs.n_accepted,
+            ):
+                return False
+            if set(mine.series) != set(theirs.series):
+                return False
+            for name in mine.series:
+                if not self._states_equal(
+                    mine.series[name].state(), theirs.series[name].state()
+                ):
+                    return False
+        return True

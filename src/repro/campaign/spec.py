@@ -1,0 +1,329 @@
+"""Campaign specifications: parameter grids expanded into sharded work units.
+
+A :class:`CampaignSpec` is to a sweep what a
+:class:`~repro.api.spec.RunSpec` is to a single experiment run: a
+declarative, JSON-serializable, content-hashable description of *what* to
+compute.  It names a registered experiment, a per-cell topology count, and
+a set of **axes** -- named lists of values over RunSpec fields
+(``environment``, ``precoder``, ``traffic``, ``mobility``, ``seed``,
+``n_topologies``) or over any experiment parameter.  The cartesian product
+of the axes yields the campaign's **cells** (one :class:`RunSpec` each);
+each cell's topology count splits into **shards**: fixed, disjoint windows
+of the cell's derived-seed stream (see
+:meth:`repro.api.runner.Runner.run_window`), at most ``shard_size`` seed
+indices each.
+
+The shard is the unit of execution, caching, and checkpointing.  Its
+identity -- ``spec_hash + seed range`` -- is deterministic given the
+campaign spec alone, so a resumed campaign re-derives exactly the same
+work units and recognizes completed ones in the journal and the disk
+cache.  Experiments with placement rejection contribute the accepted
+subset of each window (the window, not the accepted count, is what is
+deterministic); saturating experiments accept every index, making a
+sharded campaign cover exactly the seeds of a monolithic run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+from ..api.spec import RunSpec, normalize_params
+
+_FORMAT_VERSION = 1
+
+#: RunSpec fields an axis (or the campaign base) may set.
+_SPEC_AXES = ("environment", "precoder", "traffic", "mobility", "seed", "n_topologies")
+
+#: Axis names that can never vary within one campaign.
+_FORBIDDEN_AXES = ("experiment", "shard_size", "params", "axes")
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One grid point: axis coordinates resolved into a runnable spec."""
+
+    index: int
+    coords: dict[str, Any]
+    spec: RunSpec
+    n_topologies: int
+
+    def label(self) -> str:
+        """Stable human-readable coordinate label (sorted axis order)."""
+        if not self.coords:
+            return "(base)"
+        return ",".join(f"{k}={self.coords[k]}" for k in sorted(self.coords))
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One work unit: a seed window of one cell, with its cache identity."""
+
+    index: int
+    cell_index: int
+    coords: dict[str, Any]
+    spec: RunSpec
+    seed_start: int
+    seed_count: int
+
+    @property
+    def key(self) -> str:
+        """Stable shard identity: spec hash + seed range.
+
+        This is the name shards go by in the journal and the manifest; the
+        disk-cache filename is derived from the same (spec, window) pair by
+        the :class:`~repro.api.runner.Runner`, so the two stay in lockstep.
+        """
+        return f"{self.spec.spec_hash()[:16]}:{self.seed_start}+{self.seed_count}"
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A parameter-grid sweep: axes x topology draws, in shard-sized units.
+
+    Parameters
+    ----------
+    experiment:
+        Registered experiment every cell runs.
+    n_topologies:
+        Seed indices evaluated per cell (an ``n_topologies`` axis
+        overrides this per cell).
+    shard_size:
+        Maximum seed indices per shard; the last shard of a cell may be
+        smaller.
+    seed:
+        Root seed shared by every cell (a ``seed`` axis overrides it).
+    axes:
+        Mapping of axis name -> list of values.  Axis names may be the
+        RunSpec fields ``environment`` / ``precoder`` / ``traffic`` /
+        ``mobility`` / ``seed`` / ``n_topologies`` or any parameter the
+        experiment declares.  Cells enumerate the cartesian product in
+        sorted-axis-name order (last-listed axis fastest), so cell and
+        shard numbering is canonical regardless of dict insertion order.
+    environment / precoder / traffic / mobility / params:
+        Fixed RunSpec fields shared by every cell (an axis of the same
+        name must not also be given).
+    sketch_resolution:
+        Bin width of the streaming quantile sketches
+        (:class:`repro.analysis.QuantileSketch`); part of the spec because
+        it shapes the reported aggregates.
+    """
+
+    experiment: str
+    n_topologies: int
+    shard_size: int = 256
+    seed: int = 0
+    axes: dict[str, list] = field(default_factory=dict)
+    environment: str | None = None
+    precoder: str | None = None
+    traffic: str | None = None
+    mobility: str | None = None
+    params: dict = field(default_factory=dict)
+    sketch_resolution: float = 1.0 / 128.0
+
+    def __post_init__(self):
+        if not isinstance(self.experiment, str) or not self.experiment:
+            raise ValueError("CampaignSpec.experiment must be a non-empty string")
+        if not isinstance(self.n_topologies, int) or isinstance(self.n_topologies, bool):
+            raise ValueError("CampaignSpec.n_topologies must be an int")
+        if self.n_topologies < 1:
+            raise ValueError("CampaignSpec.n_topologies must be >= 1")
+        if not isinstance(self.shard_size, int) or isinstance(self.shard_size, bool):
+            raise ValueError("CampaignSpec.shard_size must be an int")
+        if self.shard_size < 1:
+            raise ValueError("CampaignSpec.shard_size must be >= 1")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ValueError("CampaignSpec.seed must be an int")
+        if not isinstance(self.axes, Mapping):
+            raise ValueError("CampaignSpec.axes must be a mapping of name -> values")
+        if not (
+            isinstance(self.sketch_resolution, (int, float))
+            and self.sketch_resolution > 0
+        ):
+            raise ValueError("CampaignSpec.sketch_resolution must be positive")
+        axes: dict[str, list] = {}
+        for name, values in self.axes.items():
+            if not isinstance(name, str) or not name:
+                raise ValueError("axis names must be non-empty strings")
+            if name in _FORBIDDEN_AXES:
+                raise ValueError(f"{name!r} cannot be a campaign axis")
+            if isinstance(values, (str, bytes)) or not isinstance(
+                values, (list, tuple)
+            ):
+                raise ValueError(
+                    f"axis {name!r} must be a list of values, got {values!r}"
+                )
+            if len(values) == 0:
+                raise ValueError(f"axis {name!r} must have at least one value")
+            if len(set(map(repr, values))) != len(values):
+                raise ValueError(f"axis {name!r} has duplicate values")
+            if (
+                name in ("environment", "precoder", "traffic", "mobility")
+                and getattr(self, name) is not None
+            ):
+                raise ValueError(
+                    f"axis {name!r} conflicts with the fixed CampaignSpec.{name}"
+                )
+            if name in self.params:
+                raise ValueError(
+                    f"axis {name!r} conflicts with the fixed params entry"
+                )
+            axes[name] = normalize_params(list(values))
+        object.__setattr__(self, "axes", axes)
+        object.__setattr__(self, "params", normalize_params(dict(self.params)))
+        # Validate that the base (axis-free) cell builds a legal RunSpec.
+        self._base_spec()
+        # Resolve every cell's parameters now so a bad override or param
+        # name fails at construction, not mid-campaign inside a shard.
+        from ..api.runner import get_experiment_def, resolve_params
+
+        defn = get_experiment_def(self.experiment)
+        for cell in self.cells():
+            resolve_params(defn, cell.spec)
+
+    # ------------------------------------------------------------------
+    # Expansion
+    # ------------------------------------------------------------------
+    def _base_spec(self) -> RunSpec:
+        return RunSpec(
+            experiment=self.experiment,
+            n_topologies=None,
+            seed=self.seed,
+            environment=self.environment,
+            precoder=self.precoder,
+            traffic=self.traffic,
+            mobility=self.mobility,
+            params=self.params,
+        )
+
+    def axis_names(self) -> list[str]:
+        """Canonical (sorted) axis order used for cell enumeration."""
+        return sorted(self.axes)
+
+    @property
+    def n_cells(self) -> int:
+        n = 1
+        for values in self.axes.values():
+            n *= len(values)
+        return n
+
+    def cells(self) -> list[CampaignCell]:
+        """The grid's cells, in canonical order."""
+        names = self.axis_names()
+        out: list[CampaignCell] = []
+        for index, combo in enumerate(
+            itertools.product(*(self.axes[name] for name in names))
+        ):
+            coords = dict(zip(names, combo))
+            spec_fields: dict[str, Any] = {}
+            extra_params: dict[str, Any] = {}
+            n_topologies = self.n_topologies
+            for name, value in coords.items():
+                if name == "n_topologies":
+                    n_topologies = int(value)
+                elif name == "seed":
+                    spec_fields["seed"] = int(value)
+                elif name in _SPEC_AXES:
+                    spec_fields[name] = value
+                else:
+                    extra_params[name] = value
+            spec = self._base_spec().replace(
+                params={**self.params, **extra_params}, **spec_fields
+            )
+            out.append(
+                CampaignCell(
+                    index=index, coords=coords, spec=spec, n_topologies=n_topologies
+                )
+            )
+        return out
+
+    def shards(self) -> list[ShardPlan]:
+        """Every work unit of the campaign, in canonical order.
+
+        Cell-major, then ascending ``seed_start`` -- the order aggregates
+        are folded in, and the order a fresh run executes (completion
+        order may differ under a process pool; identity never does).
+        """
+        out: list[ShardPlan] = []
+        for cell in self.cells():
+            for seed_start in range(0, cell.n_topologies, self.shard_size):
+                seed_count = min(self.shard_size, cell.n_topologies - seed_start)
+                out.append(
+                    ShardPlan(
+                        index=len(out),
+                        cell_index=cell.index,
+                        coords=cell.coords,
+                        spec=cell.spec,
+                        seed_start=seed_start,
+                        seed_count=seed_count,
+                    )
+                )
+        return out
+
+    @property
+    def n_shards(self) -> int:
+        total = 0
+        for cell in self.cells():
+            total += -(-cell.n_topologies // self.shard_size)
+        return total
+
+    def __iter__(self) -> Iterator[ShardPlan]:
+        return iter(self.shards())
+
+    # ------------------------------------------------------------------
+    # Serialization & identity
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        data: dict[str, Any] = {
+            "experiment": self.experiment,
+            "n_topologies": self.n_topologies,
+            "shard_size": self.shard_size,
+            "seed": self.seed,
+            "axes": {k: self.axes[k] for k in sorted(self.axes)},
+            "params": self.params,
+            "sketch_resolution": self.sketch_resolution,
+        }
+        for label in ("environment", "precoder", "traffic", "mobility"):
+            value = getattr(self, label)
+            if value is not None:
+                data[label] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CampaignSpec":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown CampaignSpec fields: {sorted(unknown)}")
+        return cls(**{k: data[k] for k in known if k in data})
+
+    def canonical_json(self) -> str:
+        """Stable JSON encoding (sorted keys, no whitespace)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def campaign_hash(self) -> str:
+        """SHA-256 hex digest of the canonical encoding (campaign identity)."""
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
+
+    def replace(self, **changes) -> "CampaignSpec":
+        """A copy of this spec with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+    def __hash__(self) -> int:
+        return hash(self.canonical_json())
+
+    def describe(self) -> str:
+        """One-line summary for logs and the CLI."""
+        axes = (
+            " x ".join(f"{k}[{len(v)}]" for k, v in sorted(self.axes.items()))
+            or "single cell"
+        )
+        return (
+            f"campaign {self.experiment}: {axes} -> {self.n_cells} cell(s), "
+            f"{self.n_topologies} topologies/cell, "
+            f"{self.n_shards} shard(s) of <= {self.shard_size}"
+        )

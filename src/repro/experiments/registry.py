@@ -9,11 +9,19 @@ it with :class:`repro.api.Runner`::
 
     python -m repro.experiments fig09 --topologies 60 --seed 0 --jobs 4 \
         --out results/fig09.json
+
+``python -m repro.experiments campaign <experiment> ...`` runs a sharded,
+resumable parameter-grid sweep instead (see :mod:`repro.campaign`)::
+
+    python -m repro.experiments campaign fig15 --topologies 10000 \
+        --shard-size 500 --axis rounds_per_topology=12,24 \
+        --campaign-dir results/fig15-campaign --jobs 8 --resume
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 from typing import Callable
 
 from . import (  # noqa: F401  (imports trigger experiment registration)
@@ -69,10 +77,174 @@ def get_experiment(name: str) -> Callable[..., ExperimentResult]:
         raise UnknownNameError("experiment", name, sorted(EXPERIMENTS)) from None
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point: run one experiment and print its summary."""
+def _parse_axis_token(token: str):
+    """One axis/param value: JSON where it parses, bare string otherwise."""
+    try:
+        return json.loads(token)
+    except json.JSONDecodeError:
+        return token
+
+
+def _parse_axis(text: str) -> tuple[str, list]:
+    """``name=v1,v2,...`` -> (name, values); values JSON-decoded per token."""
+    name, sep, values = text.partition("=")
+    if not sep or not name or not values:
+        raise argparse.ArgumentTypeError(
+            f"--axis expects name=value,value,... (got {text!r})"
+        )
+    return name, [_parse_axis_token(tok) for tok in values.split(",")]
+
+
+def campaign_main(argv: list[str] | None = None) -> int:
+    """``python -m repro.experiments campaign``: sharded resumable sweeps."""
+    from ..campaign import CampaignRunner, CampaignSpec
+
     parser = argparse.ArgumentParser(
-        prog="repro.experiments", description="Regenerate a MIDAS paper figure"
+        prog="repro.experiments campaign",
+        description="Run a sharded, resumable parameter-grid sweep "
+        "(spec-hash + seed-range cached shards, JSONL journal, streaming "
+        "CDF/mean aggregates)",
+    )
+    parser.add_argument("name", choices=sorted(EXPERIMENTS), help="experiment id")
+    parser.add_argument(
+        "--campaign-dir",
+        required=True,
+        metavar="DIR",
+        help="campaign state directory (manifest, journal, shard cache, result)",
+    )
+    parser.add_argument(
+        "--topologies", type=int, required=True, help="seed indices per grid cell"
+    )
+    parser.add_argument(
+        "--shard-size", type=int, default=256, help="max seed indices per shard"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root seed")
+    parser.add_argument(
+        "--axis",
+        action="append",
+        default=[],
+        type=_parse_axis,
+        metavar="NAME=V1,V2,...",
+        help="grid axis over a RunSpec field (environment/precoder/traffic/"
+        "mobility/seed/n_topologies) or any experiment parameter; repeatable",
+    )
+    parser.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="fixed experiment parameter shared by every cell; repeatable",
+    )
+    parser.add_argument("--environment", default=None, help="fixed environment")
+    parser.add_argument("--precoder", default=None, help="fixed precoder")
+    parser.add_argument("--traffic", default=None, help="fixed traffic model")
+    parser.add_argument("--mobility", default=None, help="fixed mobility model")
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted campaign in --campaign-dir "
+        "(completed shards are never recomputed)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="concurrent shard workers"
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["loop", "vectorized"],
+        default="vectorized",
+        help="per-shard evaluation backend (default: vectorized)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=2, help="extra attempts per failing shard"
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-shard wall-clock budget (timed-out attempts are retried)",
+    )
+    parser.add_argument(
+        "--sketch-resolution",
+        type=float,
+        default=1.0 / 128.0,
+        help="quantile-sketch bin width (part of the campaign identity)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="shard cache directory (default: <campaign-dir>/cache; share "
+        "it across campaigns to share shard results)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also write the CampaignResult JSON to PATH "
+        "(always written to <campaign-dir>/result.json)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress/ETA lines"
+    )
+    args = parser.parse_args(argv)
+
+    axes: dict[str, list] = {}
+    for name, values in args.axis:
+        if name in axes:
+            parser.error(f"axis {name!r} given twice")
+        axes[name] = values
+    params: dict = {}
+    for text in args.param:
+        name, sep, value = text.partition("=")
+        if not sep or not name:
+            parser.error(f"--param expects name=value (got {text!r})")
+        params[name] = _parse_axis_token(value)
+
+    campaign = CampaignSpec(
+        experiment=args.name,
+        n_topologies=args.topologies,
+        shard_size=args.shard_size,
+        seed=args.seed,
+        axes=axes,
+        environment=args.environment,
+        precoder=args.precoder,
+        traffic=args.traffic,
+        mobility=args.mobility,
+        params=params,
+        sketch_resolution=args.sketch_resolution,
+    )
+    runner = CampaignRunner(
+        campaign_dir=args.campaign_dir,
+        jobs=args.jobs,
+        backend=args.backend,
+        cache_dir=args.cache_dir,
+        retries=args.retries,
+        timeout_s=args.timeout,
+        progress=not args.quiet,
+    )
+    if not args.quiet:
+        print(campaign.describe())
+    result = runner.run(campaign, resume=args.resume)
+    print(result.summary())
+    if args.out is not None:
+        path = result.save(args.out)
+        print(f"wrote {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: run one experiment (or a ``campaign``) and report."""
+    import sys
+
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "campaign":
+        return campaign_main(argv[1:])
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Regenerate a MIDAS paper figure (or run "
+        "'campaign <experiment> ...' for a sharded resumable sweep)",
     )
     parser.add_argument("name", choices=sorted(EXPERIMENTS), help="experiment id")
     parser.add_argument("--topologies", type=int, default=None, help="topology count")

@@ -245,3 +245,142 @@ class TestCli:
         )
         assert code == 0
         assert "fig08_09" in capsys.readouterr().out
+
+
+class TestCacheRobustness:
+    """Unreadable or torn cache entries must behave as cache misses."""
+
+    def _first_entry(self, cache_dir, pattern):
+        (path,) = list(cache_dir.glob(pattern))
+        return path
+
+    def test_truncated_json_entry_recomputed_and_rewritten(self, tmp_path):
+        spec = RunSpec("fig03", n_topologies=2, seed=2)
+        runner = Runner(cache_dir=tmp_path)
+        good = runner.run(spec)
+        path = self._first_entry(tmp_path, "fig03-*.json")
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            recovered = runner.run(spec)
+        for key in good.series:
+            np.testing.assert_array_equal(good.series[key], recovered.series[key])
+        # The poisoned entry was rewritten: the next run loads it silently.
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", RuntimeWarning)
+            runner.run(spec)
+
+    def test_truncated_npz_entry_recomputed(self, tmp_path):
+        spec = RunSpec("fig03", n_topologies=2, seed=2)
+        runner = Runner(cache_dir=tmp_path, cache_format="npz")
+        good = runner.run(spec)
+        path = self._first_entry(tmp_path, "fig03-*.npz")
+        path.write_bytes(path.read_bytes()[:40])  # torn mid-header
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            recovered = runner.run(spec)
+        for key in good.series:
+            np.testing.assert_array_equal(good.series[key], recovered.series[key])
+
+    def test_garbage_entry_recomputed(self, tmp_path):
+        spec = RunSpec("fig03", n_topologies=2, seed=2)
+        runner = Runner(cache_dir=tmp_path)
+        runner.run(spec)
+        self._first_entry(tmp_path, "fig03-*.json").write_text("not json {")
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            runner.run(spec)
+
+
+class TestAtomicSave:
+    def test_save_leaves_no_temp_siblings(self, tmp_path):
+        result = Runner().run(RunSpec("fig03", n_topologies=2, seed=1))
+        for name in ("out.json", "out.npz"):
+            path = result.save(tmp_path / name)
+            assert path.exists()
+            leftovers = [
+                p for p in tmp_path.iterdir() if p.name not in ("out.json", "out.npz")
+            ]
+            assert leftovers == []
+            assert RunResult.load(path).spec == result.spec
+
+    def test_save_creates_parent_directories(self, tmp_path):
+        result = Runner().run(RunSpec("fig03", n_topologies=2, seed=1))
+        nested = tmp_path / "a" / "b" / "out.npz"
+        result.save(nested)
+        assert RunResult.load(nested).spec == result.spec
+
+
+class TestRunWindow:
+    def test_window_union_equals_monolithic_run(self):
+        runner = Runner(backend="vectorized")
+        mono = runner.run(RunSpec("fig07", n_topologies=10, seed=4))
+        parts = [
+            runner.run_window(RunSpec("fig07", seed=4), 0, 4),
+            runner.run_window(RunSpec("fig07", seed=4), 4, 4),
+            runner.run_window(RunSpec("fig07", seed=4), 8, 2),
+        ]
+        for key in mono.series:
+            glued = np.concatenate([np.asarray(p.series[key]) for p in parts])
+            np.testing.assert_array_equal(glued, np.asarray(mono.series[key]))
+
+    def test_rejecting_experiment_windows_partition_consistently(self):
+        # fig15 rejects some placements: two adjacent windows must accept
+        # exactly what one window covering both does.
+        runner = Runner(backend="vectorized")
+        whole = runner.run_window(RunSpec("fig15"), 0, 12)
+        parts = [
+            runner.run_window(RunSpec("fig15"), 0, 6),
+            runner.run_window(RunSpec("fig15"), 6, 6),
+        ]
+        assert whole.notes["n_accepted"] == sum(
+            p.notes["n_accepted"] for p in parts
+        )
+        for key in whole.series:
+            glued = np.concatenate([np.asarray(p.series[key]) for p in parts])
+            np.testing.assert_array_equal(glued, np.asarray(whole.series[key]))
+
+    def test_window_notes_and_validation(self):
+        runner = Runner()
+        result = runner.run_window(RunSpec("fig07", seed=1), 3, 2)
+        assert result.notes["seed_window"] == [3, 2]
+        assert result.notes["n_accepted"] == 2
+        with pytest.raises(ValueError, match="seed_start"):
+            runner.run_window(RunSpec("fig07"), -1, 2)
+        with pytest.raises(ValueError, match="seed_count"):
+            runner.run_window(RunSpec("fig07"), 0, 0)
+
+    def test_window_cache_key_distinct_from_full_run(self, tmp_path):
+        runner = Runner(cache_dir=tmp_path)
+        spec = RunSpec("fig07", seed=1)
+        runner.run_window(spec, 0, 2)
+        runner.run(RunSpec("fig07", n_topologies=2, seed=1))
+        # Same resolved params, but the window is folded into the key.
+        assert len(list(tmp_path.glob("fig07-*.json"))) == 2
+        cached = runner.run_window(spec, 0, 2)  # second call is a cache hit
+        assert cached.notes["seed_window"] == [0, 2]
+
+
+class TestRunMany:
+    def test_shared_pool_results_bit_identical_to_serial(self, tmp_path):
+        specs = [
+            RunSpec("fig03", n_topologies=2, seed=5),
+            RunSpec("fig07", n_topologies=3, seed=5),
+            RunSpec("fig03", n_topologies=2, seed=6),
+        ]
+        serial = [Runner(jobs=1).run(s) for s in specs]
+        shared = Runner(jobs=2).run_many(specs)
+        assert len(shared) == len(serial)
+        for a, b in zip(serial, shared):
+            assert set(a.series) == set(b.series)
+            for key in a.series:
+                np.testing.assert_array_equal(a.series[key], b.series[key])
+
+    def test_shared_pool_cleared_after_run_many(self):
+        runner = Runner(jobs=2)
+        runner.run_many([RunSpec("fig03", n_topologies=2, seed=1)] * 2)
+        assert runner._shared_pool is None
+
+    def test_run_many_serial_path(self):
+        runner = Runner(jobs=1)
+        results = runner.run_many([RunSpec("fig03", n_topologies=2, seed=1)])
+        assert len(results) == 1

@@ -1,0 +1,123 @@
+"""Crash-resume: a campaign survives kill -9 and never redoes finished shards."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import CampaignResult, CampaignRunner, CampaignSpec
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+# Sized so one shard takes ~0.1s: the campaign is comfortably alive when
+# the signal lands, and the whole test stays in the seconds range.
+_EXPERIMENT = "fig07"
+_TOPOLOGIES = 3200
+_SHARD_SIZE = 200  # -> 16 shards
+
+
+def _campaign_argv(campaign_dir, resume=False):
+    argv = [
+        sys.executable,
+        "-m",
+        "repro.experiments",
+        "campaign",
+        _EXPERIMENT,
+        "--campaign-dir",
+        str(campaign_dir),
+        "--topologies",
+        str(_TOPOLOGIES),
+        "--shard-size",
+        str(_SHARD_SIZE),
+        "--jobs",
+        "1",
+    ]
+    if resume:
+        argv.append("--resume")
+    return argv
+
+
+def _journal_events(campaign_dir):
+    path = Path(campaign_dir) / "journal.jsonl"
+    if not path.exists():
+        return []
+    events = []
+    for line in path.read_text().splitlines():
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            break  # torn tail from the kill
+    return events
+
+
+def _done_keys(events):
+    return [e["shard"] for e in events if e["event"] == "shard_done"]
+
+
+@pytest.mark.slow
+def test_sigkilled_campaign_resumes_without_recomputing(tmp_path):
+    campaign_dir = tmp_path / "campaign"
+    env = dict(os.environ, PYTHONPATH=_SRC)
+
+    # Start the campaign, wait until some shards have landed in the
+    # journal, then kill -9 the process mid-flight.
+    proc = subprocess.Popen(
+        _campaign_argv(campaign_dir),
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + 120.0
+    try:
+        while len(_done_keys(_journal_events(campaign_dir))) < 2:
+            assert time.monotonic() < deadline, "campaign produced no shards"
+            assert proc.poll() is None, "campaign finished before it was killed"
+            time.sleep(0.01)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    proc.wait(timeout=30)
+
+    events = _journal_events(campaign_dir)
+    done_before_kill = _done_keys(events)
+    assert len(done_before_kill) >= 2
+    assert not any(e["event"] == "campaign_done" for e in events), (
+        "campaign completed before the kill; shrink the shard size"
+    )
+
+    # Resume through the CLI; it must run to completion.
+    completed = subprocess.run(
+        _campaign_argv(campaign_dir, resume=True),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+
+    # No shard completed before the kill was executed again: its key
+    # appears exactly once in the journal, and the resumed process counted
+    # it as resumed rather than recomputed.
+    events = _journal_events(campaign_dir)
+    final_keys = _done_keys(events)
+    expected_shards = -(-_TOPOLOGIES // _SHARD_SIZE)
+    assert len(final_keys) == expected_shards
+    assert len(set(final_keys)) == expected_shards
+    for key in done_before_kill:
+        assert final_keys.count(key) == 1
+    assert any(e["event"] == "campaign_done" for e in events)
+
+    result = CampaignResult.load(campaign_dir / "result.json")
+    assert result.notes["n_resumed"] == len(done_before_kill)
+
+    # The interrupted-and-resumed aggregates are bit-identical to an
+    # uninterrupted run in a fresh directory (fresh cache too).
+    clean = CampaignRunner(tmp_path / "clean", progress=False).run(
+        CampaignSpec(_EXPERIMENT, n_topologies=_TOPOLOGIES, shard_size=_SHARD_SIZE)
+    )
+    assert result.aggregates_equal(clean)

@@ -1,0 +1,174 @@
+"""CampaignSpec: grid expansion, shard planning, identity, validation."""
+
+import pytest
+
+from repro.campaign import CampaignSpec
+
+
+class TestExpansion:
+    def test_single_cell_without_axes(self):
+        campaign = CampaignSpec("fig07", n_topologies=10)
+        cells = campaign.cells()
+        assert campaign.n_cells == 1
+        assert len(cells) == 1
+        assert cells[0].coords == {}
+        assert cells[0].label() == "(base)"
+        assert cells[0].spec.experiment == "fig07"
+        assert cells[0].n_topologies == 10
+
+    def test_cartesian_product_in_sorted_axis_order(self):
+        campaign = CampaignSpec(
+            "fig09",
+            n_topologies=4,
+            axes={"precoder": ["naive", "balanced"], "antenna_counts": [[2], [4]]},
+        )
+        cells = campaign.cells()
+        assert campaign.n_cells == 4
+        # Sorted axis names: antenna_counts varies slowest, precoder fastest.
+        assert [c.coords for c in cells] == [
+            {"antenna_counts": [2], "precoder": "naive"},
+            {"antenna_counts": [2], "precoder": "balanced"},
+            {"antenna_counts": [4], "precoder": "naive"},
+            {"antenna_counts": [4], "precoder": "balanced"},
+        ]
+        # Spec-level axes land on the RunSpec; parameter axes in params.
+        assert cells[0].spec.precoder == "naive"
+        assert cells[0].spec.params["antenna_counts"] == [2]
+
+    def test_axis_order_is_insertion_independent(self):
+        a = CampaignSpec(
+            "fig09",
+            n_topologies=4,
+            axes={"precoder": ["naive"], "antenna_counts": [[2], [4]]},
+        )
+        b = CampaignSpec(
+            "fig09",
+            n_topologies=4,
+            axes={"antenna_counts": [[2], [4]], "precoder": ["naive"]},
+        )
+        assert [c.coords for c in a.cells()] == [c.coords for c in b.cells()]
+        assert a.campaign_hash() == b.campaign_hash()
+
+    def test_seed_and_n_topologies_axes(self):
+        campaign = CampaignSpec(
+            "fig07", n_topologies=8, axes={"seed": [0, 1], "n_topologies": [4, 8]}
+        )
+        cells = campaign.cells()
+        # Sorted axis names: n_topologies varies slowest, seed fastest.
+        assert [(c.spec.seed, c.n_topologies) for c in cells] == [
+            (0, 4),
+            (1, 4),
+            (0, 8),
+            (1, 8),
+        ]
+
+
+class TestShards:
+    def test_windows_partition_each_cell(self):
+        campaign = CampaignSpec(
+            "fig07", n_topologies=10, shard_size=4, axes={"seed": [0, 1]}
+        )
+        shards = campaign.shards()
+        assert campaign.n_shards == len(shards) == 6
+        by_cell = {}
+        for shard in shards:
+            by_cell.setdefault(shard.cell_index, []).append(shard)
+        for cell_shards in by_cell.values():
+            windows = [(s.seed_start, s.seed_count) for s in cell_shards]
+            assert windows == [(0, 4), (4, 4), (8, 2)]  # last shard smaller
+        # Cell-major, ascending window; shard indices are canonical.
+        assert [s.index for s in shards] == list(range(6))
+        assert len({s.key for s in shards}) == 6
+
+    def test_key_is_spec_hash_plus_window(self):
+        campaign = CampaignSpec("fig07", n_topologies=6, shard_size=6)
+        (shard,) = campaign.shards()
+        assert shard.key == f"{shard.spec.spec_hash()[:16]}:0+6"
+
+    def test_iter_yields_shards(self):
+        campaign = CampaignSpec("fig07", n_topologies=8, shard_size=3)
+        assert [(s.seed_start, s.seed_count) for s in campaign] == [
+            (0, 3),
+            (3, 3),
+            (6, 2),
+        ]
+
+
+class TestIdentity:
+    def test_dict_round_trip_preserves_hash(self):
+        campaign = CampaignSpec(
+            "fig09",
+            n_topologies=100,
+            shard_size=32,
+            seed=7,
+            axes={"precoder": ["naive", "balanced"]},
+            params={"antenna_counts": [4]},
+        )
+        clone = CampaignSpec.from_dict(campaign.to_dict())
+        assert clone == campaign
+        assert clone.campaign_hash() == campaign.campaign_hash()
+
+    def test_hash_changes_with_content(self):
+        base = CampaignSpec("fig07", n_topologies=10)
+        assert base.campaign_hash() != base.replace(n_topologies=20).campaign_hash()
+        assert base.campaign_hash() != base.replace(shard_size=128).campaign_hash()
+        assert (
+            base.campaign_hash()
+            != base.replace(sketch_resolution=1 / 64).campaign_hash()
+        )
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown CampaignSpec fields"):
+            CampaignSpec.from_dict({"experiment": "fig07", "n_topologies": 2, "x": 1})
+
+    def test_describe_mentions_shape(self):
+        campaign = CampaignSpec(
+            "fig07", n_topologies=10, shard_size=4, axes={"seed": [0, 1]}
+        )
+        text = campaign.describe()
+        assert "fig07" in text
+        assert "2 cell(s)" in text
+        assert "6 shard(s)" in text
+
+
+class TestValidation:
+    def test_basic_field_validation(self):
+        with pytest.raises(ValueError, match="n_topologies"):
+            CampaignSpec("fig07", n_topologies=0)
+        with pytest.raises(ValueError, match="shard_size"):
+            CampaignSpec("fig07", n_topologies=1, shard_size=0)
+        with pytest.raises(ValueError, match="sketch_resolution"):
+            CampaignSpec("fig07", n_topologies=1, sketch_resolution=0.0)
+
+    def test_forbidden_axis_names(self):
+        for name in ("experiment", "shard_size", "params", "axes"):
+            with pytest.raises(ValueError, match="cannot be a campaign axis"):
+                CampaignSpec("fig07", n_topologies=2, axes={name: [1, 2]})
+
+    def test_axis_value_validation(self):
+        with pytest.raises(ValueError, match="at least one value"):
+            CampaignSpec("fig07", n_topologies=2, axes={"seed": []})
+        with pytest.raises(ValueError, match="duplicate"):
+            CampaignSpec("fig07", n_topologies=2, axes={"seed": [1, 1]})
+        with pytest.raises(ValueError, match="list of values"):
+            CampaignSpec("fig07", n_topologies=2, axes={"seed": "12"})
+
+    def test_axis_conflicts_with_fixed_fields(self):
+        with pytest.raises(ValueError, match="conflicts with the fixed"):
+            CampaignSpec(
+                "fig09",
+                n_topologies=2,
+                precoder="naive",
+                axes={"precoder": ["naive", "balanced"]},
+            )
+        with pytest.raises(ValueError, match="conflicts with the fixed"):
+            CampaignSpec(
+                "fig09",
+                n_topologies=2,
+                params={"antenna_counts": [2]},
+                axes={"antenna_counts": [[2], [4]]},
+            )
+
+    def test_base_spec_is_validated(self):
+        with pytest.raises(ValueError):
+            CampaignSpec("", n_topologies=2)

@@ -1,0 +1,231 @@
+"""Streaming accumulators: exactness, merge-order invariance, round-trips."""
+
+import json
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.analysis import ExactSum, QuantileSketch, RunningStats, StreamingSummary
+
+
+def _adversarial_values(rng, n):
+    """Floats spanning ~30 orders of magnitude: naive summation loses bits."""
+    return [rng.uniform(-1, 1) * 10.0 ** rng.randint(-15, 15) for _ in range(n)]
+
+
+class TestExactSum:
+    def test_matches_fsum_exactly(self):
+        rng = random.Random(7)
+        values = _adversarial_values(rng, 400)
+        acc = ExactSum()
+        acc.add_many(values)
+        assert acc.value() == math.fsum(values)
+
+    def test_any_grouping_and_merge_order_is_bit_identical(self):
+        rng = random.Random(11)
+        values = _adversarial_values(rng, 300)
+        reference = ExactSum()
+        reference.add_many(values)
+        for trial in range(10):
+            shuffled = list(values)
+            rng.shuffle(shuffled)
+            # Random shard boundaries, then random merge order.
+            cuts = sorted(rng.sample(range(1, len(values)), 4))
+            shards = []
+            prev = 0
+            for cut in cuts + [len(values)]:
+                shard = ExactSum()
+                shard.add_many(shuffled[prev:cut])
+                shards.append(shard)
+                prev = cut
+            rng.shuffle(shards)
+            merged = ExactSum()
+            for shard in shards:
+                merged.merge(shard)
+            assert merged.value() == reference.value()
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError, match="finite"):
+            ExactSum().add(math.inf)
+        with pytest.raises(ValueError, match="finite"):
+            ExactSum().add_many([1.0, math.nan])
+
+    def test_state_round_trip(self):
+        acc = ExactSum()
+        acc.add_many([1e16, 1.0, -1e16, 2.0**-40])
+        clone = ExactSum.from_state(json.loads(json.dumps(acc.state())))
+        assert clone.value() == acc.value()
+        assert clone.partials == acc.partials
+
+
+class TestRunningStats:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(3)
+        samples = rng.normal(5.0, 2.0, size=500)
+        stats = RunningStats()
+        stats.add(samples)
+        assert stats.count == 500
+        assert stats.mean == pytest.approx(samples.mean(), rel=1e-12)
+        assert stats.std == pytest.approx(samples.std(), rel=1e-9)
+        assert stats.min == samples.min()
+        assert stats.max == samples.max()
+        assert stats.total == math.fsum(samples.tolist())
+
+    def test_sharded_merge_is_bit_identical_to_bulk(self):
+        rng = np.random.default_rng(5)
+        samples = rng.normal(size=256)
+        bulk = RunningStats()
+        bulk.add(samples)
+        pieces = [RunningStats() for _ in range(4)]
+        for piece, chunk in zip(pieces, np.split(samples, 4)):
+            piece.add(chunk)
+        py_rng = random.Random(9)
+        for _ in range(6):
+            order = list(pieces)
+            py_rng.shuffle(order)
+            merged = RunningStats()
+            for piece in order:
+                merged.merge(piece)
+            assert merged.count == bulk.count
+            assert merged.mean == bulk.mean  # exact, not approx
+            assert merged.std == bulk.std
+            assert (merged.min, merged.max) == (bulk.min, bulk.max)
+
+    def test_empty_queries_raise(self):
+        stats = RunningStats()
+        for attr in ("mean", "std", "min", "max"):
+            with pytest.raises(ValueError, match="at least one sample"):
+                getattr(stats, attr)
+
+    def test_state_round_trip_including_empty(self):
+        empty = RunningStats.from_state(json.loads(json.dumps(RunningStats().state())))
+        assert empty.count == 0
+        stats = RunningStats()
+        stats.add([1.5, -2.5, 4.0])
+        clone = RunningStats.from_state(json.loads(json.dumps(stats.state())))
+        assert clone.mean == stats.mean
+        assert clone.std == stats.std
+        assert (clone.min, clone.max, clone.count) == (stats.min, stats.max, 3)
+
+
+class TestQuantileSketch:
+    def test_quantile_within_resolution_of_adjacent_order_statistic(self):
+        # The documented guarantee: quantile(q) lies within one resolution
+        # of an order statistic adjacent to rank q*(n-1).
+        rng = np.random.default_rng(17)
+        resolution = 1.0 / 128.0
+        for trial in range(20):
+            samples = rng.normal(0.0, 3.0, size=rng.integers(5, 400))
+            sketch = QuantileSketch(resolution=resolution)
+            sketch.add(samples)
+            srt = np.sort(samples)
+            for q in (0.0, 0.05, 0.25, 0.5, 0.75, 0.95, 1.0):
+                value = sketch.quantile(q)
+                rank = q * (samples.size - 1)
+                lo = srt[math.floor(rank)]
+                hi = srt[math.ceil(rank)]
+                err = min(abs(value - lo), abs(value - hi))
+                assert err <= resolution + 1e-12
+
+    def test_merge_any_order_gives_identical_state(self):
+        rng = np.random.default_rng(23)
+        samples = rng.normal(size=300)
+        bulk = QuantileSketch()
+        bulk.add(samples)
+        pieces = []
+        for chunk in np.split(samples, 5):
+            piece = QuantileSketch()
+            piece.add(chunk)
+            pieces.append(piece)
+        py_rng = random.Random(1)
+        for _ in range(6):
+            order = list(pieces)
+            py_rng.shuffle(order)
+            merged = QuantileSketch()
+            for piece in order:
+                merged.merge(piece)
+            assert merged.state() == bulk.state()
+            assert merged.quantile(0.5) == bulk.quantile(0.5)
+
+    def test_merge_rejects_resolution_mismatch(self):
+        a = QuantileSketch(resolution=1 / 128)
+        b = QuantileSketch(resolution=1 / 64)
+        with pytest.raises(ValueError, match="resolution"):
+            a.merge(b)
+
+    def test_evaluate_and_curve(self):
+        sketch = QuantileSketch(resolution=0.5)
+        sketch.add([0.0, 1.0, 2.0, 3.0])
+        cdf = sketch.evaluate([-1.0, 1.0, 10.0])
+        assert cdf[0] == 0.0
+        assert cdf[-1] == 1.0
+        assert np.all(np.diff(cdf) >= 0)
+        xs, fs = sketch.curve()
+        assert np.all(np.diff(xs) > 0)
+        assert fs[-1] == 1.0
+
+    def test_quantile_array_and_bounds(self):
+        sketch = QuantileSketch()
+        sketch.add([1.0, 2.0, 3.0])
+        out = sketch.quantile([0.0, 1.0])
+        assert isinstance(out, np.ndarray)
+        assert out[0] == 1.0 and out[1] == 3.0
+        assert isinstance(sketch.quantile(0.5), float)
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            sketch.quantile(1.5)
+
+    def test_empty_queries_raise(self):
+        sketch = QuantileSketch()
+        with pytest.raises(ValueError, match="at least one sample"):
+            sketch.quantile(0.5)
+        with pytest.raises(ValueError, match="at least one sample"):
+            sketch.evaluate(0.0)
+
+    def test_state_round_trip_through_json(self):
+        sketch = QuantileSketch(resolution=1 / 64)
+        sketch.add([-3.7, 0.0, 0.1, 255.4])
+        clone = QuantileSketch.from_state(json.loads(json.dumps(sketch.state())))
+        assert clone.state() == sketch.state()
+        assert clone.support() == sketch.support()
+
+
+class TestStreamingSummary:
+    def test_bundles_stats_and_sketch(self):
+        rng = np.random.default_rng(31)
+        samples = rng.normal(10.0, 1.0, size=200)
+        summary = StreamingSummary()
+        summary.add(samples)
+        assert summary.count == 200
+        assert summary.mean == pytest.approx(samples.mean(), rel=1e-12)
+        assert abs(summary.median - np.median(samples)) < 2 / 128
+        xs, fs = summary.cdf_curve()
+        assert fs[-1] == 1.0
+
+    def test_merge_matches_bulk_exactly(self):
+        rng = np.random.default_rng(37)
+        samples = rng.normal(size=128)
+        bulk = StreamingSummary()
+        bulk.add(samples)
+        merged = StreamingSummary()
+        for chunk in np.split(samples, 4)[::-1]:  # reverse order on purpose
+            piece = StreamingSummary()
+            piece.add(chunk)
+            merged.merge(piece)
+        # The Shewchuk partials list is one of several representations of
+        # the same exact sum, so compare the reported statistics (each a
+        # single correct rounding of that exact value) and the integer
+        # sketch state, all of which must be bit-identical.
+        assert merged.count == bulk.count
+        assert merged.mean == bulk.mean
+        assert merged.std == bulk.std
+        assert (merged.min, merged.max) == (bulk.min, bulk.max)
+        assert merged.sketch.state() == bulk.sketch.state()
+
+    def test_state_round_trip(self):
+        summary = StreamingSummary(resolution=1 / 32)
+        summary.add([1.0, 2.0])
+        clone = StreamingSummary.from_state(json.loads(json.dumps(summary.state())))
+        assert clone.mean == summary.mean
+        assert clone.sketch.resolution == 1 / 32
