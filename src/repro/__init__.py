@@ -43,7 +43,7 @@ factories) remains importable directly for custom studies; see
 
 # Defined before the subpackage imports below: repro.api.runner folds the
 # version into its cache keys at import time.
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 from .analysis import (
     EmpiricalCdf,
@@ -86,6 +86,14 @@ from .core import (
     zfbf_equal_power,
 )
 from .phy import stream_sinrs, sum_capacity_bps_hz
+from .xp import (
+    ArrayNamespace,
+    BackendUnavailableError,
+    RngBridge,
+    array_namespace,
+    get_namespace,
+    namespace_names,
+)
 from .traffic import AmpduConfig, TrafficModel, resolve_traffic, traffic_names
 from .topology import (
     AntennaMode,
@@ -153,6 +161,12 @@ __all__ = [
     "zfbf_equal_power",
     "stream_sinrs",
     "sum_capacity_bps_hz",
+    "ArrayNamespace",
+    "BackendUnavailableError",
+    "RngBridge",
+    "array_namespace",
+    "get_namespace",
+    "namespace_names",
     "AntennaMode",
     "Deployment",
     "Scenario",

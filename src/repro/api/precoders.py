@@ -29,6 +29,7 @@ from ..core.power_balance import power_balanced_precoder
 from ..core.wmmse import wmmse_precoder
 from ..core.zfbf import zfbf_equal_power
 from ..phy.capacity import stream_sinrs, sum_capacity_bps_hz
+from .. import xp as xpmod
 from .registry import BATCH_PRECODERS, PRECODERS, register_batch_precoder, register_precoder
 
 
@@ -100,16 +101,25 @@ def precoder_matrix_batch(
     Uses the registered batched implementation when one exists, otherwise
     maps the scalar precoder over the stack (bit-identical either way, by
     the batched-precoder contract).
+
+    This is a :mod:`repro.xp` compute boundary: the stack is transferred to
+    the *active* namespace before the solve (the identity on the default
+    NumPy/float64 configuration), so ``Runner(backend="array_api")`` runs
+    the registered batched solvers on torch without any experiment changes.
+    Scalar fallbacks (iterative solvers without a batched form) always run
+    on the host in float64; their results are transferred afterwards.
     """
-    h = np.asarray(h)
+    xp = xpmod.active()
+    h = xp.asarray(h, dtype=xp.complex_dtype)
     if h.ndim < 3:
         raise ValueError(
-            f"precoder_matrix_batch expects a stacked channel; got {h.shape}"
+            f"precoder_matrix_batch expects a stacked channel; got {tuple(h.shape)}"
         )
     if name in BATCH_PRECODERS:
         return BATCH_PRECODERS.get(name)(h, p, noise)
     fn = PRECODERS.get(name)  # raises UnknownNameError with the full list
-    return np.stack([fn(item, p, noise) for item in h])
+    stacked = np.stack([fn(item, p, noise) for item in xpmod.to_numpy(h)])
+    return xp.asarray(stacked, dtype=xp.complex_dtype)
 
 
 def capacity_for(scenario, h: np.ndarray, precoder: str) -> float:
@@ -122,10 +132,16 @@ def capacity_for(scenario, h: np.ndarray, precoder: str) -> float:
 def capacity_for_batch(scenario, h: np.ndarray, precoder: str) -> np.ndarray:
     """Per-item sum capacities ``(batch,)`` of a stacked channel snapshot.
 
-    Bit-identical per item to :func:`capacity_for` on the matching slice.
+    Bit-identical per item to :func:`capacity_for` on the matching slice
+    (on the exact NumPy/float64 namespace).  The precode + SINR + capacity
+    chain runs on the active :mod:`repro.xp` namespace; the result always
+    comes back as a host NumPy array, so experiment ``finalize`` hooks stay
+    backend-agnostic.
     """
     radio = scenario.radio
+    xp = xpmod.active()
+    h = xp.asarray(h, dtype=xp.complex_dtype)
     v = precoder_matrix_batch(
         precoder, h, radio.per_antenna_power_mw, radio.noise_mw
     )
-    return sum_capacity_bps_hz(stream_sinrs(h, v, radio.noise_mw))
+    return xpmod.to_numpy(sum_capacity_bps_hz(stream_sinrs(h, v, radio.noise_mw)))

@@ -5,10 +5,15 @@ The runner owns everything the declarative spec deliberately leaves out:
 * **backend** -- ``"loop"`` (default) evaluates one topology at a time;
   ``"vectorized"`` hands whole seed batches to the experiment's
   ``build_batch`` hook, which evaluates all draws as stacked arrays
-  (batched channel synthesis + broadcasting linalg precoders).  Both
-  backends walk the same derived-seed stream and are **bit-identical**;
-  experiments without a batch hook fall back to the loop path with a
-  warning naming the experiment;
+  (batched channel synthesis + broadcasting linalg precoders);
+  ``"array_api"`` is the vectorized path executed under an explicit
+  :mod:`repro.xp` namespace (``namespace``/``device``/``dtype``), which is
+  how the same code runs on torch/CUDA.  ``"loop"``, ``"vectorized"``, and
+  ``"array_api"`` on the default NumPy/float64 namespace walk the same
+  derived-seed stream and are **bit-identical**; other namespace
+  configurations meet documented tolerance contracts instead (see
+  ``docs/api.md``).  Experiments without a batch hook fall back to the
+  loop path with a warning naming the experiment;
 * **parallelism** -- per-topology evaluations fan out over a
   ``ProcessPoolExecutor`` when ``jobs > 1``; topology seeds are drawn in
   vectorized batches from the same derived-seed stream the serial path
@@ -40,6 +45,7 @@ from pathlib import Path
 
 from .. import __version__ as _PACKAGE_VERSION
 from .. import rng as rng_mod
+from .. import xp as xpmod
 from .experiments import ExperimentDef, get_experiment_def, load_builtin_experiments
 from .registry import ENVIRONMENTS, MOBILITY, PRECODERS, TRAFFIC
 from .result import RunResult
@@ -124,7 +130,7 @@ def _build_one(experiment: str, topo_seed: int, params: dict):
 #: unset).  Large enough that a typical sweep runs as one stacked batch.
 _VECTORIZED_BATCH_CAP = 1024
 
-_BACKENDS = ("loop", "vectorized")
+_BACKENDS = ("loop", "vectorized", "array_api")
 
 _CACHE_FORMATS = ("json", "npz")
 
@@ -158,9 +164,22 @@ class Runner:
         ``max(8, 4*jobs)`` for the loop backend and 1024 for the
         vectorized one.  Affects scheduling only, never results.
     backend:
-        ``"loop"`` (default) or ``"vectorized"``.  Bit-identical results;
-        the vectorized backend evaluates stacked topology batches through
-        the experiment's ``build_batch`` hook when it defines one.
+        ``"loop"`` (default), ``"vectorized"``, or ``"array_api"``.  The
+        vectorized backend evaluates stacked topology batches through the
+        experiment's ``build_batch`` hook when it defines one;
+        ``"array_api"`` runs that same code path under the namespace
+        selected by ``namespace``/``device``/``dtype``.  Results are
+        bit-identical across ``loop``/``vectorized``/``array_api``-on-
+        NumPy-float64; other configurations (torch, float32) meet the
+        documented tolerance contracts.
+    namespace / device / dtype:
+        The :mod:`repro.xp` configuration of the ``"array_api"`` backend
+        (ignored by the other backends, which always compute on the
+        default NumPy/float64 namespace).  ``namespace`` is ``"numpy"``
+        (always available) or ``"torch"`` (optional dependency; a missing
+        install raises :class:`repro.xp.BackendUnavailableError` naming
+        the extra).  ``device`` is ``"cpu"`` or a torch device string like
+        ``"cuda"``; ``dtype`` is ``"float64"`` or ``"float32"``.
     cache_format:
         On-disk cache encoding: ``"json"`` (default, human-readable) or
         ``"npz"`` (binary series; what campaign shards use).  Both
@@ -172,6 +191,9 @@ class Runner:
     cache_dir: str | Path | None = None
     batch_size: int | None = None
     backend: str = "loop"
+    namespace: str = "numpy"
+    device: str = "cpu"
+    dtype: str = "float64"
     cache_format: str = "json"
     # A pool installed by run_many() so consecutive specs share workers
     # instead of paying pool startup per spec; never part of identity.
@@ -193,6 +215,26 @@ class Runner:
                 f"Runner.cache_format must be one of {_CACHE_FORMATS}, "
                 f"got {self.cache_format!r}"
             )
+        xp_config = (self.namespace, self.device, self.dtype)
+        if self.backend != "array_api" and xp_config != ("numpy", "cpu", "float64"):
+            raise ValueError(
+                f"namespace/device/dtype select the array-API namespace and "
+                f"require backend='array_api'; backend={self.backend!r} always "
+                f"computes on the default NumPy/float64 namespace"
+            )
+        if self.backend == "array_api":
+            # Resolve eagerly so a missing optional dependency (torch) or a
+            # bad device/dtype fails at construction with a clean error, not
+            # mid-sweep.
+            self._resolve_namespace()
+
+    def _resolve_namespace(self):
+        """The :class:`repro.xp.ArrayNamespace` the array_api backend uses.
+
+        Raises :class:`repro.xp.BackendUnavailableError` (naming the extra
+        to install) when the namespace's optional dependency is missing.
+        """
+        return xpmod.get_namespace(self.namespace, self.device, self.dtype)
 
     def run(self, spec: RunSpec) -> RunResult:
         """Execute ``spec`` (or load it from cache) into a :class:`RunResult`."""
@@ -320,6 +362,14 @@ class Runner:
         }
         if window is not None:
             body["seed_window"] = [int(window[0]), int(window[1])]
+        if self.backend == "array_api":
+            namespace = self._resolve_namespace()
+            if not namespace.is_exact:
+                # Non-bit-exact configurations (torch, float32) get their own
+                # cache entries; the exact NumPy/float64 namespace keeps
+                # sharing entries with the loop/vectorized backends, because
+                # their results are array_equal by construction.
+                body["xp"] = namespace.config_dict()
         payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
         digest = hashlib.sha256(payload.encode()).hexdigest()[:16]
         suffix = "npz" if self.cache_format == "npz" else "json"
@@ -361,14 +411,21 @@ class Runner:
         root_seed = int(params["seed"])
         stream_start = 0 if window is None else int(window[0])
         max_attempts = n if window is not None else max(200, 80 * n)
-        vectorized = self.backend == "vectorized" and defn.build_batch is not None
-        if self.backend == "vectorized" and defn.build_batch is None:
+        batched_backend = self.backend in ("vectorized", "array_api")
+        vectorized = batched_backend and defn.build_batch is not None
+        if batched_backend and defn.build_batch is None:
             warnings.warn(
                 f"experiment {defn.name!r} defines no build_batch hook; "
                 f"falling back to the per-topology loop backend",
                 RuntimeWarning,
                 stacklevel=2,
             )
+        # The array_api backend is the vectorized sweep executed under an
+        # active repro.xp namespace; build_batch hooks (and the compute
+        # boundaries they call) pick it up via repro.xp.active().
+        xp_namespace = (
+            self._resolve_namespace() if self.backend == "array_api" else None
+        )
         if self.batch_size is not None:
             batch_cap = self.batch_size
         elif vectorized:
@@ -411,7 +468,11 @@ class Runner:
                 )
                 attempts += count
                 if vectorized:
-                    outcomes = defn.build_batch(seeds, params)
+                    if xp_namespace is not None:
+                        with xpmod.use(xp_namespace):
+                            outcomes = defn.build_batch(seeds, params)
+                    else:
+                        outcomes = defn.build_batch(seeds, params)
                 elif self.jobs > 1:
                     if executor is None:
                         executor = ProcessPoolExecutor(max_workers=self.jobs)

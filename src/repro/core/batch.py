@@ -2,36 +2,46 @@
 
 Every function mirrors its scalar sibling in :mod:`repro.core` but operates
 on a *stack* of channels ``(batch, n_clients, n_antennas)`` at once, using
-NumPy's broadcasting ``linalg`` (stacked ``svd``/``pinv``/``eigh``/matmul
-loop over the trailing two axes inside one call).  The contract -- asserted
-by the equivalence suite -- is **bit-identity**: slice ``i`` of every output
-equals the scalar function applied to slice ``i`` of the input, including
-the data-dependent control flow of the power-balancing iteration and the
-reverse water-filling bisection, which run with per-item masks that freeze
-an item the same round the scalar loop would exit.
+broadcasting ``linalg`` (stacked ``svd``/``pinv``/``eigh``/matmul loop over
+the trailing two axes inside one call).  The contract -- asserted by the
+equivalence suite -- is **bit-identity** on the NumPy namespace: slice ``i``
+of every output equals the scalar function applied to slice ``i`` of the
+input, including the data-dependent control flow of the power-balancing
+iteration and the reverse water-filling bisection, which run with per-item
+masks that freeze an item the same round the scalar loop would exit.
 
 This is the heart of the ``backend="vectorized"`` Runner path: Monte-Carlo
 sweeps spend their time in many tiny (4x4-ish) matrix problems, where the
 Python dispatch overhead of one-matrix-at-a-time evaluation dwarfs the
 arithmetic; stacking turns the sweep into a handful of LAPACK gufunc calls.
+
+All functions are namespace-generic (:mod:`repro.xp`): the governing ``xp``
+is inferred from the input stack, so NumPy input computes with NumPy's own
+functions (bit-identical to the pre-dispatch code) while torch input stays
+on-device through the whole solve.  Rank-deficiency errors are raised as
+:class:`numpy.linalg.LinAlgError` on every namespace so callers keep one
+exception type.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..phy.capacity import per_antenna_row_power, stream_sinrs
+from ..xp import array_namespace, to_numpy
 from .waterfill import _BUDGET_RTOL
 
 
-def _as_channel_stack(h) -> np.ndarray:
-    h = np.asarray(h, dtype=complex)
+def _as_channel_stack(h):
+    xp = array_namespace(h)
+    h = xp.asarray(h, dtype=xp.complex_dtype)
     if h.ndim < 3:
         raise ValueError(
             f"expected a stacked channel (batch, n_clients, n_antennas); "
-            f"got shape {h.shape} (use repro.core for single matrices)"
+            f"got shape {tuple(h.shape)} (use repro.core for single matrices)"
         )
     return h
 
@@ -39,7 +49,7 @@ def _as_channel_stack(h) -> np.ndarray:
 # ----------------------------------------------------------------------
 # ZFBF and the naive repair
 # ----------------------------------------------------------------------
-def zfbf_directions(h, rcond: float = 1e-12) -> np.ndarray:
+def zfbf_directions(h, rcond: float = 1e-12):
     """Stacked unit-norm ZFBF columns (see :func:`repro.core.zfbf.zfbf_directions`).
 
     Raises :class:`numpy.linalg.LinAlgError` if *any* item is numerically
@@ -47,6 +57,7 @@ def zfbf_directions(h, rcond: float = 1e-12) -> np.ndarray:
     topology aborts the sweep.
     """
     h = _as_channel_stack(h)
+    xp = array_namespace(h)
     n_clients, n_antennas = h.shape[-2:]
     if n_clients > n_antennas:
         raise ValueError(
@@ -54,47 +65,48 @@ def zfbf_directions(h, rcond: float = 1e-12) -> np.ndarray:
         )
     if n_clients == 0:
         raise ValueError("need at least one client")
-    singular_values = np.linalg.svd(h, compute_uv=False)
-    if np.any(singular_values[..., -1] <= rcond * singular_values[..., 0]):
+    singular_values = xp.linalg.svd(h, compute_uv=False)
+    if xp.any(singular_values[..., -1] <= rcond * singular_values[..., 0]):
         raise np.linalg.LinAlgError(
             "a channel matrix in the batch is (numerically) rank deficient; "
             "zero-forcing cannot separate these clients"
         )
-    v = np.linalg.pinv(h, rcond=rcond)
-    norms = np.linalg.norm(v, axis=-2)
+    v = xp.linalg.pinv(h, rcond=rcond)
+    norms = xp.linalg.norm(v, axis=-2)
     return v / norms[..., None, :]
 
 
-def zfbf_equal_power(h, total_power_mw: float, rcond: float = 1e-12) -> np.ndarray:
+def zfbf_equal_power(h, total_power_mw: float, rcond: float = 1e-12):
     """Stacked equal-power ZFBF under a total budget (paper eq. 2a)."""
     if total_power_mw <= 0:
         raise ValueError("total_power_mw must be positive")
     directions = zfbf_directions(h, rcond=rcond)
     n_streams = directions.shape[-1]
     per_stream = total_power_mw / n_streams
-    return directions * np.sqrt(per_stream)
+    return directions * math.sqrt(per_stream)
 
 
 def naive_scaled_precoder(
     h,
     per_antenna_power_mw: float,
     total_power_mw: float | None = None,
-) -> np.ndarray:
+):
     """Stacked naive repair: equal-power ZFBF, then one global scaling per
     item whose worst row violates the per-antenna budget (paper eq. 5)."""
     if per_antenna_power_mw <= 0:
         raise ValueError("per_antenna_power_mw must be positive")
     h = _as_channel_stack(h)
+    xp = array_namespace(h)
     n_antennas = h.shape[-1]
     if total_power_mw is None:
         total_power_mw = n_antennas * per_antenna_power_mw
     v = zfbf_equal_power(h, total_power_mw)
-    worst_row = per_antenna_row_power(v).max(axis=-1)
+    worst_row = xp.max(per_antenna_row_power(v), axis=-1)
     # Items already feasible multiply by exactly 1.0 (a bit-exact no-op),
     # mirroring the scalar branch that skips the scaling.
-    scale = np.where(
+    scale = xp.where(
         worst_row > per_antenna_power_mw,
-        np.sqrt(per_antenna_power_mw / worst_row),
+        xp.sqrt(per_antenna_power_mw / worst_row),
         1.0,
     )
     return v * scale[..., None, None]
@@ -126,9 +138,10 @@ def reverse_waterfill(
     The bisection iterates all items together but freezes each item the
     iteration its own tolerance is met, reproducing the scalar early exit.
     """
-    q = np.asarray(row_powers_mw, dtype=float)
-    rho = np.asarray(sinrs, dtype=float)
-    if q.shape != rho.shape or q.ndim < 2:
+    xp = array_namespace(row_powers_mw, sinrs)
+    q = xp.asarray(row_powers_mw, dtype=xp.float_dtype)
+    rho = xp.asarray(sinrs, dtype=xp.float_dtype)
+    if tuple(q.shape) != tuple(rho.shape) or q.ndim < 2:
         raise ValueError(
             "row_powers_mw and sinrs must be equal-shape stacks (..., n_streams)"
         )
@@ -136,78 +149,78 @@ def reverse_waterfill(
         raise ValueError("power_budget_mw must be positive")
     if not 0.0 < min_weight < 1.0:
         raise ValueError("min_weight must be in (0, 1)")
-    if np.any(q < 0) or np.any(rho < 0):
+    if xp.any(q < 0) or xp.any(rho < 0):
         raise ValueError("row powers and SINRs must be non-negative")
 
-    total = q.sum(axis=-1)
+    total = xp.sum(q, axis=-1)
     required = total - power_budget_mw
     trivial = required <= 0
 
-    rho_safe = np.maximum(rho, 1e-12)
+    rho_safe = xp.maximum(rho, 1e-12)
     marginal = (1.0 + 1.0 / rho_safe) * q  # water-level coordinates per stream
     caps = (1.0 - min_weight**2) * q  # max removable power per stream (req. i)
 
-    def total_reduction(level: np.ndarray) -> np.ndarray:
-        return np.clip(marginal - level[..., None], 0.0, caps).sum(axis=-1)
+    def total_reduction(level):
+        return xp.sum(xp.clip(marginal - level[..., None], 0.0, caps), axis=-1)
 
-    max_possible = total_reduction(np.zeros_like(required))
+    max_possible = total_reduction(xp.zeros_like(required))
     capped = ~trivial & (required >= max_possible)
 
     # --- capped branch: min-weight caps bind everywhere ----------------
     capped_reductions = caps
-    capped_weights = np.sqrt(
-        np.maximum(1.0 - capped_reductions / np.maximum(q, 1e-300), 0.0)
+    capped_weights = xp.sqrt(
+        xp.maximum(1.0 - capped_reductions / xp.maximum(q, 1e-300), 0.0)
     )
-    capped_weights = np.where(q > 0, np.maximum(capped_weights, min_weight), 1.0)
+    capped_weights = xp.where(q > 0, xp.maximum(capped_weights, min_weight), 1.0)
 
     # --- bisection branch, per-item freeze on convergence --------------
     bisect = ~trivial & ~capped
-    low = np.zeros_like(required)
-    high = marginal.max(axis=-1)
-    active = bisect.copy()
+    low = xp.zeros_like(required)
+    high = xp.max(marginal, axis=-1)
+    active = xp.copy(bisect)
     for _ in range(200):
-        if not active.any():
+        if not xp.any(active):
             break
         mid = 0.5 * (low + high)
         reduce_mid = total_reduction(mid)
         go_low = reduce_mid > required
-        low = np.where(active & go_low, mid, low)
-        high = np.where(active & ~go_low, mid, high)
-        active = active & (high - low > _BUDGET_RTOL * np.maximum(1.0, high))
+        low = xp.where(active & go_low, mid, low)
+        high = xp.where(active & ~go_low, mid, high)
+        active = active & (high - low > _BUDGET_RTOL * xp.maximum(1.0, high))
     level = 0.5 * (low + high)
-    reductions = np.clip(marginal - level[..., None], 0.0, caps)
+    reductions = xp.clip(marginal - level[..., None], 0.0, caps)
 
     # Exact budget: distribute any bisection residual across the streams
     # strictly between 0 and their cap (same repair as the scalar solver).
-    residual = required - reductions.sum(axis=-1)
+    residual = required - xp.sum(reductions, axis=-1)
     between = (reductions > 0) & (reductions < caps)
-    n_active = between.sum(axis=-1)
-    fix = bisect & (np.abs(residual) > _BUDGET_RTOL * power_budget_mw) & (n_active > 0)
-    if np.any(fix):
-        adjusted = np.clip(
-            reductions + (residual / np.maximum(n_active, 1))[..., None],
+    n_active = xp.sum(between, axis=-1)
+    fix = bisect & (xp.abs(residual) > _BUDGET_RTOL * power_budget_mw) & (n_active > 0)
+    if xp.any(fix):
+        adjusted = xp.clip(
+            reductions + (residual / xp.maximum(n_active, 1))[..., None],
             0.0,
             caps,
         )
-        reductions = np.where(fix[..., None] & between, adjusted, reductions)
+        reductions = xp.where(fix[..., None] & between, adjusted, reductions)
 
-    with np.errstate(divide="ignore", invalid="ignore"):
-        ratio = np.where(q > 0, reductions / np.maximum(q, 1e-300), 0.0)
-    bisect_weights = np.sqrt(np.clip(1.0 - ratio, min_weight**2, 1.0))
+    with xp.errstate(divide="ignore", invalid="ignore"):
+        ratio = xp.where(q > 0, reductions / xp.maximum(q, 1e-300), 0.0)
+    bisect_weights = xp.sqrt(xp.clip(1.0 - ratio, min_weight**2, 1.0))
 
     # --- select per-item branch results --------------------------------
-    ones = np.ones_like(q)
-    weights = np.where(
+    ones = xp.ones_like(q)
+    weights = xp.where(
         trivial[..., None],
         ones,
-        np.where(capped[..., None], capped_weights, bisect_weights),
+        xp.where(capped[..., None], capped_weights, bisect_weights),
     )
-    reductions_out = np.where(
+    reductions_out = xp.where(
         trivial[..., None],
-        np.zeros_like(q),
-        np.where(capped[..., None], capped_reductions, reductions),
+        xp.zeros_like(q),
+        xp.where(capped[..., None], capped_reductions, reductions),
     )
-    water_level = np.where(trivial, np.inf, np.where(capped, 0.0, level))
+    water_level = xp.where(trivial, xp.inf, xp.where(capped, 0.0, level))
     return BatchWaterfillResult(
         weights=weights,
         reductions_mw=reductions_out,
@@ -260,49 +273,50 @@ def power_balanced_precoder(
     if noise_mw <= 0:
         raise ValueError("noise_mw must be positive")
     h = _as_channel_stack(h)
+    xp = array_namespace(h)
     n_clients, n_antennas = h.shape[-2:]
     if total_power_mw is None:
         total_power_mw = n_antennas * per_antenna_power_mw
 
     v = zfbf_equal_power(h, total_power_mw)
-    batch_shape = h.shape[:-2]
-    cumulative = np.ones(batch_shape + (n_clients,))
+    batch_shape = tuple(h.shape[:-2])
+    cumulative = xp.ones(batch_shape + (n_clients,), dtype=xp.float_dtype)
     budget = per_antenna_power_mw * (1.0 + rtol)
 
-    rounds = np.zeros(batch_shape, dtype=int)
-    active = np.ones(batch_shape, dtype=bool)
+    rounds = xp.zeros(batch_shape, dtype=xp.int_dtype)
+    active = xp.ones(batch_shape, dtype=xp.bool_dtype)
     # The paper's bound is n_antennas rounds; allow a few extra for the rare
     # case the min-weight cap binds and a row needs a second visit.
     max_rounds = 3 * n_antennas + 5
     for _ in range(max_rounds):
         row_powers = per_antenna_row_power(v)
-        worst = np.argmax(row_powers, axis=-1)
-        worst_power = np.take_along_axis(row_powers, worst[..., None], axis=-1)[..., 0]
+        worst = xp.argmax(row_powers, axis=-1)
+        worst_power = xp.take_along_axis(row_powers, worst[..., None], axis=-1)[..., 0]
         active = active & (worst_power > budget)
-        if not active.any():
+        if not xp.any(active):
             break
-        rounds += active
+        rounds = rounds + xp.where(active, 1, 0)
         sinrs = stream_sinrs(h, v, noise_mw)
-        worst_rows = np.take_along_axis(v, worst[..., None, None], axis=-2)[..., 0, :]
+        worst_rows = xp.take_along_axis(v, worst[..., None, None], axis=-2)[..., 0, :]
         result = reverse_waterfill(
-            np.abs(worst_rows) ** 2,
+            xp.abs(worst_rows) ** 2,
             sinrs,
             per_antenna_power_mw,
             min_weight=min_weight,
         )
-        weights = np.where(active[..., None], result.weights, 1.0)
+        weights = xp.where(active[..., None], result.weights, 1.0)
         v = v * weights[..., None, :]
         cumulative = cumulative * weights
         capped_now = active & result.capped
-        if np.any(capped_now):
+        if xp.any(capped_now):
             # Min-weight floor bound: finish the row with a uniform scale so
             # the loop is guaranteed to make progress (ZF still preserved).
-            row_power = np.take_along_axis(
+            row_power = xp.take_along_axis(
                 per_antenna_row_power(v), worst[..., None], axis=-1
             )[..., 0]
             needs_scale = capped_now & (row_power > per_antenna_power_mw)
-            scale = np.where(
-                needs_scale, np.sqrt(per_antenna_power_mw / row_power), 1.0
+            scale = xp.where(
+                needs_scale, xp.sqrt(per_antenna_power_mw / row_power), 1.0
             )
             v = v * scale[..., None, None]
             cumulative = cumulative * scale[..., None]
@@ -311,7 +325,7 @@ def power_balanced_precoder(
     return BatchPrecodingResult(
         v=v,
         rounds=rounds,
-        converged=row_powers.max(axis=-1) <= budget,
+        converged=xp.max(row_powers, axis=-1) <= budget,
         row_powers_mw=row_powers,
         cumulative_weights=cumulative,
     )
@@ -328,10 +342,11 @@ class BatchSvdAllocation:
     stream_powers_mw: np.ndarray  # (batch, n_streams)
     singular_values: np.ndarray  # (batch, n_streams)
 
-    def capacity_bps_hz(self, noise_mw: float) -> np.ndarray:
+    def capacity_bps_hz(self, noise_mw: float):
         """Shannon capacity of the parallel streams, per item."""
+        xp = array_namespace(self.stream_powers_mw, self.singular_values)
         snrs = self.stream_powers_mw * self.singular_values**2 / noise_mw
-        return np.sum(np.log2(1.0 + snrs), axis=-1)
+        return xp.sum(xp.log2(1.0 + snrs), axis=-1)
 
 
 def svd_waterfilling(
@@ -348,47 +363,58 @@ def svd_waterfilling(
     if total_power_mw <= 0 or noise_mw <= 0:
         raise ValueError("powers must be positive")
     h = _as_channel_stack(h)
-    __, singular_values, vh = np.linalg.svd(h, full_matrices=False)
+    xp = array_namespace(h)
+    __, singular_values, vh = xp.linalg.svd(h, full_matrices=False)
     gains = singular_values**2 / noise_mw  # per-stream SNR per unit power
-    if not np.all(gains > 0):
+    if not xp.all(gains > 0):
         # Some item has an unusable mode: defer to the scalar solver's
         # usable-mode masking (and its error for fully degenerate items).
         from .svd import svd_waterfilling as scalar_svd_waterfilling
 
         solutions = [
-            scalar_svd_waterfilling(item, total_power_mw, noise_mw) for item in h
+            scalar_svd_waterfilling(item, total_power_mw, noise_mw)
+            for item in to_numpy(h)
         ]
         return BatchSvdAllocation(
-            v=np.stack([s.v for s in solutions]),
-            stream_powers_mw=np.stack([s.stream_powers_mw for s in solutions]),
-            singular_values=np.stack([s.singular_values for s in solutions]),
+            v=xp.asarray(
+                np.stack([s.v for s in solutions]), dtype=xp.complex_dtype
+            ),
+            stream_powers_mw=xp.asarray(
+                np.stack([s.stream_powers_mw for s in solutions]),
+                dtype=xp.float_dtype,
+            ),
+            singular_values=xp.asarray(
+                np.stack([s.singular_values for s in solutions]),
+                dtype=xp.float_dtype,
+            ),
         )
 
     inv_gains = 1.0 / gains
-    order = np.argsort(inv_gains, axis=-1)
-    sorted_inv = np.take_along_axis(inv_gains, order, axis=-1)
+    order = xp.argsort(inv_gains, axis=-1)
+    sorted_inv = xp.take_along_axis(inv_gains, order, axis=-1)
     n = sorted_inv.shape[-1]
 
     # Walk k = n..1 exactly like the scalar solver, taking each item's
     # first (largest-k) water level that clears the k-th channel.
-    mu = np.zeros(sorted_inv.shape[:-1])
-    n_active = np.full(sorted_inv.shape[:-1], n)
-    found = np.zeros(sorted_inv.shape[:-1], dtype=bool)
+    item_shape = tuple(sorted_inv.shape[:-1])
+    mu = xp.zeros(item_shape, dtype=xp.float_dtype)
+    n_active = xp.full(item_shape, n)
+    found = xp.zeros(item_shape, dtype=xp.bool_dtype)
     for k in range(n, 0, -1):
-        candidate_mu = (total_power_mw + np.sum(sorted_inv[..., :k], axis=-1)) / k
+        candidate_mu = (total_power_mw + xp.sum(sorted_inv[..., :k], axis=-1)) / k
         take = ~found & (candidate_mu > sorted_inv[..., k - 1])
-        mu = np.where(take, candidate_mu, mu)
-        n_active = np.where(take, k, n_active)
-        found |= take
+        mu = xp.where(take, candidate_mu, mu)
+        n_active = xp.where(take, k, n_active)
+        found = found | take
 
-    powers_sorted = np.clip(mu[..., None] - sorted_inv, 0.0, None)
-    powers_sorted = np.where(
-        np.arange(n) < n_active[..., None], powers_sorted, 0.0
+    powers_sorted = xp.clip(mu[..., None] - sorted_inv, 0.0, None)
+    powers_sorted = xp.where(
+        xp.arange(n) < n_active[..., None], powers_sorted, 0.0
     )
-    powers = np.zeros_like(powers_sorted)
-    np.put_along_axis(powers, order, powers_sorted, axis=-1)
+    powers = xp.zeros_like(powers_sorted)
+    xp.put_along_axis(powers, order, powers_sorted, axis=-1)
 
-    v = np.conj(np.swapaxes(vh, -1, -2)) * np.sqrt(powers)[..., None, :]
+    v = xp.conj(xp.swapaxes(vh, -1, -2)) * xp.sqrt(powers)[..., None, :]
     return BatchSvdAllocation(
         v=v, stream_powers_mw=powers, singular_values=singular_values
     )

@@ -18,6 +18,7 @@ import numpy as np
 import hashlib
 
 from .. import rng as rng_mod
+from .. import xp as xpmod
 from ..api.precoders import capacity_for, capacity_for_batch  # noqa: F401  (re-export)
 from ..api.registry import ENVIRONMENTS
 from ..api.result import ExperimentResult, RunResult  # noqa: F401  (re-export)
@@ -230,12 +231,19 @@ def batched_selection_capacities(subchannels, radio) -> list[float]:
         if h_sub is None or h_sub.shape[0] == 0:
             continue
         groups.setdefault(h_sub.shape, []).append(index)
+    xp = xpmod.active()
     for shape, indices in groups.items():
-        stack = np.stack([subchannels[i] for i in indices])
+        # Gather host-side, ship one stacked solve per shape group to the
+        # active namespace (identity transfer on the default NumPy/float64).
+        stack = xp.asarray(
+            np.stack([subchannels[i] for i in indices]), dtype=xp.complex_dtype
+        )
         result = batch_power_balanced(
             stack, radio.per_antenna_power_mw, radio.noise_mw
         )
-        sums = sum_capacity_bps_hz(stream_sinrs(stack, result.v, radio.noise_mw))
+        sums = xpmod.to_numpy(
+            sum_capacity_bps_hz(stream_sinrs(stack, result.v, radio.noise_mw))
+        )
         for slot, index in enumerate(indices):
             capacities[index] = float(sums[slot])
     return capacities

@@ -254,10 +254,29 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--backend",
-        choices=["loop", "vectorized"],
+        choices=["loop", "vectorized", "array_api"],
         default="loop",
-        help="evaluation backend (bit-identical results; 'vectorized' "
-        "batches all topology draws through stacked array math)",
+        help="evaluation backend ('vectorized' batches all topology draws "
+        "through stacked array math, bit-identical to 'loop'; 'array_api' "
+        "runs the batched path on a configurable repro.xp namespace)",
+    )
+    parser.add_argument(
+        "--namespace",
+        choices=["numpy", "torch"],
+        default="numpy",
+        help="array namespace for --backend array_api (default: numpy)",
+    )
+    parser.add_argument(
+        "--device",
+        default="cpu",
+        metavar="DEV",
+        help="compute device for --backend array_api (cpu, cuda, cuda:0, ...)",
+    )
+    parser.add_argument(
+        "--dtype",
+        choices=["float32", "float64"],
+        default="float64",
+        help="real dtype for --backend array_api (default: float64)",
     )
     parser.add_argument(
         "--precoder",
@@ -298,7 +317,14 @@ def main(argv: list[str] | None = None) -> int:
         traffic=args.traffic,
         mobility=args.mobility,
     )
-    runner = Runner(jobs=args.jobs, cache_dir=args.cache_dir, backend=args.backend)
+    runner = Runner(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        backend=args.backend,
+        namespace=args.namespace,
+        device=args.device,
+        dtype=args.dtype,
+    )
     result = runner.run(spec)
     print(result.summary())
     if args.out is not None:

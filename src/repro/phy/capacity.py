@@ -16,45 +16,46 @@ leading batch axes (``(batch, n_clients, n_antennas)`` channels paired with
 vectorized backend.  Matrix axes always trail; reductions run over the
 trailing axes so a stacked call is bit-identical, slice for slice, to N
 scalar calls.
+
+All functions are namespace-generic (:mod:`repro.xp`): the governing
+namespace is inferred from the inputs, so NumPy arrays compute in NumPy
+(bit-identical to the pre-dispatch code) and torch tensors stay on-device.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from ..xp import array_namespace
 
 
-def effective_channel(h: np.ndarray, v: np.ndarray) -> np.ndarray:
+def effective_channel(h, v):
     """``E = H @ V``; entry ``(j, i)`` is stream ``i``'s amplitude at client ``j``.
 
     Accepts matching stacks (``(..., n_clients, n_antennas)`` with
     ``(..., n_antennas, n_streams)``) and matmuls them slice-wise.
     """
-    h = np.asarray(h)
-    v = np.asarray(v)
+    xp = array_namespace(h, v)
+    h = xp.asarray(h)
+    v = xp.asarray(v)
     if h.ndim < 2 or v.ndim < 2:
         raise ValueError("h and v must be at least 2-D")
     if h.shape[-1] != v.shape[-2]:
         raise ValueError(
-            f"antenna-dimension mismatch: h is {h.shape}, v is {v.shape}"
+            f"antenna-dimension mismatch: h is {tuple(h.shape)}, v is {tuple(v.shape)}"
         )
     return h @ v
 
 
-def sinr_matrix(h: np.ndarray, v: np.ndarray, noise_mw: float) -> np.ndarray:
+def sinr_matrix(h, v, noise_mw: float):
     """The paper's ``S`` matrix: ``S[..., i, j]`` = power of stream ``i``
     received at client ``j``, normalized by the noise floor."""
     if noise_mw <= 0:
         raise ValueError("noise_mw must be positive")
+    xp = array_namespace(h, v)
     e = effective_channel(h, v)
-    return np.swapaxes(np.abs(e) ** 2, -1, -2) / noise_mw
+    return xp.swapaxes(xp.abs(e) ** 2, -1, -2) / noise_mw
 
 
-def stream_sinrs(
-    h: np.ndarray,
-    v: np.ndarray,
-    noise_mw: float,
-    external_interference_mw=0.0,
-) -> np.ndarray:
+def stream_sinrs(h, v, noise_mw: float, external_interference_mw=0.0):
     """Per-client SINR ``rho_j`` under precoder ``V`` (paper eq. 4).
 
     ``external_interference_mw`` is extra interference power (scalar or
@@ -63,17 +64,18 @@ def stream_sinrs(
 
     Stacked inputs return stacked SINRs ``(..., n_clients)``.
     """
+    xp = array_namespace(h, v)
     s = sinr_matrix(h, v, noise_mw)  # (..., streams, clients)
     n_streams, n_clients = s.shape[-2], s.shape[-1]
     if n_streams != n_clients:
         raise ValueError("streams and clients must pair one-to-one for SINR")
-    ext = np.broadcast_to(
-        np.asarray(external_interference_mw, dtype=float),
-        s.shape[:-2] + (n_clients,),
+    ext = xp.broadcast_to(
+        xp.asarray(external_interference_mw, dtype=xp.float_dtype),
+        tuple(s.shape[:-2]) + (n_clients,),
     )
-    desired = np.diagonal(s, axis1=-2, axis2=-1)
+    desired = xp.diagonal(s, axis1=-2, axis2=-1)
     # Interference from other streams at client j.
-    intra = s.sum(axis=-2) - desired
+    intra = xp.sum(s, axis=-2) - desired
     return desired / (1.0 + intra + ext / noise_mw)
 
 
@@ -83,21 +85,24 @@ def sum_capacity_bps_hz(sinrs):
     A single SINR vector returns a ``float``; a stack ``(..., n_clients)``
     returns per-item capacities of shape ``(...,)``.
     """
-    rho = np.asarray(sinrs, dtype=float)
-    if np.any(rho < 0):
+    xp = array_namespace(sinrs)
+    rho = xp.asarray(sinrs, dtype=xp.float_dtype)
+    if xp.any(rho < 0):
         raise ValueError("SINRs must be non-negative")
     if rho.ndim <= 1:
-        return float(np.sum(np.log2(1.0 + rho)))
-    return np.sum(np.log2(1.0 + rho), axis=-1)
+        return float(xp.sum(xp.log2(1.0 + rho)))
+    return xp.sum(xp.log2(1.0 + rho), axis=-1)
 
 
-def per_antenna_row_power(v: np.ndarray) -> np.ndarray:
+def per_antenna_row_power(v):
     """Transmit power per antenna: row-wise ``sum_j |v_kj|^2`` (paper eq. 3 LHS)."""
-    v = np.asarray(v)
-    return np.sum(np.abs(v) ** 2, axis=-1)
+    xp = array_namespace(v)
+    v = xp.asarray(v)
+    return xp.sum(xp.abs(v) ** 2, axis=-1)
 
 
-def per_stream_column_power(v: np.ndarray) -> np.ndarray:
+def per_stream_column_power(v):
     """Transmit power per stream: column-wise ``sum_k |v_kj|^2``."""
-    v = np.asarray(v)
-    return np.sum(np.abs(v) ** 2, axis=-2)
+    xp = array_namespace(v)
+    v = xp.asarray(v)
+    return xp.sum(xp.abs(v) ** 2, axis=-2)

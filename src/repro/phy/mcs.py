@@ -15,6 +15,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..xp import array_namespace
+
 
 @dataclass(frozen=True)
 class McsEntry:
@@ -73,15 +75,24 @@ _RATES_BPS_HZ = np.concatenate(
 )
 
 
-def mcs_index_for_snr(snr_db) -> np.ndarray:
+def mcs_index_for_snr(snr_db):
     """Vectorized MCS selection: best decodable MCS index per SNR, ``-1``
     below MCS 0.  Accepts scalars or arrays of any shape (e.g. the stacked
-    per-client SINRs of a batched sweep)."""
-    snr = np.asarray(snr_db, dtype=float)
-    return np.searchsorted(_MIN_SNRS_DB, snr, side="right") - 1
+    per-client SINRs of a batched sweep) from any :mod:`repro.xp` namespace.
+
+    Thresholds stay float64; comparisons promote to the common dtype, so a
+    float32 SNR is classified by its float64 value -- the quantization error
+    of the *input* (~1e-6 relative), not of the table, bounds how far from a
+    threshold a float32 run can flip MCS (see ``tests/test_dtype_edges.py``).
+    """
+    xp = array_namespace(snr_db)
+    snr = xp.asarray(snr_db, dtype=xp.float_dtype)
+    return xp.searchsorted(xp.asarray(_MIN_SNRS_DB), snr, side="right") - 1
 
 
-def rate_bps_hz_for_snr_array(snr_db) -> np.ndarray:
+def rate_bps_hz_for_snr_array(snr_db):
     """Vectorized :func:`rate_bps_hz_for_snr`: spectral efficiency of the
     best decodable MCS for every SNR in an array, 0 where none decodes."""
-    return _RATES_BPS_HZ[mcs_index_for_snr(snr_db) + 1]
+    xp = array_namespace(snr_db)
+    rates = xp.asarray(_RATES_BPS_HZ, dtype=xp.float_dtype)
+    return rates[mcs_index_for_snr(snr_db) + 1]

@@ -30,6 +30,7 @@ import numpy as np
 
 from .. import rng as rng_mod
 from .. import units
+from .. import xp as xpmod
 from ..channel.batch import ChannelBatch
 from ..channel.model import apply_csi_error
 from ..config import MacConfig, SimConfig
@@ -61,6 +62,13 @@ class CarrierSenseBatch:
     verdicts come back stacked.  Every aggregate is a masked reduction over
     the full trailing antenna axis, bit-identical to the scalar model's
     masked row sums.
+
+    The reductions run on the :mod:`repro.xp` namespace that is *active at
+    construction* (the cross-power map is derived on the host once, then
+    transferred); verdicts always come back as host NumPy arrays, because
+    the planning logic that consumes them is per-item Python bookkeeping.
+    On the default NumPy/float64 namespace every transfer is the identity,
+    preserving bit-identity with the scalar model.
     """
 
     def __init__(self, cross_power_dbm: np.ndarray, mac: MacConfig):
@@ -70,11 +78,15 @@ class CarrierSenseBatch:
                 "cross_power_dbm must be a (batch, n_antennas, n_antennas) stack"
             )
         self._mac = mac
-        self._cross_mw = units.dbm_to_mw(np.where(np.isinf(cross), -np.inf, cross))
-        self._decodable = cross >= mac.nav_decode_dbm
+        xp = xpmod.active()
+        self._xp = xp
+        cross_mw = units.dbm_to_mw(np.where(np.isinf(cross), -np.inf, cross))
+        decodable = cross >= mac.nav_decode_dbm
         eye = np.eye(cross.shape[1], dtype=bool)
-        self._decodable[:, eye] = True
-        self._not_self = ~eye
+        decodable[:, eye] = True
+        self._cross_mw = xp.asarray(cross_mw, dtype=xp.float_dtype)
+        self._decodable = xp.asarray(decodable, dtype=xp.bool_dtype)
+        self._not_self = xp.asarray(~eye, dtype=xp.bool_dtype)
 
     @property
     def n_items(self) -> int:
@@ -101,7 +113,8 @@ class CarrierSenseBatch:
         indices (default: all antennas); each listener's reduction is the
         same masked full-length row sum either way.
         """
-        tx = self._as_tx_mask(tx_mask)
+        xp = self._xp
+        tx = xp.asarray(self._as_tx_mask(tx_mask), dtype=xp.bool_dtype)
         not_self = self._not_self
         cross = self._cross_mw
         if listeners is not None:
@@ -109,7 +122,7 @@ class CarrierSenseBatch:
             not_self = not_self[listeners]
             cross = cross[:, listeners, :]
         mask = tx[:, None, :] & not_self[None, :, :]
-        return np.where(mask, cross, 0.0).sum(axis=-1)
+        return xpmod.to_numpy(xp.sum(xp.where(mask, cross, 0.0), axis=-1))
 
     def busy_mask(self, tx_mask) -> np.ndarray:
         """Energy-detect verdicts ``(batch, n_antennas)``; transmitting
@@ -126,7 +139,8 @@ class CarrierSenseBatch:
         ``decodes(l, t, interferers=active_set_b)``; ``listeners`` restricts
         (and reorders) the listener axis like in :meth:`sensed_power_mw`.
         """
-        tx = self._as_tx_mask(tx_mask)
+        xp = self._xp
+        tx = xp.asarray(self._as_tx_mask(tx_mask), dtype=xp.bool_dtype)
         not_self_l = self._not_self
         cross_l = self._cross_mw
         decodable = self._decodable
@@ -141,13 +155,13 @@ class CarrierSenseBatch:
             & not_self_l[None, :, None, :]
             & self._not_self[None, None, :, :]
         )
-        interference = np.where(
-            interferer, cross_l[:, :, None, :], 0.0
-        ).sum(axis=-1)
+        interference = xp.sum(
+            xp.where(interferer, cross_l[:, :, None, :], 0.0), axis=-1
+        )
         signal = cross_l
         capture = units.db_to_linear(self._mac.preamble_capture_db)
         captures = (interference <= 0) | (signal >= capture * interference)
-        return decodable & captures
+        return xpmod.to_numpy(decodable & captures)
 
     def nav_blocked_mask(self, tx_mask, listeners=None) -> np.ndarray:
         """Listeners whose NAV a transmission in ``tx_mask`` would set,
@@ -159,12 +173,12 @@ class CarrierSenseBatch:
     def decodable_mask(self) -> np.ndarray:
         """Clean-medium decode verdicts ``(batch, listener, transmitter)``
         (a copy): the scalar ``decodes(l, t)`` with no interferers."""
-        return self._decodable.copy()
+        return xpmod.to_numpy(self._decodable).copy()
 
     def single_tx_busy(self) -> np.ndarray:
         """Energy-detect verdicts for one lone transmitter,
         ``(batch, listener, transmitter)``: the scalar ``is_busy(l, [t])``."""
-        return self._cross_mw >= self._mac.cs_threshold_mw
+        return xpmod.to_numpy(self._cross_mw >= self._mac.cs_threshold_mw)
 
 
 def _mutual_overhear_from_decodable(
@@ -491,7 +505,14 @@ class RoundBasedEvaluatorBatch:
         Heavy solves and matmuls run grouped by sub-channel shape through
         the stacked precoders; per-item assembly follows the scalar
         accumulation order so every float matches bit for bit.
+
+        Slot gathering and CSI-noise draws stay on the host (per-item
+        generator streams, the RNG-bridge contract); each grouped stack is
+        then transferred once to the active :mod:`repro.xp` namespace for
+        the precoder solves and interference matmuls, and the per-slot
+        SINR rows come back to NumPy for the traffic/assembly bookkeeping.
         """
+        xp = xpmod.active()
         h = self.channel.channel_matrices()
         # Precoders see the stale CSI snapshot of a mobility run; scoring
         # below always uses the current channel (the scalar contract).
@@ -523,7 +544,10 @@ class RoundBasedEvaluatorBatch:
         for key, h_est in slot_estimates.items():
             groups.setdefault(h_est.shape, []).append(key)
         for keys in groups.values():
-            stack = np.stack([slot_estimates[k] for k in keys])
+            stack = xp.asarray(
+                np.stack([slot_estimates[k] for k in keys]),
+                dtype=xp.complex_dtype,
+            )
             if self.mode is MacMode.CAS:
                 v = batch_naive_precoder(stack, radio.per_antenna_power_mw)
             else:
@@ -537,15 +561,12 @@ class RoundBasedEvaluatorBatch:
         desired: dict[tuple[int, int], np.ndarray] = {}
         intra: dict[tuple[int, int], np.ndarray] = {}
         for keys in groups.values():
-            own = (
-                np.abs(
-                    np.stack([slot_true[k] for k in keys])
-                    @ np.stack([precoders[k] for k in keys])
-                )
-                ** 2
+            true_stack = xp.asarray(
+                np.stack([slot_true[k] for k in keys]), dtype=xp.complex_dtype
             )
-            diag = np.diagonal(own, axis1=-2, axis2=-1)
-            row_sums = own.sum(axis=-1)
+            own = xp.abs(true_stack @ xp.stack([precoders[k] for k in keys])) ** 2
+            diag = xp.diagonal(own, axis1=-2, axis2=-1)
+            row_sums = xp.sum(own, axis=-1)
             for index, key in enumerate(keys):
                 desired[key] = diag[index]
                 intra[key] = row_sums[index] - diag[index]
@@ -564,14 +585,17 @@ class RoundBasedEvaluatorBatch:
                     ).append((b, s, other))
         cross_terms: dict[tuple[int, int, int], np.ndarray] = {}
         for keys in pair_groups.values():
-            h_cross = np.stack(
-                [
-                    h[b][np.ix_(slot_clients[(b, s)], planned[b][other][1])]
-                    for b, s, other in keys
-                ]
+            h_cross = xp.asarray(
+                np.stack(
+                    [
+                        h[b][np.ix_(slot_clients[(b, s)], planned[b][other][1])]
+                        for b, s, other in keys
+                    ]
+                ),
+                dtype=xp.complex_dtype,
             )
-            v_other = np.stack([precoders[(b, other)] for b, s, other in keys])
-            summed = (np.abs(h_cross @ v_other) ** 2).sum(axis=-1)
+            v_other = xp.stack([precoders[(b, other)] for b, s, other in keys])
+            summed = xp.sum(xp.abs(h_cross @ v_other) ** 2, axis=-1)
             for index, key in enumerate(keys):
                 cross_terms[key] = summed[index]
 
@@ -579,10 +603,10 @@ class RoundBasedEvaluatorBatch:
         externals: dict[tuple[int, int], np.ndarray] = {}
         for b in np.flatnonzero(item_active):
             for s in range(len(planned[b])):
-                external = np.zeros(len(slot_clients[(b, s)]))
+                external = xp.zeros(len(slot_clients[(b, s)]), dtype=xp.float_dtype)
                 for other in range(len(planned[b])):
                     if other != s:
-                        external += cross_terms[(b, s, other)]
+                        external = external + cross_terms[(b, s, other)]
                 externals[(b, s)] = external
 
         # SINR -> per-slot capacity, grouped by stream count (stacked
@@ -594,15 +618,16 @@ class RoundBasedEvaluatorBatch:
         for key, external in externals.items():
             k_groups.setdefault(len(external), []).append(key)
         for keys in k_groups.values():
-            sinr = np.stack([desired[k] for k in keys]) / (
+            sinr = xp.stack([desired[k] for k in keys]) / (
                 noise_mw
-                + np.stack([intra[k] for k in keys])
-                + np.stack([externals[k] for k in keys])
+                + xp.stack([intra[k] for k in keys])
+                + xp.stack([externals[k] for k in keys])
             )
-            sums = np.log2(1.0 + sinr).sum(axis=-1)
+            sums = xpmod.to_numpy(xp.sum(xp.log2(1.0 + sinr), axis=-1))
+            sinr_rows = xpmod.to_numpy(sinr)
             for index, key in enumerate(keys):
                 slot_capacity[key] = float(sums[index])
-                slot_sinrs[key] = sinr[index]
+                slot_sinrs[key] = sinr_rows[index]
 
         # Per-item assembly in the scalar accumulation order.
         capacity = np.zeros(self.n_items)

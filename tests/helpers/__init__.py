@@ -3,6 +3,11 @@
 Kept out of ``conftest.py`` so test modules can import them explicitly --
 ``from conftest import ...`` is ambiguous when several conftests (tests/,
 benchmarks/) are on ``sys.path``.
+
+The package also hosts the tolerance tier's closeness framework
+(:mod:`helpers.closeness`) and the documented per-backend equivalence
+contracts (:mod:`helpers.contracts`); the most-used names are re-exported
+here.
 """
 
 from __future__ import annotations
@@ -10,6 +15,20 @@ from __future__ import annotations
 import functools
 
 import numpy as np
+
+from .closeness import (  # noqa: F401  (re-export)
+    ClosenessError,
+    MetricTolerance,
+    ToleranceContract,
+    assert_close_result,
+    assert_close_series,
+)
+from .contracts import (  # noqa: F401  (re-export)
+    EXACT_CONTRACT,
+    NUMPY_F32_CONTRACT,
+    TORCH_CPU_F64_CONTRACT,
+    contract_for,
+)
 
 
 def run_experiment(

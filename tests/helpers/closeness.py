@@ -1,0 +1,197 @@
+"""Tolerance-based closeness checks for :class:`repro.api.RunResult`.
+
+Bit-identity (the loop/vectorized/array_api-on-NumPy guarantee) is checked
+with plain ``np.array_equal``; this module is the tier for backends where
+bit-identity *cannot* hold -- torch kernels, float32 accumulation, GPU
+reductions.  A :class:`ToleranceContract` states, per series, how close is
+close enough, along two independent axes:
+
+elementwise
+    ``|a - b| <= atol + rtol * |b|`` per sample (numpy ``allclose``
+    semantics, with the *expected* result as the reference).  The right
+    check when the backend computes the same per-topology quantity and
+    only rounding differs.
+
+distributional (quantile sketch)
+    Some pipelines make discrete decisions off continuous scores (greedy
+    argmax client selection, MCS threshold lookup, capture comparisons).
+    A one-ULP score difference can flip a decision, changing individual
+    samples by whole MCS steps while leaving the *distribution* -- which
+    is what every figure in the paper plots -- essentially unchanged.
+    For those, the contract compares quantiles of the two empirical
+    distributions through :class:`repro.analysis.QuantileSketch` (the
+    same sketch the campaign aggregator ships), each quantile within
+    ``quantile_atol``.
+
+``assert_close_result`` applies a contract to two full results; failures
+raise :class:`ClosenessError` (an ``AssertionError``) naming every failing
+series and the worst offending sample/quantile, so a tolerance regression
+reads like a report, not a stack of scalar mismatches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.analysis import QuantileSketch
+
+__all__ = [
+    "ClosenessError",
+    "MetricTolerance",
+    "ToleranceContract",
+    "assert_close_result",
+    "assert_close_series",
+]
+
+DEFAULT_QUANTILES = (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+
+
+class ClosenessError(AssertionError):
+    """A tolerance-contract violation; message lists every failing check."""
+
+
+@dataclass(frozen=True)
+class MetricTolerance:
+    """How close one series must be to its reference.
+
+    ``rtol``/``atol`` bound the elementwise deviation (skipped entirely
+    when ``elementwise`` is False -- for ordering-sensitive series where
+    individual samples may legitimately differ).  ``quantile_atol``, when
+    set, additionally bounds the deviation of each checked quantile of the
+    two distributions.  The zero-tolerance default is exact equality.
+    """
+
+    rtol: float = 0.0
+    atol: float = 0.0
+    elementwise: bool = True
+    quantile_atol: float | None = None
+
+    def __post_init__(self):
+        if self.rtol < 0 or self.atol < 0:
+            raise ValueError("tolerances must be non-negative")
+        if self.quantile_atol is not None and self.quantile_atol < 0:
+            raise ValueError("quantile_atol must be non-negative")
+        if not self.elementwise and self.quantile_atol is None:
+            raise ValueError(
+                "a tolerance with elementwise=False must set quantile_atol; "
+                "otherwise it checks nothing"
+            )
+
+
+@dataclass(frozen=True)
+class ToleranceContract:
+    """Per-series tolerances for comparing two runs of one experiment.
+
+    ``series`` overrides the ``default`` tolerance for named series.
+    ``quantiles`` are the probabilities checked whenever a tolerance
+    enables the sketch comparison; ``sketch_resolution`` is the sketch bin
+    width (it contributes up to one bin of slack on top of
+    ``quantile_atol``, which callers should budget for).
+    """
+
+    name: str
+    default: MetricTolerance = field(default_factory=MetricTolerance)
+    series: Mapping[str, MetricTolerance] = field(default_factory=dict)
+    quantiles: tuple[float, ...] = DEFAULT_QUANTILES
+    sketch_resolution: float = 1.0 / 128.0
+
+    def tolerance_for(self, series_name: str) -> MetricTolerance:
+        return self.series.get(series_name, self.default)
+
+
+def _elementwise_failures(name, actual, expected, tol):
+    bound = tol.atol + tol.rtol * np.abs(expected)
+    delta = np.abs(actual - expected)
+    bad = delta > bound
+    if not np.any(bad):
+        return []
+    worst = int(np.argmax(delta - bound))
+    return [
+        f"series {name!r}: {int(np.count_nonzero(bad))}/{actual.size} samples "
+        f"out of tolerance (worst at [{worst}]: |{actual.flat[worst]:.9g} - "
+        f"{expected.flat[worst]:.9g}| = {delta.flat[worst]:.3g} > "
+        f"{bound.flat[worst]:.3g} = atol+rtol*|expected|)"
+    ]
+
+
+def _quantile_failures(name, actual, expected, tol, contract):
+    sketch_a = QuantileSketch(resolution=contract.sketch_resolution)
+    sketch_e = QuantileSketch(resolution=contract.sketch_resolution)
+    sketch_a.add(actual)
+    sketch_e.add(expected)
+    failures = []
+    for q in contract.quantiles:
+        qa, qe = sketch_a.quantile(q), sketch_e.quantile(q)
+        # One sketch bin of slack on top of the contract: quantile answers
+        # are only exact to within the lattice resolution.
+        if abs(qa - qe) > tol.quantile_atol + contract.sketch_resolution:
+            failures.append(
+                f"series {name!r}: quantile q={q:g} differs "
+                f"|{qa:.9g} - {qe:.9g}| = {abs(qa - qe):.3g} > "
+                f"{tol.quantile_atol:.3g} (+{contract.sketch_resolution:.3g} "
+                "sketch slack)"
+            )
+    return failures
+
+
+def assert_close_series(
+    actual: Mapping[str, np.ndarray],
+    expected: Mapping[str, np.ndarray],
+    contract: ToleranceContract,
+) -> None:
+    """Assert two series dicts satisfy ``contract`` (actual vs expected)."""
+    failures: list[str] = []
+    missing = sorted(set(expected) - set(actual))
+    extra = sorted(set(actual) - set(expected))
+    if missing:
+        failures.append(f"missing series: {missing}")
+    if extra:
+        failures.append(f"unexpected series: {extra}")
+    for name in sorted(set(actual) & set(expected)):
+        a = np.asarray(actual[name], dtype=float)
+        e = np.asarray(expected[name], dtype=float)
+        if a.shape != e.shape:
+            failures.append(
+                f"series {name!r}: shape {a.shape} != expected {e.shape}"
+            )
+            continue
+        if a.size == 0:
+            continue
+        if not (np.all(np.isfinite(a)) and np.all(np.isfinite(e))):
+            # Non-finite samples must match exactly, whatever the contract:
+            # a tolerance band around inf/nan is meaningless.
+            if not np.array_equal(a, e, equal_nan=True):
+                failures.append(
+                    f"series {name!r}: non-finite samples present and not "
+                    "identical"
+                )
+            continue
+        tol = contract.tolerance_for(name)
+        if tol.elementwise:
+            failures.extend(_elementwise_failures(name, a, e, tol))
+        if tol.quantile_atol is not None:
+            failures.extend(_quantile_failures(name, a, e, tol, contract))
+    if failures:
+        raise ClosenessError(
+            f"results violate tolerance contract {contract.name!r}:\n  "
+            + "\n  ".join(failures)
+        )
+
+
+def assert_close_result(actual, expected, contract: ToleranceContract) -> None:
+    """Assert two :class:`~repro.api.RunResult`\\ s satisfy ``contract``.
+
+    Checks experiment identity (name) and every series under the
+    contract's per-series tolerances.  ``actual`` is the run under test;
+    ``expected`` is the reference (typically the bit-exact vectorized
+    backend), and relative tolerances scale off the reference.
+    """
+    if actual.name != expected.name:
+        raise ClosenessError(
+            f"comparing different experiments: {actual.name!r} vs "
+            f"{expected.name!r}"
+        )
+    assert_close_series(actual.series, expected.series, contract)

@@ -1,0 +1,116 @@
+"""Float32 edges of the capacity / MCS mapping.
+
+The array_api backend's float32 configuration quantizes SNRs to ~1e-6
+relative before the MCS threshold comparison.  These tests pin the
+*documented* behaviour at the edges (see ``mcs_index_for_snr``'s
+docstring): thresholds themselves stay float64, comparisons promote, so a
+float32 SNR is classified by its exact float64 value -- an input more than
+one float32 ULP away from a threshold can never flip MCS, and an input
+*at* a threshold decodes that MCS in every precision.
+
+A golden-value table locks the classification of every threshold, its
+immediate float32 neighbours, and the canonical in-band points, in both
+precisions, so any future change to the mapping's dtype handling trips a
+review here rather than a tolerance contract three layers up.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.phy.capacity import sum_capacity_bps_hz
+from repro.phy.mcs import (
+    MCS_TABLE,
+    highest_mcs_for_snr,
+    mcs_index_for_snr,
+    rate_bps_hz_for_snr,
+    rate_bps_hz_for_snr_array,
+)
+
+THRESHOLDS = np.array([entry.min_snr_db for entry in MCS_TABLE])
+
+
+# ----------------------------------------------------------------------
+# Golden-value table: (snr_db, expected MCS index) covering every
+# threshold, its float32 neighbours, and points inside each band.  All
+# table thresholds are exactly representable in float32 (small integers),
+# so the expected index is identical in both precisions.
+# ----------------------------------------------------------------------
+def _golden_cases():
+    cases = [(-50.0, -1), (0.0, -1), (1.9999, -1), (100.0, 8)]
+    for i, snr in enumerate(THRESHOLDS):
+        cases.append((float(snr), i))  # at-threshold decodes the MCS
+        below = float(np.nextafter(np.float32(snr), np.float32(-np.inf)))
+        above = float(np.nextafter(np.float32(snr), np.float32(np.inf)))
+        cases.append((below, i - 1))  # one f32 ULP under: previous band
+        cases.append((above, i))  # one f32 ULP over: same band
+    for i, entry in enumerate(MCS_TABLE):
+        upper = THRESHOLDS[i + 1] if i + 1 < len(THRESHOLDS) else 40.0
+        cases.append((float((entry.min_snr_db + upper) / 2.0), i))  # mid-band
+    return cases
+
+
+GOLDEN = _golden_cases()
+
+
+@pytest.mark.parametrize("snr_db,expected", GOLDEN)
+def test_mcs_golden_values_float64(snr_db, expected):
+    assert mcs_index_for_snr(np.float64(snr_db)) == expected
+    entry = highest_mcs_for_snr(snr_db)
+    assert (entry.index if entry is not None else -1) == expected
+
+
+@pytest.mark.parametrize("snr_db,expected", GOLDEN)
+def test_mcs_golden_values_float32(snr_db, expected):
+    # Every golden SNR is representable in float32 (thresholds are small
+    # integers; neighbours are constructed *as* float32), so float32
+    # classification must agree exactly with float64.
+    assert mcs_index_for_snr(np.float32(snr_db)) == expected
+
+
+def test_rate_mapping_matches_the_index_mapping_in_both_precisions():
+    snrs = np.array([case[0] for case in GOLDEN])
+    expected = np.array([rate_bps_hz_for_snr(s) for s in snrs])
+    assert np.array_equal(rate_bps_hz_for_snr_array(snrs), expected)
+    f32 = rate_bps_hz_for_snr_array(snrs.astype(np.float32))
+    assert f32.dtype == np.float32
+    # Rates are sums of small dyadic-ish numbers; float32 narrows them by
+    # at most one ULP, never across an MCS step (steps are >= 0.325).
+    assert np.allclose(f32, expected, rtol=1e-6, atol=0.0)
+    assert np.array_equal(np.sign(f32), np.sign(expected))
+
+
+def test_threshold_flip_window_is_one_float32_ulp():
+    # The documented tolerance: a float32 run can only disagree with
+    # float64 on MCS when the true SNR lies within one float32 ULP of a
+    # threshold.  Inputs quantized *from* float64 at the worst case --
+    # halfway into the rounding window -- still classify identically once
+    # narrowed, because narrowing is what defines the float32 run's input.
+    for snr in THRESHOLDS:
+        ulp = float(np.spacing(np.float32(snr)))
+        for offset in (-2 * ulp, 2 * ulp):
+            x64 = snr + offset
+            x32 = np.float32(x64)
+            assert mcs_index_for_snr(x64) == mcs_index_for_snr(x32)
+
+
+def test_float32_capacity_near_mcs_thresholds_stays_in_contract():
+    # Shannon capacity at SINRs right around every MCS threshold: the
+    # float32 pipeline (narrowed SINRs, float32 log2) must stay within the
+    # documented float32 elementwise tier (rtol=1e-4) of the float64 path.
+    rho_db = np.concatenate([THRESHOLDS - 1e-3, THRESHOLDS, THRESHOLDS + 1e-3])
+    rho = 10 ** (rho_db / 10.0)
+    exact = sum_capacity_bps_hz(rho[None, :])  # (1, n) -> per-"item" sums
+    narrowed = sum_capacity_bps_hz(rho.astype(np.float32)[None, :])
+    assert np.asarray(narrowed).dtype == np.float32
+    assert np.allclose(np.asarray(narrowed), np.asarray(exact), rtol=1e-4)
+
+
+def test_scalar_and_array_mappings_agree_on_random_snrs():
+    rng = np.random.default_rng(5)
+    snrs = rng.uniform(-5.0, 35.0, 256)
+    idx = mcs_index_for_snr(snrs)
+    for s, i in zip(snrs, np.asarray(idx)):
+        entry = highest_mcs_for_snr(float(s))
+        assert (entry.index if entry is not None else -1) == i
