@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Fold benchsmoke timing artifacts into the committed perf trajectory.
+
+The benchmark-smoke CI job writes one small JSON per benchmark
+(``vectorized_timings*.json``, ``campaign_timings*.json``,
+``array_api_timings*.json``).  Those artifacts are ephemeral; this script
+folds them into ``BENCH_trajectory.json`` -- one entry per package
+version, committed to the repo -- so speedups are *tracked across PRs*,
+not just asserted once.
+
+Usage (from the repo root, after a benchsmoke run)::
+
+    python scripts/aggregate_bench.py \
+        --artifacts . --out BENCH_trajectory.json
+
+The entry for the current version is replaced if it already exists
+(re-running is idempotent); other versions' entries are preserved
+verbatim.  ``--version`` overrides the label (e.g. to backfill an entry
+from an older release's artifacts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+_PATTERNS = (
+    "vectorized_timings*.json",
+    "campaign_timings*.json",
+    "array_api_timings*.json",
+)
+
+_NOTE = (
+    "Perf trajectory across PRs: one entry per package version, built by "
+    "scripts/aggregate_bench.py from the benchsmoke timing artifacts "
+    "(python -m pytest benchmarks/ -m benchsmoke). Absolute seconds are "
+    "machine-dependent; compare entries recorded on the same machine "
+    "string, and lean on the ratio fields (speedup, *_overhead), which "
+    "are self-normalizing."
+)
+
+
+def _package_version() -> str:
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    import repro
+
+    return repro.__version__
+
+
+def collect(artifact_dir: Path) -> dict[str, dict]:
+    """Every timing artifact in ``artifact_dir``, keyed by file stem."""
+    sources: dict[str, dict] = {}
+    for pattern in _PATTERNS:
+        for path in sorted(artifact_dir.glob(pattern)):
+            try:
+                sources[path.stem] = json.loads(path.read_text())
+            except (json.JSONDecodeError, OSError) as exc:
+                print(f"skipping unreadable artifact {path}: {exc}")
+    return sources
+
+
+def fold(trajectory_path: Path, version: str, sources: dict[str, dict]) -> dict:
+    """Replace-or-append the ``version`` entry; keep the rest verbatim."""
+    if trajectory_path.exists():
+        trajectory = json.loads(trajectory_path.read_text())
+    else:
+        trajectory = {"note": _NOTE, "entries": []}
+    entry = {
+        "version": version,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "sources": sources,
+    }
+    entries = [e for e in trajectory["entries"] if e["version"] != version]
+    entries.append(entry)
+    trajectory["entries"] = entries
+    return trajectory
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--artifacts",
+        type=Path,
+        default=Path("."),
+        metavar="DIR",
+        help="directory holding the benchsmoke timing JSONs (default: .)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_trajectory.json"),
+        metavar="PATH",
+        help="trajectory file to fold into (default: BENCH_trajectory.json)",
+    )
+    parser.add_argument(
+        "--version",
+        default=None,
+        help="entry label (default: the installed repro.__version__)",
+    )
+    args = parser.parse_args(argv)
+
+    sources = collect(args.artifacts)
+    if not sources:
+        patterns = ", ".join(_PATTERNS)
+        print(f"no timing artifacts matching [{patterns}] in {args.artifacts}")
+        return 1
+    version = args.version or _package_version()
+    trajectory = fold(args.out, version, sources)
+    args.out.write_text(json.dumps(trajectory, indent=2) + "\n")
+    versions = [e["version"] for e in trajectory["entries"]]
+    print(
+        f"folded {len(sources)} artifact(s) into {args.out} as version "
+        f"{version} ({len(versions)} entries: {', '.join(versions)})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -43,7 +43,7 @@ factories) remains importable directly for custom studies; see
 
 # Defined before the subpackage imports below: repro.api.runner folds the
 # version into its cache keys at import time.
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 from .analysis import (
     EmpiricalCdf,
@@ -60,6 +60,7 @@ from .api import (
     RunSpec,
     UnknownNameError,
     experiment_names,
+    register_association,
     register_batch_precoder,
     register_environment,
     register_experiment,
@@ -67,6 +68,14 @@ from .api import (
     register_precoder,
     register_scenario,
     register_traffic,
+)
+from .assoc import (
+    AssociationPolicy,
+    CoordinationMode,
+    HandoffEvent,
+    association_names,
+    resolve_association,
+    resolve_coordination,
 )
 from .campaign import CampaignResult, CampaignRunner, CampaignSpec
 from .channel import ChannelModel, ChannelTrace, coverage_range_m, cs_range_m, record_trace
@@ -125,6 +134,7 @@ __all__ = [
     "RunSpec",
     "UnknownNameError",
     "experiment_names",
+    "register_association",
     "register_batch_precoder",
     "register_environment",
     "register_experiment",
@@ -132,6 +142,12 @@ __all__ = [
     "register_precoder",
     "register_scenario",
     "register_traffic",
+    "AssociationPolicy",
+    "CoordinationMode",
+    "HandoffEvent",
+    "association_names",
+    "resolve_association",
+    "resolve_coordination",
     "AmpduConfig",
     "TrafficModel",
     "resolve_traffic",

@@ -27,7 +27,9 @@ from .precoders import (
     precoder_matrix_batch,
 )
 from .registry import (
+    ASSOCIATION,
     BATCH_PRECODERS,
+    COORDINATION,
     ENVIRONMENTS,
     EXPERIMENTS,
     MOBILITY,
@@ -37,6 +39,7 @@ from .registry import (
     DuplicateNameError,
     Registry,
     UnknownNameError,
+    register_association,
     register_batch_precoder,
     register_environment,
     register_mobility,
@@ -59,7 +62,9 @@ __all__ = [
     "capacity_for_batch",
     "precoder_matrix",
     "precoder_matrix_batch",
+    "ASSOCIATION",
     "BATCH_PRECODERS",
+    "COORDINATION",
     "ENVIRONMENTS",
     "EXPERIMENTS",
     "MOBILITY",
@@ -69,6 +74,7 @@ __all__ = [
     "DuplicateNameError",
     "Registry",
     "UnknownNameError",
+    "register_association",
     "register_batch_precoder",
     "register_environment",
     "register_mobility",

@@ -100,6 +100,8 @@ ENVIRONMENTS: Registry = Registry("environment")
 EXPERIMENTS: Registry = Registry("experiment")
 TRAFFIC: Registry = Registry("traffic model")
 MOBILITY: Registry = Registry("mobility model")
+ASSOCIATION: Registry = Registry("association policy")
+COORDINATION: Registry = Registry("coordination mode")
 
 
 def register_precoder(name: str):
@@ -137,3 +139,12 @@ def register_mobility(name: str):
     """Register ``fn(**kwargs) -> MobilityModel`` as a client mobility model
     (see :mod:`repro.mobility`)."""
     return MOBILITY.register(name)
+
+
+def register_association(name: str):
+    """Register ``fn(**kwargs) -> AssociationPolicy`` as a client<->AP
+    association policy (see :mod:`repro.assoc`).  The policy owns the
+    client->AP map: it is re-evaluated at every sounding, and the engines
+    consume its membership, tag, and handoff state instead of computing
+    their own."""
+    return ASSOCIATION.register(name)

@@ -47,7 +47,7 @@ from .. import __version__ as _PACKAGE_VERSION
 from .. import rng as rng_mod
 from .. import xp as xpmod
 from .experiments import ExperimentDef, get_experiment_def, load_builtin_experiments
-from .registry import ENVIRONMENTS, MOBILITY, PRECODERS, TRAFFIC
+from .registry import ASSOCIATION, COORDINATION, ENVIRONMENTS, MOBILITY, PRECODERS, TRAFFIC
 from .result import RunResult
 from .spec import RunSpec, normalize_params
 
@@ -103,8 +103,13 @@ def resolve_params(defn: ExperimentDef, spec: RunSpec) -> dict:
     def _load_mobility():
         from ..mobility import models  # noqa: F401
 
+    def _load_association():
+        from .. import assoc  # noqa: F401
+
     axis_override("traffic", TRAFFIC, "full_buffer", _load_traffic)
     axis_override("mobility", MOBILITY, "static", _load_mobility)
+    axis_override("association", ASSOCIATION, "nearest_anchor", _load_association)
+    axis_override("coordination", COORDINATION, "independent", _load_association)
     unknown = set(spec.params) - allowed
     if unknown:
         raise ValueError(

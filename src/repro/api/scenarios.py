@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from ..topology.scenarios import (
     OfficeEnvironment,
+    campus_scenario,
     dense_office_scenario,
     eight_ap_scenario,
     grid_region_scenario,
@@ -33,6 +34,7 @@ register_scenario("paired")(paired_scenarios)
 register_scenario("three_ap")(three_ap_scenario)
 register_scenario("eight_ap")(eight_ap_scenario)
 register_scenario("grid_region")(grid_region_scenario)
+register_scenario("campus")(campus_scenario)
 register_scenario("dense_office")(dense_office_scenario)
 register_scenario("hidden_terminal")(hidden_terminal_scenario)
 

@@ -65,6 +65,17 @@ class RunSpec:
         ``"static"`` is accepted by every experiment (it is the universal
         default and changes nothing); any other model requires the
         experiment to declare a ``mobility`` parameter.
+    association:
+        Registered association-policy name (see :mod:`repro.assoc`).
+        ``"nearest_anchor"`` is accepted by every experiment (it is the
+        universal default and changes nothing); any other policy requires
+        the experiment to declare an ``association`` parameter.
+    coordination:
+        Registered coordination-mode name (see
+        :class:`repro.assoc.CoordinationMode`).  ``"independent"`` is
+        accepted by every experiment (the universal default); any other
+        mode requires the experiment to declare a ``coordination``
+        parameter.
     params:
         Extra experiment keyword parameters; keys must be declared by the
         experiment's defaults.
@@ -77,6 +88,8 @@ class RunSpec:
     precoder: str | None = None
     traffic: str | None = None
     mobility: str | None = None
+    association: str | None = None
+    coordination: str | None = None
     params: dict = field(default_factory=dict)
 
     def __post_init__(self):
@@ -89,7 +102,10 @@ class RunSpec:
                 raise ValueError("RunSpec.n_topologies must be >= 1")
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
             raise ValueError("RunSpec.seed must be an int")
-        for label in ("environment", "precoder", "traffic", "mobility"):
+        for label in (
+            "environment", "precoder", "traffic", "mobility",
+            "association", "coordination",
+        ):
             value = getattr(self, label)
             if value is not None and (not isinstance(value, str) or not value):
                 raise ValueError(f"RunSpec.{label} must be a non-empty string or None")
@@ -111,12 +127,16 @@ class RunSpec:
             "params": self.params,
         }
         # Omitted when unset so canonical encodings, spec hashes, and saved
-        # results from before the traffic/mobility axes existed stay valid
-        # verbatim.
+        # results from before the traffic/mobility/association axes existed
+        # stay valid verbatim.
         if self.traffic is not None:
             data["traffic"] = self.traffic
         if self.mobility is not None:
             data["mobility"] = self.mobility
+        if self.association is not None:
+            data["association"] = self.association
+        if self.coordination is not None:
+            data["coordination"] = self.coordination
         return data
 
     @classmethod

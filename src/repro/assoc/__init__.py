@@ -1,0 +1,39 @@
+"""Client<->AP association & multi-AP coordination layer.
+
+See :mod:`repro.assoc.policies` for the policy registry and
+:mod:`repro.assoc.state` for the state object the engines consume.
+"""
+
+from .policies import (
+    AssociationPolicy,
+    HysteresisHandoffPolicy,
+    NearestAnchorPolicy,
+    StrongestRssiPolicy,
+)
+from .state import (
+    AssociationState,
+    BatchAssociationState,
+    CoordinationMode,
+    HandoffEvent,
+    association_names,
+    build_association_state,
+    build_batch_association_state,
+    resolve_association,
+    resolve_coordination,
+)
+
+__all__ = [
+    "AssociationPolicy",
+    "AssociationState",
+    "BatchAssociationState",
+    "CoordinationMode",
+    "HandoffEvent",
+    "HysteresisHandoffPolicy",
+    "NearestAnchorPolicy",
+    "StrongestRssiPolicy",
+    "association_names",
+    "build_association_state",
+    "build_batch_association_state",
+    "resolve_association",
+    "resolve_coordination",
+]

@@ -39,6 +39,7 @@ from . import (  # noqa: F401  (imports trigger experiment registration)
     hidden_terminals,
     latency_vs_load,
     mobility_capacity,
+    roaming_handoff,
 )
 from ..api.registry import EXPERIMENTS as _API_EXPERIMENTS
 from ..api.registry import UnknownNameError
@@ -296,6 +297,20 @@ def main(argv: list[str] | None = None) -> int:
         "parameter; 'static' is accepted everywhere as the frozen default)",
     )
     parser.add_argument(
+        "--association",
+        default=None,
+        help="registered association policy (experiments with an association "
+        "parameter; 'nearest_anchor' is accepted everywhere as the sounding-"
+        "anchored default)",
+    )
+    parser.add_argument(
+        "--coordination",
+        default=None,
+        help="coordination mode between neighboring APs (experiments with a "
+        "coordination parameter; 'independent' is accepted everywhere as "
+        "the default)",
+    )
+    parser.add_argument(
         "--out",
         default=None,
         metavar="PATH",
@@ -316,6 +331,8 @@ def main(argv: list[str] | None = None) -> int:
         precoder=args.precoder,
         traffic=args.traffic,
         mobility=args.mobility,
+        association=args.association,
+        coordination=args.coordination,
     )
     runner = Runner(
         jobs=args.jobs,

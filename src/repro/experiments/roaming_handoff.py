@@ -1,0 +1,211 @@
+"""Roaming clients across a campus AP grid: handoff rate, outage, and
+capacity per association policy.
+
+The paper deploys MIDAS one AP at a time; this extension asks what happens
+when a client walks *between* cells.  A small campus grid
+(:func:`repro.topology.scenarios.campus_scenario`, DAS/MIDAS stack only)
+puts clients near cell edges, a registered mobility model drifts them
+across boundaries, and every re-sounding the association layer re-evaluates
+the client->AP map under each registered policy:
+
+* ``nearest_anchor`` -- the paper's implicit rule: stay with the deploy-time
+  AP, so no handoffs ever happen (the zero-handoff baseline),
+* ``strongest_rssi`` -- greedy instantaneous best-AP (ping-pongs at edges),
+* ``hysteresis_handoff`` -- smoothed RSSI + dwell + margin, the 802.11-style
+  roaming rule that trades a little capacity for handoff stability.
+
+Series (each ``(n_topologies, n_speeds)``, per policy):
+
+* ``{policy}_capacity_bps_hz`` -- mean per-round sum capacity,
+* ``{policy}_handoffs`` -- total handoff events over the run,
+* ``{policy}_outage_fraction`` -- fraction of handoffs whose client was
+  still unserved at the next re-sounding (service gap across the move).
+
+The spec-level ``association`` axis restricts the sweep to one policy;
+``coordination`` selects the cross-cell scheduling mode for every policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..api.experiments import register_experiment
+from ..api.scenarios import resolve_environment
+from ..assoc import association_names
+from ..sim.batch import RoundBasedEvaluatorBatch
+from ..sim.network import MacMode
+from ..sim.rounds import RoundBasedEvaluator
+from ..topology.deployment import AntennaMode
+from ..topology.scenarios import campus_scenario
+from .common import ExperimentResult
+from .mobility_capacity import _require_moving
+
+
+def _policies(params: dict) -> list[str]:
+    """The policy sweep: every registered default, or just the spec's one."""
+    chosen = params["association"]
+    if chosen is None:
+        return list(params["policies"])
+    if chosen not in association_names():
+        raise ValueError(
+            f"unknown association policy {chosen!r}; "
+            f"registered: {', '.join(association_names())}"
+        )
+    return [chosen]
+
+
+def _policy_kwargs(policy: str, params: dict) -> dict | None:
+    if policy == "hysteresis_handoff":
+        return {
+            "hysteresis_db": params["hysteresis_db"],
+            "dwell_soundings": params["dwell_soundings"],
+        }
+    return None
+
+
+def _scenario(env, params: dict, seed: int):
+    return campus_scenario(
+        env,
+        n_rows=params["n_rows"],
+        n_cols=params["n_cols"],
+        spacing_m=params["spacing_m"],
+        antennas_per_ap=params["antennas_per_ap"],
+        clients_per_ap=params["clients_per_ap"],
+        seed=seed,
+        modes=(AntennaMode.DAS,),
+    )[AntennaMode.DAS]
+
+
+def _metrics(result, assoc_state) -> dict[str, float]:
+    handoffs = assoc_state.handoff_count
+    return {
+        "capacity_bps_hz": result.mean_capacity_bps_hz,
+        "handoffs": float(handoffs),
+        "outage_fraction": assoc_state.outage_count / max(1, handoffs),
+    }
+
+
+def _build(topo_seed: int, params: dict) -> dict:
+    env = resolve_environment(params["environment"])
+    _require_moving(params["mobility"])
+    scenario = _scenario(env, params, topo_seed)
+    speeds = params["speeds_mps"]
+    out: dict[str, np.ndarray] = {}
+    for policy in _policies(params):
+        rows: dict[str, list[float]] = {}
+        for speed in speeds:
+            ev = RoundBasedEvaluator(
+                scenario,
+                MacMode.MIDAS,
+                seed=topo_seed,
+                mobility=params["mobility"],
+                mobility_kwargs={"speed_mps": speed},
+                resound_period_rounds=params["resound_period_rounds"],
+                association=policy,
+                association_kwargs=_policy_kwargs(policy, params),
+                coordination=params["coordination"],
+            )
+            result = ev.run(params["rounds_per_topology"])
+            for metric, value in _metrics(result, ev.association).items():
+                rows.setdefault(metric, []).append(value)
+        for metric, values in rows.items():
+            out[f"{policy}_{metric}"] = np.asarray(values)
+    return out
+
+
+def _build_batch(topo_seeds, params: dict) -> list[dict]:
+    env = resolve_environment(params["environment"])
+    _require_moving(params["mobility"])
+    seeds = list(topo_seeds)
+    scenarios = [_scenario(env, params, seed) for seed in seeds]
+    speeds = params["speeds_mps"]
+    series: dict[str, np.ndarray] = {}
+    for policy in _policies(params):
+        for j, speed in enumerate(speeds):
+            batch = RoundBasedEvaluatorBatch(
+                scenarios,
+                MacMode.MIDAS,
+                seeds=seeds,
+                mobility=params["mobility"],
+                mobility_kwargs={"speed_mps": speed},
+                resound_period_rounds=params["resound_period_rounds"],
+                association=policy,
+                association_kwargs=_policy_kwargs(policy, params),
+                coordination=params["coordination"],
+            )
+            results = batch.run(params["rounds_per_topology"])
+            for i, result in enumerate(results):
+                item_state = batch.association.items[i]
+                for metric, value in _metrics(result, item_state).items():
+                    key = f"{policy}_{metric}"
+                    series.setdefault(
+                        key, np.empty((len(seeds), len(speeds)))
+                    )[i, j] = value
+    return [
+        {key: values[i] for key, values in series.items()}
+        for i in range(len(seeds))
+    ]
+
+
+def _finalize(outcomes: list[dict], params: dict) -> ExperimentResult:
+    env = resolve_environment(params["environment"])
+    series = {
+        key: np.stack([o[key] for o in outcomes]) for key in sorted(outcomes[0])
+    }
+    return ExperimentResult(
+        name=f"roaming_handoff[{env.name}]",
+        description=(
+            "Handoff count, outage-during-handoff, and capacity vs client "
+            f"speed per association policy, {params['n_rows']}x"
+            f"{params['n_cols']} campus grid, {env.name}, MIDAS"
+        ),
+        series=series,
+        params={
+            "n_topologies": params["n_topologies"],
+            "seed": params["seed"],
+            "environment": env.name,
+            "mobility": params["mobility"],
+            "speeds_mps": tuple(params["speeds_mps"]),
+            "policies": tuple(_policies(params)),
+            "coordination": params["coordination"],
+            "resound_period_rounds": params["resound_period_rounds"],
+            "rounds_per_topology": params["rounds_per_topology"],
+            "n_rows": params["n_rows"],
+            "n_cols": params["n_cols"],
+            "spacing_m": params["spacing_m"],
+            "antennas_per_ap": params["antennas_per_ap"],
+            "clients_per_ap": params["clients_per_ap"],
+            "hysteresis_db": params["hysteresis_db"],
+            "dwell_soundings": params["dwell_soundings"],
+        },
+    )
+
+
+@register_experiment
+class RoamingHandoffExperiment:
+    name = "roaming_handoff"
+    description = (
+        "Handoffs, outage, and capacity vs speed per association policy "
+        "on a campus AP grid"
+    )
+    defaults = {
+        "n_topologies": 8,
+        "environment": "office_b",
+        "n_rows": 2,
+        "n_cols": 2,
+        "spacing_m": 20.0,
+        "antennas_per_ap": 4,
+        "clients_per_ap": 3,
+        "rounds_per_topology": 30,
+        "speeds_mps": [0.5, 2.0, 6.0],
+        "mobility": "gauss_markov",
+        "resound_period_rounds": 2,
+        "policies": ["nearest_anchor", "strongest_rssi", "hysteresis_handoff"],
+        "association": None,
+        "coordination": "independent",
+        "hysteresis_db": 4.0,
+        "dwell_soundings": 2,
+    }
+    build = staticmethod(_build)
+    build_batch = staticmethod(_build_batch)
+    finalize = staticmethod(_finalize)

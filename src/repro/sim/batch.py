@@ -31,6 +31,7 @@ import numpy as np
 from .. import rng as rng_mod
 from .. import units
 from .. import xp as xpmod
+from ..assoc import CoordinationMode, build_batch_association_state
 from ..channel.batch import ChannelBatch
 from ..channel.model import apply_csi_error
 from ..config import MacConfig, SimConfig
@@ -39,7 +40,6 @@ from ..core.batch import (
     power_balanced_precoder as batch_power_balanced_precoder,
 )
 from ..core.selection import BatchDeficitRoundRobin
-from ..core.tagging import TagTable
 from ..mac.frames import data_fraction
 from ..mobility import build_mobility_state
 from ..phy.sounding import sounding_overhead_us
@@ -235,6 +235,9 @@ class RoundBasedEvaluatorBatch:
         mobility=None,
         mobility_kwargs=None,
         resound_period_rounds: int = 1,
+        association=None,
+        association_kwargs=None,
+        coordination=None,
     ):
         scenarios = list(scenarios)
         if not scenarios:
@@ -261,6 +264,7 @@ class RoundBasedEvaluatorBatch:
         self.sim = sim or SimConfig()
         self.n_items = len(scenarios)
         self.n_aps = structure.n_aps
+        self._n_clients = structure.n_clients
         self._antennas_of = [structure.antennas_of(ap) for ap in range(self.n_aps)]
         self._clients_of = [structure.clients_of(ap) for ap in range(self.n_aps)]
 
@@ -301,29 +305,21 @@ class RoundBasedEvaluatorBatch:
         self.carrier_sense = CarrierSenseBatch(
             self.channel.antenna_cross_power_dbm(), first.mac
         )
+        # Global-axis DRR counters (see the scalar evaluator): membership
+        # can change at a handoff without resizing scheduler state, and the
+        # default static association selects the same clients bit for bit.
         self._drr = {
-            ap: BatchDeficitRoundRobin(self.n_items, len(self._clients_of[ap]))
+            ap: BatchDeficitRoundRobin(self.n_items, self._n_clients)
             for ap in range(self.n_aps)
         }
-        self._tags = {}
-        self._rebuild_tags()
-
-    def _rebuild_tags(self) -> None:
-        """(Re-)derive the stacked per-AP tag tables from every item's
-        current client RSSI -- the batch mirror of the scalar evaluator's
-        ``_rebuild_tags`` (construction time and mobility sounding rounds)."""
-        first = self.scenarios[0]
-        rssi = self.channel.client_rx_power_dbm()
-        for ap in range(self.n_aps):
-            clients = self._clients_of[ap]
-            antennas = self._antennas_of[ap]
-            width = min(first.mac.tag_width, len(antennas))
-            self._tags[ap] = np.stack(
-                [
-                    TagTable.from_rssi(rssi[b][np.ix_(clients, antennas)], width).tags
-                    for b in range(self.n_items)
-                ]
-            )
+        #: One scalar :class:`~repro.assoc.AssociationState` per item --
+        #: the batch engine consumes literally the scalar association
+        #: decisions, stacked, so loop/vectorized equivalence of handoff
+        #: series is structural rather than re-derived.
+        self.association = build_batch_association_state(
+            association, association_kwargs, deployments, first.mac, coordination,
+        )
+        self.association.resound(self.channel.client_rx_power_dbm())
 
     # ------------------------------------------------------------------
     @classmethod
@@ -381,44 +377,58 @@ class RoundBasedEvaluatorBatch:
 
     # ------------------------------------------------------------------
     def _eligibility(self, ap: int) -> tuple[np.ndarray, np.ndarray]:
-        """Stacked (primary-class, any-class) backlog masks for AP ``ap``,
-        each ``(batch, n_clients_of_ap)`` -- the scalar ``_eligibility``
-        evaluated per item.  All-ones under full buffer."""
-        n_local = len(self._clients_of[ap])
+        """Stacked (primary-class, any-class) backlog masks over *all*
+        clients restricted to AP ``ap``'s current members, each
+        ``(batch, n_clients)`` -- the scalar ``_eligibility`` evaluated per
+        item.  The membership mask twice under full buffer."""
+        member_mask = self.association.members_mask(ap)
         if self._traffic is None:
-            ones = np.ones((self.n_items, n_local), dtype=bool)
-            return ones, ones
-        clients = self._clients_of[ap]
-        primary_mask = np.empty((self.n_items, n_local), dtype=bool)
-        any_mask = np.empty((self.n_items, n_local), dtype=bool)
+            return member_mask, member_mask
+        primary_mask = np.zeros((self.n_items, self._n_clients), dtype=bool)
+        any_mask = np.zeros((self.n_items, self._n_clients), dtype=bool)
         for b, state in enumerate(self._traffic):
-            any_mask[b] = state.backlog_mask(clients)
-            primary = state.primary_class(clients)
-            primary_mask[b] = (
-                any_mask[b] if primary is None else state.backlog_mask(clients, primary)
+            members = self.association.items[b].members(ap)
+            if members.size == 0:
+                continue
+            any_mask[b, members] = state.backlog_mask(members)
+            primary = state.primary_class(members)
+            primary_mask[b, members] = (
+                any_mask[b, members]
+                if primary is None
+                else state.backlog_mask(members, primary)
             )
         return primary_mask, any_mask
 
     def _select_clients(
-        self, ap: int, use_mask: np.ndarray, participate: np.ndarray
+        self,
+        ap: int,
+        use_mask: np.ndarray,
+        participate: np.ndarray,
+        allowed: np.ndarray | None = None,
     ) -> tuple[np.ndarray, list[list[int]]]:
         """Masked client selection for AP ``ap`` this round.
 
         ``use_mask`` flags, per item, which of the AP's antennas transmit
-        (own-antenna order); ``participate`` gates whole items.  Returns the
-        chosen-client mask and the per-item pick order (which fixes the
-        stream order of the precoded burst, as in the scalar evaluator).
+        (own-antenna order); ``participate`` gates whole items; ``allowed``
+        (optional, ``(batch, n_clients)``) is the coordination veto over
+        clients already covered by a committed neighboring transmission.
+        Returns the chosen-client mask (global client axis) and the
+        per-item pick order (which fixes the stream order of the precoded
+        burst, as in the scalar evaluator).
 
         Finite load gates every pick through the stacked backlog masks:
         primary-class candidates first, then any-backlog fill-in -- the
         per-item mirror of the scalar gated pick (``pick`` is pure, so the
         extra masked call changes nothing when the first pick lands).
         """
-        n_clients = len(self._clients_of[ap])
         n_own = use_mask.shape[1]
         drr = self._drr[ap]
         primary_mask, any_mask = self._eligibility(ap)
-        chosen_mask = np.zeros((self.n_items, n_clients), dtype=bool)
+        if allowed is not None:
+            primary_mask = primary_mask & allowed
+            any_mask = any_mask & allowed
+        member_mask = self.association.members_mask(ap)
+        chosen_mask = np.zeros((self.n_items, self._n_clients), dtype=bool)
         chosen_lists: list[list[int]] = [[] for _ in range(self.n_items)]
 
         def take(candidates: np.ndarray) -> None:
@@ -431,10 +441,13 @@ class RoundBasedEvaluatorBatch:
                 chosen_lists[b].append(int(picks[b]))
 
         if self.mode is MacMode.CAS:
-            for __ in range(min(n_own, n_clients)):
-                take(~chosen_mask & participate[:, None])
+            # The scalar loop runs min(n_antennas, n_members) times; here
+            # n_own suffices -- once an item's eligible members are
+            # exhausted every further take() is a no-op for it.
+            for __ in range(n_own):
+                take(member_mask & ~chosen_mask & participate[:, None])
             return chosen_mask, chosen_lists
-        tags = self._tags[ap]
+        tags = self.association.tag_stack(ap)
         for local in range(n_own):
             candidates = (
                 tags[:, :, local]
@@ -457,9 +470,18 @@ class RoundBasedEvaluatorBatch:
             [] for _ in range(self.n_items)
         ]
         served_masks: dict[int, np.ndarray] = {}
+        coordinated = (
+            self.association.coordination is CoordinationMode.COORDINATED_SCHEDULING
+        )
         for position, ap in enumerate(order):
             own = self._antennas_of[ap]
             n_own = len(own)
+            # Coordinated scheduling: APs planning after others skip clients
+            # already covered by a committed transmission (per item; an item
+            # with nothing active yet keeps its full candidate set).
+            allowed = None
+            if coordinated and position > 0:
+                allowed = ~self.association.overheard_masks(active_mask)
             if position == 0:
                 free = np.ones((self.n_items, n_own), dtype=bool)
             else:
@@ -480,12 +502,18 @@ class RoundBasedEvaluatorBatch:
                 )
                 participate = item_active & use.any(axis=1)
                 use = use & participate[:, None]
-            chosen_mask, chosen_lists = self._select_clients(ap, use, participate)
+            chosen_mask, chosen_lists = self._select_clients(
+                ap, use, participate, allowed
+            )
             committed = participate & chosen_mask.any(axis=1)
             served_masks[ap] = chosen_mask & committed[:, None]
             active_mask[:, own] |= use & committed[:, None]
             for b in np.flatnonzero(committed):
                 planned[b].append((ap, own[use[b]], chosen_lists[b]))
+        for b in range(self.n_items):
+            self.association.note_served(
+                b, [c for __, __, chosen in planned[b] for c in chosen]
+            )
         return planned, active_mask, served_masks
 
     def _settle_round(self, served_masks: dict, item_active: np.ndarray) -> None:
@@ -494,8 +522,9 @@ class RoundBasedEvaluatorBatch:
         for ap in range(self.n_aps):
             served = served_masks[ap]
             has_served = served.any(axis=1)
-            self._drr[ap].settle(served, ~served & has_served[:, None])
-            self._drr[ap].credit((item_active & ~has_served)[:, None])
+            member = self.association.members_mask(ap)
+            self._drr[ap].settle(served, member & ~served & has_served[:, None])
+            self._drr[ap].credit(member & (item_active & ~has_served)[:, None])
 
     def _score_round(
         self, planned: list, item_active: np.ndarray, sounding_round: bool = True
@@ -529,7 +558,7 @@ class RoundBasedEvaluatorBatch:
         slot_estimates: dict[tuple[int, int], np.ndarray] = {}
         for b in np.flatnonzero(item_active):
             for s, (ap, antennas, chosen) in enumerate(planned[b]):
-                clients_global = self._clients_of[ap][np.asarray(chosen)]
+                clients_global = np.asarray(chosen, dtype=int)
                 slot_true[(b, s)] = h[b][np.ix_(clients_global, antennas)]
                 slot_clients[(b, s)] = clients_global
                 slot_estimates[(b, s)] = apply_csi_error(
@@ -660,7 +689,7 @@ class RoundBasedEvaluatorBatch:
         for b in np.flatnonzero(item_active):
             state = self._traffic[b]
             for s, (ap, antennas, chosen) in enumerate(planned[b]):
-                clients_global = self._clients_of[ap][np.asarray(chosen)]
+                clients_global = np.asarray(chosen, dtype=int)
                 fraction = data_fraction(
                     mac, len(clients_global), len(antennas), with_sounding,
                 )
@@ -686,15 +715,16 @@ class RoundBasedEvaluatorBatch:
         if self._traffic is not None:
             for b in np.flatnonzero(item_active):
                 self._traffic[b].begin_round()
-        # CSI staleness: sounding rounds re-derive every item's tags here
-        # and refresh the stacked snapshot inside the score step (no
-        # generator draws either way, so touching inactive items changes
-        # nothing they will ever report).
+        # CSI staleness: sounding rounds re-evaluate every item's
+        # association (handoffs + tag re-derivation) here and refresh the
+        # stacked snapshot inside the score step (no generator draws either
+        # way, so touching inactive items changes nothing they will ever
+        # report).
         sounding_round = True
         if self._mobility is not None:
             sounding_round = self._round_index % self._resound_period == 0
             if sounding_round:
-                self._rebuild_tags()
+                self.association.resound(self.channel.client_rx_power_dbm())
         self._round_index += 1
         with_sounding = self.sim.sounding_overhead and (
             self._mobility is None or sounding_round

@@ -26,12 +26,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .. import rng as rng_mod
+from ..assoc import CoordinationMode, build_association_state
 from ..channel.model import ChannelModel, apply_csi_error
 from ..config import MacConfig, SimConfig
 from ..core.naive import naive_scaled_precoder
 from ..core.power_balance import power_balanced_precoder
 from ..core.selection import DeficitRoundRobin
-from ..core.tagging import TagTable
 from ..mac.backoff import BackoffState
 from ..mac.carrier_sense import CarrierSenseModel
 from ..mac.frames import txop_durations
@@ -39,7 +39,7 @@ from ..mac.nav import NavTable
 from ..mobility import build_mobility_state
 from ..topology.scenarios import Scenario
 from ..traffic import AmpduConfig, TrafficState, TrafficSummary, resolve_traffic
-from .engine import EventQueue
+from . import EventQueue
 from .radio_state import ActiveTransmission, TransmissionLog
 
 
@@ -122,6 +122,9 @@ class NetworkSimulation:
         mobility=None,
         mobility_kwargs=None,
         resound_interval_s: float | None = None,
+        association=None,
+        association_kwargs=None,
+        coordination=None,
     ):
         self.scenario = scenario
         self.mode = mode
@@ -173,13 +176,18 @@ class NetworkSimulation:
         self.queue = EventQueue()
         self.log = TransmissionLog()
 
-        # Per-AP scheduling state: fairness counters and (MIDAS) packet tags.
+        # Per-AP scheduling state: global-axis fairness counters (see the
+        # round engine) plus the association layer, which owns the
+        # client->AP map, the (MIDAS) packet tags, and the handoff log.
         self._drr = {
-            ap: DeficitRoundRobin(len(self.deployment.clients_of(ap)))
+            ap: DeficitRoundRobin(self.deployment.n_clients)
             for ap in range(self.deployment.n_aps)
         }
-        self._tags = {}
-        self._rebuild_tags()
+        self.association = build_association_state(
+            association, association_kwargs, self.deployment,
+            self.mac, coordination,
+        )
+        self.association.resound(self.channel.client_rx_power_dbm())
 
         contender_rngs = rng_mod.spawn(mac_rng, self.deployment.n_aps * 8)
         self._contenders: list[_Contender] = []
@@ -205,17 +213,6 @@ class NetworkSimulation:
         self._last_channel_advance_us = 0.0
         self._txop_count = 0
         self._stream_count = 0
-
-    def _rebuild_tags(self) -> None:
-        """(Re-)derive virtual packet tags from the clients' current RSSI --
-        at construction, and at every mobility re-sounding so tag-based
-        selection hands roaming clients off between antennas."""
-        rssi = self.channel.client_rx_power_dbm()
-        for ap in range(self.deployment.n_aps):
-            clients = self.deployment.clients_of(ap)
-            antennas = self.deployment.antennas_of(ap)
-            width = min(self.mac.tag_width, len(antennas))
-            self._tags[ap] = TagTable.from_rssi(rssi[np.ix_(clients, antennas)], width)
 
     # ------------------------------------------------------------------
     # Medium state queries
@@ -265,8 +262,9 @@ class NetworkSimulation:
         return ordered, start_us
 
     def _eligibility(self, ap: int, now_us: float) -> tuple[np.ndarray, np.ndarray]:
-        """(primary-class, any-class) backlog masks over ``ap``'s clients;
-        all-ones under full buffer (see the round engine's twin).
+        """(primary-class, any-class) backlog masks over *all* clients,
+        restricted to ``ap``'s current members; the membership mask twice
+        under full buffer (see the round engine's twin).
 
         Eligibility is cut off at ``now_us``: the arrival generator works
         in whole TXOP windows that can extend past the present, and a
@@ -274,18 +272,23 @@ class NetworkSimulation:
         win the medium nor be DRR-settled as served -- the service step
         applies the same cutoff at the TXOP start.
         """
-        n_local = len(self.deployment.clients_of(ap))
+        member_mask = self.association.member_mask(ap)
         if self._traffic is None:
-            ones = np.ones(n_local, dtype=bool)
-            return ones, ones
-        clients = self.deployment.clients_of(ap)
+            return member_mask, member_mask
+        members = self.association.members(ap)
+        any_mask = np.zeros(self.deployment.n_clients, dtype=bool)
+        primary_mask = np.zeros(self.deployment.n_clients, dtype=bool)
+        if members.size == 0:
+            return primary_mask, any_mask
         cutoff_s = now_us * 1e-6
-        any_mask = self._traffic.backlog_mask(clients, arrival_cutoff_s=cutoff_s)
-        primary = self._traffic.primary_class(clients, arrival_cutoff_s=cutoff_s)
-        primary_mask = (
-            any_mask
+        any_mask[members] = self._traffic.backlog_mask(
+            members, arrival_cutoff_s=cutoff_s
+        )
+        primary = self._traffic.primary_class(members, arrival_cutoff_s=cutoff_s)
+        primary_mask[members] = (
+            any_mask[members]
             if primary is None
-            else self._traffic.backlog_mask(clients, primary, arrival_cutoff_s=cutoff_s)
+            else self._traffic.backlog_mask(members, primary, arrival_cutoff_s=cutoff_s)
         )
         return primary_mask, any_mask
 
@@ -299,21 +302,36 @@ class NetworkSimulation:
         return pick
 
     def _select_clients_midas(
-        self, ap: int, antennas_in_order: np.ndarray, now_us: float
+        self, ap: int, antennas_in_order: np.ndarray, masks
     ) -> list[int]:
-        """Per-antenna tagged DRR selection (§3.2.4-5), in local client ids."""
-        tags = self._tags[ap]
+        """Per-antenna tagged DRR selection (§3.2.4-5), in global client ids."""
         local_antennas = self._local_antenna_ids(ap, antennas_in_order)
-        masks = self._eligibility(ap, now_us)
         chosen: list[int] = []
         for antenna in local_antennas:
             candidates = [
-                c for c in tags.clients_tagged_to(int(antenna)) if c not in chosen
+                int(c)
+                for c in self.association.tagged_clients(ap, int(antenna))
+                if c not in chosen
             ]
             pick = self._gated_pick(ap, candidates, masks)
             if pick is not None:
                 chosen.append(pick)
         return chosen
+
+    def _coordination_allowed(self, ap: int) -> np.ndarray | None:
+        """Coordinated-scheduling veto for ``ap``: clients able to overhear
+        another AP's in-flight TXOP are skipped (``None`` when coordination
+        is off or nothing foreign is on the air)."""
+        if self.association.coordination is not CoordinationMode.COORDINATED_SCHEDULING:
+            return None
+        foreign = [
+            a
+            for a in self.log.transmitting_antennas()
+            if int(self.deployment.antenna_ap[a]) != ap
+        ]
+        if not foreign:
+            return None
+        return ~self.association.overheard_mask(foreign)
 
     def _local_antenna_ids(self, ap: int, global_ids: np.ndarray) -> np.ndarray:
         own = self.deployment.antennas_of(ap)
@@ -341,8 +359,9 @@ class NetworkSimulation:
         self._last_channel_advance_us = now_us
 
     def _maybe_resound(self, now_us: float) -> None:
-        """Refresh the stale-CSI snapshot (and the tags) when the
-        re-sounding interval has elapsed; mobility runs only.  The
+        """Refresh the stale-CSI snapshot (and re-evaluate the association:
+        handoffs plus tag re-derivation) when the re-sounding interval has
+        elapsed; mobility runs only.  The
         sounding's airtime is marked unpaid until a TXOP actually
         transmits and charges it (the triggering TXOP may still abort).
 
@@ -353,20 +372,19 @@ class NetworkSimulation:
         if self._mobility is None:
             return
         if self._resound_interval_us is None:
-            self._rebuild_tags()
+            self.association.resound(self.channel.client_rx_power_dbm())
             return
         if (
             self._h_csi is None
             or now_us - self._last_resound_us >= self._resound_interval_us
         ):
             self._h_csi = self.channel.channel_matrix()
-            self._rebuild_tags()
+            self.association.resound(self.channel.client_rx_power_dbm())
             self._last_resound_us = now_us
             self._sounding_unpaid += 1
 
     def _begin_txop(self, contender: _Contender, now_us: float) -> None:
         ap = contender.ap
-        own_clients = self.deployment.clients_of(ap)
         if self._mobility is not None:
             # Pull the trajectory (and fading) up to the present before any
             # tag/CSI decision, then re-sound if the interval has elapsed.
@@ -376,28 +394,32 @@ class NetworkSimulation:
             # Pull the arrival stream up to the present so eligibility sees
             # everything queued by the time this TXOP wins the medium.
             self._traffic.advance_arrivals_to(now_us * 1e-6)
+        members = self.association.members(ap)
+        masks = self._eligibility(ap, now_us)
+        allowed = self._coordination_allowed(ap)
+        if allowed is not None:
+            masks = (masks[0] & allowed, masks[1] & allowed)
         if self.mode is MacMode.CAS:
             antennas = self.deployment.antennas_of(ap)
-            n_streams = min(len(antennas), len(own_clients))
-            masks = self._eligibility(ap, now_us)
-            chosen_local: list[int] = []
+            n_streams = min(len(antennas), len(members))
+            chosen: list[int] = []
             for __ in range(n_streams):
                 pick = self._gated_pick(
                     ap,
-                    [c for c in range(len(own_clients)) if c not in chosen_local],
+                    [int(c) for c in members if c not in chosen],
                     masks,
                 )
                 if pick is None:
                     break
-                chosen_local.append(pick)
+                chosen.append(pick)
             start_us = now_us
         else:
             antennas, start_us = self._gather_antennas(contender, now_us)
             if len(antennas) == 0:
                 self._schedule_attempt(contender, now_us + self.mac.difs_us)
                 return
-            chosen_local = self._select_clients_midas(ap, antennas, now_us)
-            if not chosen_local:
+            chosen = self._select_clients_midas(ap, antennas, masks)
+            if not chosen:
                 # No tagged backlog for any available antenna: skip this
                 # opportunity and recontend.
                 self._schedule_attempt(
@@ -409,13 +431,13 @@ class NetworkSimulation:
             # the clients with precoding"), even when fewer clients than
             # antennas were tagged -- the spare antennas contribute array gain.
 
-        if not chosen_local:
+        if not chosen:
             self._schedule_attempt(
                 contender, now_us + self.mac.difs_us + contender.backoff.draw_delay_us()
             )
             return
 
-        clients_global = own_clients[np.asarray(chosen_local, dtype=int)]
+        clients_global = np.asarray(chosen, dtype=int)
         self._advance_channel(start_us)
         h_full = self.channel.channel_matrix()
         h_rows = h_full[clients_global, :]
@@ -477,10 +499,10 @@ class NetworkSimulation:
             if other.ap == ap and np.intersect1d(other.antennas, tx.antennas).size:
                 other.in_txop_until_us = tx.end_us
 
-        # DRR settlement: losers are backlogged clients that were not served.
-        drr = self._drr[ap]
-        losers = [c for c in range(len(own_clients)) if c not in chosen_local]
-        drr.settle(chosen_local, losers, txop_units=1.0)
+        # DRR settlement: losers are members that were not served.
+        losers = [int(c) for c in members if c not in chosen]
+        self._drr[ap].settle(chosen, losers, txop_units=1.0)
+        self.association.note_served(clients_global)
 
         self.queue.schedule(tx.end_us, lambda t, tx=tx: self._end_txop(tx, t))
 

@@ -31,12 +31,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from .. import rng as rng_mod
+from ..assoc import CoordinationMode, build_association_state
 from ..channel.model import ChannelModel, apply_csi_error
 from ..config import SimConfig
 from ..core.naive import naive_scaled_precoder
 from ..core.power_balance import power_balanced_precoder
 from ..core.selection import DeficitRoundRobin
-from ..core.tagging import TagTable
 from ..mac.carrier_sense import CarrierSenseModel
 from ..mac.frames import data_fraction
 from ..mobility import build_mobility_state
@@ -241,6 +241,9 @@ class RoundBasedEvaluator:
         mobility=None,
         mobility_kwargs=None,
         resound_period_rounds: int = 1,
+        association=None,
+        association_kwargs=None,
+        coordination=None,
     ):
         self.scenario = scenario
         self.mode = mode
@@ -271,24 +274,24 @@ class RoundBasedEvaluator:
         self.carrier_sense = CarrierSenseModel(
             self.channel.antenna_cross_power_dbm(), scenario.mac
         )
+        # DRR counters live on the *global* client axis so membership can
+        # change at a handoff without resizing any scheduler state.  With
+        # the default static association this selects exactly the clients
+        # the historical per-AP-local counters selected: the global id of
+        # the k-th member is monotone in k, pick() sorts candidates, and
+        # argmax ties still break toward the lowest id.
         self._drr = {
-            ap: DeficitRoundRobin(len(self.deployment.clients_of(ap)))
+            ap: DeficitRoundRobin(self.deployment.n_clients)
             for ap in range(self.deployment.n_aps)
         }
-        self._tags = {}
-        self._rebuild_tags()
-
-    def _rebuild_tags(self) -> None:
-        """(Re-)derive every AP's anchor-antenna preference tags from the
-        clients' *current* large-scale RSSI -- at construction, and on every
-        re-sounding round of a mobility run (so tag-based selection hands
-        roaming clients off between antennas as their geometry drifts)."""
-        rssi = self.channel.client_rx_power_dbm()
-        for ap in range(self.deployment.n_aps):
-            clients = self.deployment.clients_of(ap)
-            antennas = self.deployment.antennas_of(ap)
-            width = min(self.scenario.mac.tag_width, len(antennas))
-            self._tags[ap] = TagTable.from_rssi(rssi[np.ix_(clients, antennas)], width)
+        #: The association layer owns the client->AP map, the anchor-antenna
+        #: tags, and the handoff/outage log; the policy re-evaluates (and
+        #: tags rebuild) at construction and at every re-sounding round.
+        self.association = build_association_state(
+            association, association_kwargs, self.deployment,
+            scenario.mac, coordination,
+        )
+        self.association.resound(self.channel.client_rx_power_dbm())
 
     # ------------------------------------------------------------------
     def _free_antennas(self, ap: int, active_antennas: list[int]) -> np.ndarray:
@@ -310,31 +313,48 @@ class RoundBasedEvaluator:
         return np.asarray(free, dtype=int)
 
     def _eligibility(self, ap: int) -> tuple[np.ndarray, np.ndarray]:
-        """(primary-class, any-class) backlog masks over ``ap``'s clients.
+        """(primary-class, any-class) backlog masks over *all* clients,
+        restricted to ``ap``'s current members.
 
-        Full-buffer runs return all-ones masks, reducing selection to the
-        historical unrestricted DRR.  Under finite load the first mask
-        holds clients backlogged in the AP's *primary* EDCA class (the one
-        winning internal contention); the second holds any backlog, used to
-        fill leftover streams (802.11ac's secondary-class rule).
+        Full-buffer runs return the membership mask twice, reducing
+        selection to the historical unrestricted DRR.  Under finite load
+        the first mask holds members backlogged in the AP's *primary* EDCA
+        class (the one winning internal contention); the second holds any
+        member backlog, used to fill leftover streams (802.11ac's
+        secondary-class rule).
         """
-        n_local = len(self.deployment.clients_of(ap))
+        member_mask = self.association.member_mask(ap)
         if self._traffic is None:
-            ones = np.ones(n_local, dtype=bool)
-            return ones, ones
-        clients = self.deployment.clients_of(ap)
-        any_mask = self._traffic.backlog_mask(clients)
-        primary = self._traffic.primary_class(clients)
-        primary_mask = (
-            any_mask if primary is None else self._traffic.backlog_mask(clients, primary)
+            return member_mask, member_mask
+        members = self.association.members(ap)
+        any_mask = np.zeros(self.deployment.n_clients, dtype=bool)
+        primary_mask = np.zeros(self.deployment.n_clients, dtype=bool)
+        if members.size == 0:
+            return primary_mask, any_mask
+        any_mask[members] = self._traffic.backlog_mask(members)
+        primary = self._traffic.primary_class(members)
+        primary_mask[members] = (
+            any_mask[members]
+            if primary is None
+            else self._traffic.backlog_mask(members, primary)
         )
         return primary_mask, any_mask
 
-    def _select_clients(self, ap: int, antennas: np.ndarray) -> list[int]:
-        """Local client ids served by ``antennas`` of ``ap`` this round."""
-        n_clients = len(self.deployment.clients_of(ap))
+    def _select_clients(
+        self, ap: int, antennas: np.ndarray, allowed: np.ndarray | None = None
+    ) -> list[int]:
+        """Global client ids served by ``antennas`` of ``ap`` this round.
+
+        ``allowed`` (optional, over all clients) is the coordination veto:
+        clients outside it are skipped (they already overhear a committed
+        neighboring transmission this round).
+        """
+        members = self.association.members(ap)
         drr = self._drr[ap]
         primary_mask, any_mask = self._eligibility(ap)
+        if allowed is not None:
+            primary_mask = primary_mask & allowed
+            any_mask = any_mask & allowed
 
         def gated_pick(candidates: list[int]) -> int | None:
             pick = drr.pick([c for c in candidates if primary_mask[c]])
@@ -344,19 +364,22 @@ class RoundBasedEvaluator:
 
         if self.mode is MacMode.CAS:
             chosen: list[int] = []
-            for __ in range(min(len(antennas), n_clients)):
-                pick = gated_pick([c for c in range(n_clients) if c not in chosen])
+            for __ in range(min(len(antennas), len(members))):
+                pick = gated_pick([int(c) for c in members if c not in chosen])
                 if pick is None:
                     break
                 chosen.append(pick)
             return chosen
-        tags = self._tags[ap]
         own = self.deployment.antennas_of(ap)
         index_of = {int(g): i for i, g in enumerate(own)}
         chosen = []
         for antenna in antennas:
             local = index_of[int(antenna)]
-            candidates = [c for c in tags.clients_tagged_to(local) if c not in chosen]
+            candidates = [
+                int(c)
+                for c in self.association.tagged_clients(ap, local)
+                if c not in chosen
+            ]
             pick = gated_pick(candidates)
             if pick is not None:
                 chosen.append(pick)
@@ -377,9 +400,10 @@ class RoundBasedEvaluator:
         if self._traffic is not None:
             self._traffic.begin_round()
         # CSI staleness (mobility runs): sounding rounds re-capture the CSI
-        # snapshot and re-derive the anchor-antenna tags at the clients'
-        # current positions; in between, precoders keep using the stale
-        # snapshot while SINRs are scored against the live channel.
+        # snapshot and let the association layer re-evaluate the client->AP
+        # map and re-derive the anchor-antenna tags at the clients' current
+        # positions; in between, precoders keep using the stale snapshot
+        # while SINRs are scored against the live channel.
         sounding_round = True
         if self._mobility is not None:
             sounding_round = self._round_index % self._resound_period == 0
@@ -387,13 +411,22 @@ class RoundBasedEvaluator:
                 # The CSI snapshot itself is captured at scoring time below
                 # (the channel cannot change within a round) to avoid
                 # materializing the channel matrix twice.
-                self._rebuild_tags()
+                self.association.resound(self.channel.client_rx_power_dbm())
         self._round_index += 1
         n_aps = self.deployment.n_aps
+        coordinated = (
+            self.association.coordination is CoordinationMode.COORDINATED_SCHEDULING
+        )
         order = [(primary_ap + i) % n_aps for i in range(n_aps)]
         active_antennas: list[int] = []
         planned: list[tuple[int, np.ndarray, list[int]]] = []
         for position, ap in enumerate(order):
+            # Coordinated scheduling: APs planning after others learn the
+            # committed picks and skip clients already covered (able to
+            # overhear an active transmission) this round.
+            allowed = None
+            if coordinated and active_antennas:
+                allowed = ~self.association.overheard_mask(active_antennas)
             if self.mode is MacMode.CAS:
                 # One channel state per AP: a secondary AP transmits all of
                 # its antennas iff its (co-located) CCA is clear of every
@@ -414,11 +447,16 @@ class RoundBasedEvaluator:
                 )
             if len(antennas) == 0:
                 continue
-            chosen_local = self._select_clients(ap, np.asarray(antennas, dtype=int))
-            if not chosen_local:
+            chosen = self._select_clients(
+                ap, np.asarray(antennas, dtype=int), allowed
+            )
+            if not chosen:
                 continue
-            planned.append((ap, np.asarray(antennas, dtype=int), chosen_local))
+            planned.append((ap, np.asarray(antennas, dtype=int), chosen))
             active_antennas.extend(int(a) for a in antennas)
+        self.association.note_served(
+            [c for __, __, chosen in planned for c in chosen]
+        )
 
         # Precode every planned set, then score with mutual interference.
         # Precoders see the CSI captured at the last sounding (``h_csi``);
@@ -432,8 +470,8 @@ class RoundBasedEvaluator:
         )
         noise_mw = self.scenario.radio.noise_mw
         precoders = []
-        for ap, antennas, chosen_local in planned:
-            clients_global = self.deployment.clients_of(ap)[np.asarray(chosen_local)]
+        for ap, antennas, chosen in planned:
+            clients_global = np.asarray(chosen, dtype=int)
             h_sub = h_csi[np.ix_(clients_global, antennas)]
             precoders.append(self._precoder(h_sub))
 
@@ -441,8 +479,8 @@ class RoundBasedEvaluator:
         n_streams = 0
         sounding_us = 0.0
         per_ap_streams = np.zeros(n_aps, dtype=int)
-        for index, (ap, antennas, chosen_local) in enumerate(planned):
-            clients_global = self.deployment.clients_of(ap)[np.asarray(chosen_local)]
+        for index, (ap, antennas, chosen) in enumerate(planned):
+            clients_global = np.asarray(chosen, dtype=int)
             own = np.abs(h[np.ix_(clients_global, antennas)] @ precoders[index]) ** 2
             desired = np.diag(own)
             intra = own.sum(axis=1) - desired
@@ -477,10 +515,12 @@ class RoundBasedEvaluator:
                     clients_global, sinr, self._traffic.round_duration_s * fraction
                 )
 
-            # Fairness settlement per transmitting AP.
-            n_clients = len(self.deployment.clients_of(ap))
-            losers = [c for c in range(n_clients) if c not in chosen_local]
-            self._drr[ap].settle(chosen_local, losers, txop_units=1.0)
+            # Fairness settlement per transmitting AP (members only -- a
+            # non-member entry in the global counters stays untouched).
+            losers = [
+                int(c) for c in self.association.members(ap) if c not in chosen
+            ]
+            self._drr[ap].settle(chosen, losers, txop_units=1.0)
 
         # Every AP settles every round: one that was blocked (or found no
         # eligible client) sent nothing, but its backlogged clients still
@@ -489,8 +529,7 @@ class RoundBasedEvaluator:
         transmitted = {ap for ap, __, __ in planned}
         for ap in range(n_aps):
             if ap not in transmitted:
-                n_clients = len(self.deployment.clients_of(ap))
-                self._drr[ap].credit(range(n_clients), txop_units=1.0)
+                self._drr[ap].credit(self.association.members(ap), txop_units=1.0)
 
         return RoundResult(
             capacity_bps_hz=capacity,

@@ -12,6 +12,7 @@ from .geometry import (
 from .scenarios import (
     OfficeEnvironment,
     Scenario,
+    campus_scenario,
     dense_office_scenario,
     eight_ap_scenario,
     grid_region_scenario,
@@ -35,6 +36,7 @@ __all__ = [
     "sector_angles_ok",
     "OfficeEnvironment",
     "Scenario",
+    "campus_scenario",
     "dense_office_scenario",
     "eight_ap_scenario",
     "grid_region_scenario",

@@ -362,6 +362,51 @@ def grid_region_scenario(
     )
 
 
+def campus_scenario(
+    environment: OfficeEnvironment,
+    *,
+    n_rows: int = 5,
+    n_cols: int = 5,
+    spacing_m: float = 25.0,
+    antennas_per_ap: int = 4,
+    clients_per_ap: int = 8,
+    seed: int = 0,
+    mac: MacConfig = DEFAULT_MAC,
+    modes: tuple[AntennaMode, ...] = (AntennaMode.CAS, AntennaMode.DAS),
+) -> dict[AntennaMode, Scenario]:
+    """A campus-scale AP grid with cell-edge clients -- the roaming regime.
+
+    Like :func:`grid_region_scenario` but sized for association studies:
+    a wider AP pitch and a client annulus pushed out to 70% of the coverage
+    range, so many clients sit near cell boundaries where a small position
+    change (mobility) flips which AP is strongest.  The default 5x5 grid
+    with 8 clients per AP gives tens of APs and hundreds of antennas and
+    clients -- the scale the association/coordination layer targets.
+    """
+    if n_rows < 1 or n_cols < 1 or spacing_m <= 0:
+        raise ValueError("need positive grid dimensions and spacing")
+    aps = [
+        (col * spacing_m, row * spacing_m)
+        for row in range(n_rows)
+        for col in range(n_cols)
+    ]
+    return paired_scenarios(
+        environment,
+        aps,
+        antennas_per_ap=antennas_per_ap,
+        clients_per_ap=clients_per_ap,
+        seed=seed,
+        mac=mac,
+        client_radius_fraction=0.7,
+        client_radius_min_fraction=0.35,
+        das_radius_min_m=5.0,
+        das_radius_max_m=10.0,
+        min_separation_m=5.0,
+        name=f"campus_{n_rows}x{n_cols}",
+        modes=modes,
+    )
+
+
 def dense_office_scenario(
     environment: OfficeEnvironment,
     *,

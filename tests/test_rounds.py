@@ -91,10 +91,13 @@ class TestDrrSettlement:
         ev = RoundBasedEvaluator(pair[AntennaMode.CAS], MacMode.CAS, seed=seed)
         result = ev.evaluate_round(primary_ap=0)
         np.testing.assert_array_equal(np.flatnonzero(result.per_ap_streams), [0])
+        # Counters are global-axis: only the blocked AP's own members move.
         for blocked_ap in (1, 2):
+            members = ev.association.members(blocked_ap)
+            expected = np.zeros(ev.deployment.n_clients)
+            expected[members] = 1.0
             np.testing.assert_array_equal(
-                ev._drr[blocked_ap].counters,
-                np.ones(len(ev.deployment.clients_of(blocked_ap))),
+                ev._drr[blocked_ap].counters, expected
             )
 
     def test_transmitting_ap_settles_paper_rule(self, overhearing_pair):
@@ -103,6 +106,6 @@ class TestDrrSettlement:
         result = ev.evaluate_round(primary_ap=0)
         # Four streams, four clients: everyone served, counters at -1 each.
         assert result.per_ap_streams[0] == 4
-        np.testing.assert_array_equal(
-            ev._drr[0].counters, -np.ones(len(ev.deployment.clients_of(0)))
-        )
+        expected = np.zeros(ev.deployment.n_clients)
+        expected[ev.association.members(0)] = -1.0
+        np.testing.assert_array_equal(ev._drr[0].counters, expected)
