@@ -25,12 +25,14 @@ import argparse
 import json
 import platform
 import sys
+import warnings
 from pathlib import Path
 
 _PATTERNS = (
     "vectorized_timings*.json",
     "campaign_timings*.json",
     "array_api_timings*.json",
+    "telemetry_timings*.json",
 )
 
 _NOTE = (
@@ -51,32 +53,118 @@ def _package_version() -> str:
 
 
 def collect(artifact_dir: Path) -> dict[str, dict]:
-    """Every timing artifact in ``artifact_dir``, keyed by file stem."""
+    """Every timing artifact in ``artifact_dir``, keyed by file stem.
+
+    Unreadable (torn mid-write, truncated) or malformed artifacts are
+    warned about and skipped -- one bad artifact never sinks the fold.
+    """
     sources: dict[str, dict] = {}
     for pattern in _PATTERNS:
         for path in sorted(artifact_dir.glob(pattern)):
             try:
-                sources[path.stem] = json.loads(path.read_text())
+                data = json.loads(path.read_text())
             except (json.JSONDecodeError, OSError) as exc:
-                print(f"skipping unreadable artifact {path}: {exc}")
+                warnings.warn(
+                    f"skipping unreadable artifact {path}: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+            if not isinstance(data, dict):
+                warnings.warn(
+                    f"skipping malformed artifact {path}: not a JSON object",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+            sources[path.stem] = data
     return sources
 
 
+def _phase_breakdown(sources: dict[str, dict]) -> dict[str, float]:
+    """Per-phase span totals (microseconds) lifted from telemetry artifacts."""
+    phases: dict[str, float] = {}
+    for _stem, data in sorted(sources.items()):
+        totals = data.get("span_totals")
+        if not isinstance(totals, dict):
+            continue
+        for name, info in totals.items():
+            if isinstance(info, dict) and "total_us" in info:
+                phases[name] = phases.get(name, 0.0) + round(
+                    float(info["total_us"]), 3
+                )
+    return phases
+
+
+def _dedupe(entries: list) -> list:
+    """Keep the latest entry per version; warn about what gets dropped."""
+    latest: dict[str, dict] = {}
+    order: list[str] = []
+    for entry in entries:
+        if not isinstance(entry, dict) or "version" not in entry:
+            warnings.warn(
+                "dropping a trajectory entry with no version label",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            continue
+        version = str(entry["version"])
+        if version in latest:
+            warnings.warn(
+                f"duplicate trajectory entries for version {version}; "
+                f"keeping the latest",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            order.remove(version)
+        latest[version] = entry
+        order.append(version)
+    return [latest[v] for v in order]
+
+
 def fold(trajectory_path: Path, version: str, sources: dict[str, dict]) -> dict:
-    """Replace-or-append the ``version`` entry; keep the rest verbatim."""
+    """Replace-or-append the ``version`` entry; keep the rest verbatim.
+
+    A torn/unparseable trajectory file is warned about and rebuilt from
+    scratch (every artifact fold is additive, so losing the file only
+    loses history, never current data); duplicate same-version entries
+    from earlier runs are collapsed to the latest one.
+    """
+    trajectory = {"note": _NOTE, "entries": []}
     if trajectory_path.exists():
-        trajectory = json.loads(trajectory_path.read_text())
-    else:
-        trajectory = {"note": _NOTE, "entries": []}
+        try:
+            loaded = json.loads(trajectory_path.read_text())
+        except (json.JSONDecodeError, OSError) as exc:
+            loaded = None
+            warnings.warn(
+                f"trajectory {trajectory_path} is unreadable ({exc}); "
+                f"starting a fresh one",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        if isinstance(loaded, dict) and isinstance(loaded.get("entries"), list):
+            trajectory = loaded
+        elif loaded is not None:
+            warnings.warn(
+                f"trajectory {trajectory_path} is malformed; starting a "
+                f"fresh one",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     entry = {
         "version": version,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "sources": sources,
     }
-    entries = [e for e in trajectory["entries"] if e["version"] != version]
+    phases = _phase_breakdown(sources)
+    if phases:
+        entry["phases"] = phases
+    entries = _dedupe(trajectory["entries"])
+    entries = [e for e in entries if e["version"] != version]
     entries.append(entry)
     trajectory["entries"] = entries
+    trajectory.setdefault("note", _NOTE)
     return trajectory
 
 

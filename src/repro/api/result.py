@@ -104,6 +104,11 @@ class RunResult(ExperimentResult):
     """An :class:`ExperimentResult` plus provenance and serialization."""
 
     spec: RunSpec | None = None
+    #: In-memory :class:`repro.obs.TelemetrySummary` snapshot attached by a
+    #: ``Runner`` configured with telemetry; ``None`` otherwise.  Pure
+    #: observation: never serialized (JSON and npz round-trips drop it), never
+    #: compared, and never part of cache identity.
+    telemetry: Any | None = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # JSON round-trip

@@ -33,6 +33,7 @@ The runner owns everything the declarative spec deliberately leaves out:
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import math
@@ -44,6 +45,7 @@ from itertools import repeat
 from pathlib import Path
 
 from .. import __version__ as _PACKAGE_VERSION
+from .. import obs as obsmod
 from .. import rng as rng_mod
 from .. import xp as xpmod
 from .experiments import ExperimentDef, get_experiment_def, load_builtin_experiments
@@ -190,6 +192,16 @@ class Runner:
         ``"npz"`` (binary series; what campaign shards use).  Both
         round-trip losslessly; the format is not part of the cache key
         beyond the file suffix.
+    telemetry:
+        An optional :class:`repro.obs.Telemetry` installed (via
+        :func:`repro.obs.use`) around every :meth:`run` /
+        :meth:`run_window` call, collecting spans and counters from the
+        engines and the runner itself.  ``None`` (default) keeps the
+        null-object fast path.  Telemetry is pure observation: it never
+        enters cache keys, never changes control flow, and engine outputs
+        are byte-identical with it on or off.  Results carry a
+        :class:`repro.obs.TelemetrySummary` snapshot in
+        ``RunResult.telemetry`` when set.
     """
 
     jobs: int = 1
@@ -200,6 +212,11 @@ class Runner:
     device: str = "cpu"
     dtype: str = "float64"
     cache_format: str = "json"
+    # Observation only: excluded from repr/compare and (deliberately) from
+    # _cache_path -- a traced run and an untraced run share cache entries.
+    telemetry: obsmod.Telemetry | None = field(
+        default=None, repr=False, compare=False
+    )
     # A pool installed by run_many() so consecutive specs share workers
     # instead of paying pool startup per spec; never part of identity.
     _shared_pool: ProcessPoolExecutor | None = field(
@@ -219,6 +236,13 @@ class Runner:
             raise ValueError(
                 f"Runner.cache_format must be one of {_CACHE_FORMATS}, "
                 f"got {self.cache_format!r}"
+            )
+        if self.telemetry is not None and not isinstance(
+            self.telemetry, obsmod.Telemetry
+        ):
+            raise TypeError(
+                "Runner.telemetry must be a repro.obs.Telemetry or None, "
+                f"got {type(self.telemetry).__name__}"
             )
         xp_config = (self.namespace, self.device, self.dtype)
         if self.backend != "array_api" and xp_config != ("numpy", "cpu", "float64"):
@@ -241,15 +265,42 @@ class Runner:
         """
         return xpmod.get_namespace(self.namespace, self.device, self.dtype)
 
+    def _obs_scope(self):
+        """Context installing this runner's telemetry (no-op when unset)."""
+        if self.telemetry is None:
+            return contextlib.nullcontext()
+        return obsmod.use(self.telemetry)
+
+    def _attach_summary(self, result: RunResult) -> RunResult:
+        """Snapshot the telemetry onto ``result`` (in memory only).
+
+        ``RunResult.telemetry`` is never serialized, so cached entries stay
+        byte-identical whether a run was traced or not.
+        """
+        if self.telemetry is not None:
+            object.__setattr__(result, "telemetry", self.telemetry.summary())
+        return result
+
     def run(self, spec: RunSpec) -> RunResult:
         """Execute ``spec`` (or load it from cache) into a :class:`RunResult`."""
+        with self._obs_scope():
+            with obsmod.active().span(
+                "runner.run", experiment=spec.experiment, backend=self.backend
+            ):
+                result = self._execute(spec)
+        return self._attach_summary(result)
+
+    def _execute(self, spec: RunSpec) -> RunResult:
         defn = get_experiment_def(spec.experiment)
         params = resolve_params(defn, spec)
 
         cache_path = self._cache_path(spec, params)
         cached = self._load_cache(cache_path)
         if cached is not None:
+            obsmod.active().count("runner.cache.hits")
             return cached
+        if cache_path is not None:
+            obsmod.active().count("runner.cache.misses")
 
         outcomes = self._sweep(defn, params)
         base = defn.finalize(outcomes, params)
@@ -280,6 +331,20 @@ class Runner:
             raise ValueError("seed_start must be >= 0")
         if seed_count < 1:
             raise ValueError("seed_count must be >= 1")
+        with self._obs_scope():
+            with obsmod.active().span(
+                "runner.run",
+                experiment=spec.experiment,
+                backend=self.backend,
+                seed_start=int(seed_start),
+                seed_count=int(seed_count),
+            ):
+                result = self._execute_window(spec, seed_start, seed_count)
+        return self._attach_summary(result)
+
+    def _execute_window(
+        self, spec: RunSpec, seed_start: int, seed_count: int
+    ) -> RunResult:
         defn = get_experiment_def(spec.experiment)
         params = resolve_params(defn, spec)
         params["n_topologies"] = seed_count
@@ -288,7 +353,10 @@ class Runner:
         cache_path = self._cache_path(spec, params, window=window)
         cached = self._load_cache(cache_path)
         if cached is not None:
+            obsmod.active().count("runner.cache.hits")
             return cached
+        if cache_path is not None:
+            obsmod.active().count("runner.cache.misses")
 
         outcomes = self._sweep(defn, params, window=window)
         base = defn.finalize(outcomes, params)
@@ -388,6 +456,7 @@ class Runner:
         try:
             return RunResult.load(cache_path)
         except _CACHE_READ_ERRORS as exc:
+            obsmod.active().count("runner.cache.recomputes")
             warnings.warn(
                 f"cache entry {cache_path} is unreadable "
                 f"({type(exc).__name__}: {exc}); recomputing",
@@ -419,6 +488,7 @@ class Runner:
         batched_backend = self.backend in ("vectorized", "array_api")
         vectorized = batched_backend and defn.build_batch is not None
         if batched_backend and defn.build_batch is None:
+            obsmod.active().count("runner.loop_fallbacks")
             warnings.warn(
                 f"experiment {defn.name!r} defines no build_batch hook; "
                 f"falling back to the per-topology loop backend",

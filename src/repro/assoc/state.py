@@ -35,6 +35,7 @@ import numpy as np
 
 from ..api.registry import ASSOCIATION, COORDINATION
 from ..core.tagging import TagTable
+from ..obs import active as _obs_active
 
 
 class CoordinationMode(str, enum.Enum):
@@ -165,6 +166,7 @@ class AssociationState:
         # A full inter-sounding window passed: anyone still pending was
         # never served after crossing -- count the outage.
         self._completed_outages += len(self._pending)
+        _obs_active().count("assoc.outages", len(self._pending))
         self._pending.clear()
 
         per_ap = np.stack(
@@ -195,6 +197,7 @@ class AssociationState:
         ]
         for event in events:
             self._pending[event.client] = event.sounding_index
+        _obs_active().count("assoc.handoffs", len(events))
         self.handoff_events.extend(events)
         self.client_ap = new_map
         self._rssi_dbm = rssi

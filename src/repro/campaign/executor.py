@@ -22,6 +22,7 @@ to a :class:`~repro.campaign.result.CampaignResult`:
 
 from __future__ import annotations
 
+import contextlib
 import signal
 import sys
 import time
@@ -29,10 +30,11 @@ import warnings
 from collections import defaultdict
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from .. import __version__ as _PACKAGE_VERSION
+from .. import obs as obsmod
 from ..analysis.streaming import StreamingSummary
 from ..api.result import RunResult
 from ..api.runner import Runner, _CACHE_READ_ERRORS
@@ -42,6 +44,7 @@ from .result import CampaignResult, CellAggregate
 from .spec import CampaignSpec, ShardPlan
 
 _RESULT_NAME = "result.json"
+METRICS_NAME = "metrics.json"
 
 
 class CampaignError(RuntimeError):
@@ -61,16 +64,24 @@ def _shard_worker(payload: dict) -> dict:
     shard key, accepted count, and the per-series streaming-accumulator
     states -- never the raw series -- so the master's memory stays bounded
     by accumulator size regardless of campaign scale.
+
+    With ``payload["telemetry"]`` set, the shard runs under a fresh
+    per-shard :class:`repro.obs.Telemetry` whose whole lifetime is one
+    ``campaign.shard`` span carrying the shard key; a compact summary
+    (counters + span totals, JSON-safe) rides back on the record and is
+    folded into the journal's ``shard_done`` event by the master.
     """
     spec = RunSpec.from_dict(payload["spec"])
     seed_start = int(payload["seed_start"])
     seed_count = int(payload["seed_count"])
     timeout_s = payload.get("timeout_s")
+    telemetry = obsmod.Telemetry() if payload.get("telemetry") else None
     runner = Runner(
         jobs=1,
         cache_dir=payload["cache_dir"],
         backend=payload["backend"],
         cache_format=payload["cache_format"],
+        telemetry=telemetry,
     )
 
     timer_armed = False
@@ -85,18 +96,25 @@ def _shard_worker(payload: dict) -> dict:
         signal.setitimer(signal.ITIMER_REAL, float(timeout_s))
         timer_armed = True
     started = time.perf_counter()
+    scope = obsmod.use(telemetry) if telemetry is not None else contextlib.nullcontext()
     try:
-        result = None
-        source = "computed"
-        cache_path = runner.window_cache_path(spec, seed_start, seed_count)
-        if cache_path is not None and cache_path.exists():
-            try:
-                result = RunResult.load(cache_path)
-                source = "cache"
-            except _CACHE_READ_ERRORS:
-                result = None  # torn/corrupt entry: recompute below
-        if result is None:
-            result = runner.run_window(spec, seed_start, seed_count)
+        with scope, obsmod.active().span(
+            "campaign.shard",
+            shard=payload["key"],
+            seed_start=seed_start,
+            seed_count=seed_count,
+        ):
+            result = None
+            source = "computed"
+            cache_path = runner.window_cache_path(spec, seed_start, seed_count)
+            if cache_path is not None and cache_path.exists():
+                try:
+                    result = RunResult.load(cache_path)
+                    source = "cache"
+                except _CACHE_READ_ERRORS:
+                    result = None  # torn/corrupt entry: recompute below
+            if result is None:
+                result = runner.run_window(spec, seed_start, seed_count)
     finally:
         if timer_armed:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
@@ -111,7 +129,7 @@ def _shard_worker(payload: dict) -> dict:
     n_accepted = result.notes.get("n_accepted")
     if n_accepted is None:  # pre-window cache entries never reach here
         n_accepted = min((len(v) for v in result.series.values()), default=0)
-    return {
+    record = {
         "shard": payload["key"],
         "index": int(payload["index"]),
         "source": source,
@@ -119,6 +137,12 @@ def _shard_worker(payload: dict) -> dict:
         "states": states,
         "elapsed_s": round(time.perf_counter() - started, 6),
     }
+    if telemetry is not None:
+        record["telemetry"] = {
+            "counters": dict(telemetry.counters),
+            "span_totals": telemetry.span_totals(),
+        }
+    return record
 
 
 @dataclass
@@ -150,6 +174,14 @@ class CampaignRunner:
         attempt counts against ``retries``.
     progress:
         Emit progress/ETA lines to stderr as shards complete.
+    telemetry:
+        An optional :class:`repro.obs.Telemetry` installed around the
+        campaign.  The master records ``campaign.shards.*`` counters and a
+        ``campaign.run`` span; each worker additionally runs its shard
+        under a per-shard ``campaign.shard`` span whose compact summary is
+        folded into the journal's ``shard_done`` record and merged into
+        the master's counters.  Pure observation -- shard results and
+        aggregates are byte-identical with telemetry on or off.
     """
 
     campaign_dir: str | Path
@@ -160,6 +192,9 @@ class CampaignRunner:
     retries: int = 2
     timeout_s: float | None = None
     progress: bool = True
+    telemetry: obsmod.Telemetry | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self):
         if self.jobs < 1:
@@ -168,6 +203,13 @@ class CampaignRunner:
             raise ValueError("CampaignRunner.retries must be >= 0")
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise ValueError("CampaignRunner.timeout_s must be positive")
+        if self.telemetry is not None and not isinstance(
+            self.telemetry, obsmod.Telemetry
+        ):
+            raise TypeError(
+                "CampaignRunner.telemetry must be a repro.obs.Telemetry or "
+                f"None, got {type(self.telemetry).__name__}"
+            )
         self.campaign_dir = Path(self.campaign_dir)
         if self.cache_dir is None:
             self.cache_dir = self.campaign_dir / "cache"
@@ -175,6 +217,20 @@ class CampaignRunner:
     # ------------------------------------------------------------------
     def run(self, campaign: CampaignSpec, resume: bool = False) -> CampaignResult:
         """Execute (or resume) ``campaign``; returns the folded aggregates."""
+        scope = (
+            obsmod.use(self.telemetry)
+            if self.telemetry is not None
+            else contextlib.nullcontext()
+        )
+        with scope:
+            with obsmod.active().span(
+                "campaign.run",
+                campaign=campaign.campaign_hash()[:16],
+                jobs=self.jobs,
+            ):
+                return self._run(campaign, resume)
+
+    def _run(self, campaign: CampaignSpec, resume: bool) -> CampaignResult:
         manifest_path = self.campaign_dir / MANIFEST_NAME
         journal = CampaignJournal(self.campaign_dir / JOURNAL_NAME)
         plan = campaign.shards()
@@ -279,7 +335,9 @@ class CampaignRunner:
             else:
                 self._run_pool(todo, records, journal)
 
+        merge_started = time.perf_counter()
         result = self._fold(campaign, plan, records)
+        merge_elapsed_s = time.perf_counter() - merge_started
         notes = dict(result.notes)
         notes.update(
             n_shards=len({s.key for s in plan}),
@@ -303,7 +361,44 @@ class CampaignRunner:
                 }
             )
         result.save(self.campaign_dir / _RESULT_NAME)
+        self._write_metrics(journal, plan, records, merge_elapsed_s)
         return result
+
+    def _write_metrics(
+        self, journal, plan, records, merge_elapsed_s: float
+    ) -> None:
+        """Write ``metrics.json`` next to the manifest (atomically).
+
+        Always written -- campaign operational metrics are cheap and do not
+        require a :class:`~repro.obs.Telemetry`.  Retry/timeout counts are
+        derived from the full journal history, so a resumed campaign
+        reports totals across every session that touched the directory.
+        """
+        retried = 0
+        timed_out = 0
+        for event in journal.events():
+            if event.get("event") == "shard_retry":
+                retried += 1
+                if "ShardTimeout" in str(event.get("error", "")):
+                    timed_out += 1
+        elapsed = [float(r.get("elapsed_s", 0.0)) for r in records.values()]
+        total_s = sum(elapsed)
+        metrics = {
+            "n_shards": len({s.key for s in plan}),
+            "shards_run": len(records),
+            "shards_from_cache": sum(
+                1 for r in records.values() if r.get("source") == "cache"
+            ),
+            "shards_retried": retried,
+            "shards_timed_out": timed_out,
+            "shard_wall_clock_s": {
+                "total": round(total_s, 6),
+                "mean": round(total_s / len(elapsed), 6) if elapsed else 0.0,
+            },
+            "aggregate_merge_s": round(merge_elapsed_s, 6),
+            "version": _PACKAGE_VERSION,
+        }
+        write_manifest(self.campaign_dir / METRICS_NAME, metrics)
 
     # ------------------------------------------------------------------
     def _payload(self, shard: ShardPlan) -> dict:
@@ -317,6 +412,7 @@ class CampaignRunner:
             "cache_format": self.cache_format,
             "backend": self.backend,
             "timeout_s": self.timeout_s,
+            "telemetry": self.telemetry is not None,
             "sketch_resolution": None,  # filled by caller
         }
 
@@ -329,6 +425,9 @@ class CampaignRunner:
                     break
                 except Exception as exc:  # noqa: BLE001 -- retried, then raised
                     attempts += 1
+                    obsmod.active().count("campaign.shards.retried")
+                    if isinstance(exc, ShardTimeout):
+                        obsmod.active().count("campaign.shards.timeouts")
                     journal.append(
                         {
                             "event": "shard_retry",
@@ -367,6 +466,9 @@ class CampaignRunner:
                             raise
                         except Exception as exc:  # noqa: BLE001 -- retried, then raised
                             attempts[shard.key] += 1
+                            obsmod.active().count("campaign.shards.retried")
+                            if isinstance(exc, ShardTimeout):
+                                obsmod.active().count("campaign.shards.timeouts")
                             journal.append(
                                 {
                                     "event": "shard_retry",
@@ -413,17 +515,30 @@ class CampaignRunner:
 
     def _complete(self, shard: ShardPlan, record: dict, records, journal) -> None:
         records[shard.key] = record
-        journal.append(
-            {
-                "event": "shard_done",
-                "shard": record["shard"],
-                "index": record["index"],
-                "source": record["source"],
-                "n_accepted": record["n_accepted"],
-                "elapsed_s": record["elapsed_s"],
-                "states": record["states"],
-            }
-        )
+        telemetry = obsmod.active()
+        telemetry.count("campaign.shards.completed")
+        if record["source"] == "cache":
+            telemetry.count("campaign.shards.from_cache")
+        # Workers trace under their own per-shard Telemetry (which shadows
+        # the master's in inline mode), so merging their counters here is
+        # additive, never double-counted.
+        worker_summary = record.get("telemetry")
+        if worker_summary:
+            for name, value in worker_summary.get("counters", {}).items():
+                if value:
+                    telemetry.count(name, value)
+        event = {
+            "event": "shard_done",
+            "shard": record["shard"],
+            "index": record["index"],
+            "source": record["source"],
+            "n_accepted": record["n_accepted"],
+            "elapsed_s": record["elapsed_s"],
+            "states": record["states"],
+        }
+        if worker_summary:
+            event["telemetry"] = worker_summary
+        journal.append(event)
         state = self._progress_state
         state["done_shards"] += 1
         state["done_units"] += shard.seed_count

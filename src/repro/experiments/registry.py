@@ -188,6 +188,22 @@ def campaign_main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress progress/ETA lines"
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record master-side telemetry (plus per-shard summaries in "
+        "the journal) and write the trace to FILE (JSONL; a .trace.json "
+        "suffix writes Chrome trace_event instead)",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help="record telemetry and write counters + per-span totals to "
+        "FILE as JSON (operational metrics are always in "
+        "<campaign-dir>/metrics.json regardless)",
+    )
     args = parser.parse_args(argv)
 
     axes: dict[str, list] = {}
@@ -215,6 +231,11 @@ def campaign_main(argv: list[str] | None = None) -> int:
         params=params,
         sketch_resolution=args.sketch_resolution,
     )
+    telemetry = None
+    if args.trace or args.metrics:
+        from .. import obs
+
+        telemetry = obs.Telemetry()
     runner = CampaignRunner(
         campaign_dir=args.campaign_dir,
         jobs=args.jobs,
@@ -223,11 +244,18 @@ def campaign_main(argv: list[str] | None = None) -> int:
         retries=args.retries,
         timeout_s=args.timeout,
         progress=not args.quiet,
+        telemetry=telemetry,
     )
     if not args.quiet:
         print(campaign.describe())
     result = runner.run(campaign, resume=args.resume)
     print(result.summary())
+    if args.trace is not None:
+        path = _write_trace(telemetry, args.trace)
+        print(f"wrote {path}")
+    if args.metrics is not None:
+        path = telemetry.write_metrics(args.metrics)
+        print(f"wrote {path}")
     if args.out is not None:
         path = result.save(args.out)
         print(f"wrote {path}")
@@ -320,7 +348,22 @@ def main(argv: list[str] | None = None) -> int:
         "--cache-dir",
         default=None,
         metavar="DIR",
-        help="cache results in DIR keyed by spec hash",
+        help="cache results in DIR keyed by spec hash (a cache hit/miss "
+        "summary line is printed after the run)",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record telemetry and write the span/counter trace to FILE "
+        "(JSONL; a .trace.json suffix writes Chrome trace_event instead)",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help="record telemetry and write counters + per-span totals to "
+        "FILE as JSON",
     )
     args = parser.parse_args(argv)
 
@@ -334,6 +377,13 @@ def main(argv: list[str] | None = None) -> int:
         association=args.association,
         coordination=args.coordination,
     )
+    # Telemetry is observation only -- results are byte-identical with it
+    # on or off -- so turning it on for the cache summary line is safe.
+    telemetry = None
+    if args.trace or args.metrics or args.cache_dir:
+        from .. import obs
+
+        telemetry = obs.Telemetry()
     runner = Runner(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
@@ -341,10 +391,33 @@ def main(argv: list[str] | None = None) -> int:
         namespace=args.namespace,
         device=args.device,
         dtype=args.dtype,
+        telemetry=telemetry,
     )
     result = runner.run(spec)
     print(result.summary())
+    if args.cache_dir is not None:
+        counters = telemetry.counters
+        hits = int(counters["runner.cache.hits"])
+        misses = int(counters["runner.cache.misses"])
+        recomputes = int(counters["runner.cache.recomputes"])
+        print(
+            f"cache: {hits} hit(s), {misses} miss(es), "
+            f"{recomputes} recomputed"
+        )
+    if args.trace is not None:
+        path = _write_trace(telemetry, args.trace)
+        print(f"wrote {path}")
+    if args.metrics is not None:
+        path = telemetry.write_metrics(args.metrics)
+        print(f"wrote {path}")
     if args.out is not None:
         path = result.save(args.out)
         print(f"wrote {path}")
     return 0
+
+
+def _write_trace(telemetry, destination: str):
+    """JSONL by default; ``*.trace.json`` selects Chrome ``trace_event``."""
+    if destination.endswith(".trace.json"):
+        return telemetry.write_chrome_trace(destination)
+    return telemetry.write_jsonl(destination)

@@ -1,0 +1,57 @@
+"""repro.obs — the first-class telemetry layer.
+
+A process-local :class:`Telemetry` object (context-var scoped, like
+:func:`repro.xp.use`) offering tracing spans, counters/gauges, and a
+profiling-hook registry; a :class:`NullTelemetry` null object keeps every
+instrumentation point free on untraced runs.  Instrumented code never
+changes behaviour based on telemetry state: engine outputs are
+byte-identical with telemetry on or off, and telemetry never enters spec
+hashes or cache keys.
+
+Typical use::
+
+    from repro import obs
+    from repro.api import Runner, RunSpec
+
+    telemetry = obs.Telemetry()
+    result = Runner(telemetry=telemetry).run(RunSpec(experiment="fig09"))
+    telemetry.write_jsonl("trace.jsonl")          # one event per line
+    telemetry.write_chrome_trace("trace.json")    # chrome://tracing
+    print(result.telemetry.counters)
+
+Library code records through the active instance::
+
+    with obs.active().span("precode", ap=k):
+        ...
+    obs.active().count("assoc.handoffs")
+"""
+
+from .telemetry import (
+    CORE_COUNTERS,
+    NULL,
+    PROBE_SITES,
+    TRACE_SCHEMA_VERSION,
+    NullTelemetry,
+    Telemetry,
+    TelemetrySummary,
+    active,
+    register_probe,
+    registered_probes,
+    unregister_probe,
+    use,
+)
+
+__all__ = [
+    "CORE_COUNTERS",
+    "NULL",
+    "PROBE_SITES",
+    "TRACE_SCHEMA_VERSION",
+    "NullTelemetry",
+    "Telemetry",
+    "TelemetrySummary",
+    "active",
+    "register_probe",
+    "registered_probes",
+    "unregister_probe",
+    "use",
+]

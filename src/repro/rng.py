@@ -13,6 +13,8 @@ from typing import Iterator
 
 import numpy as np
 
+from .obs import active as _obs_active
+
 
 def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for ``seed``.
@@ -29,6 +31,7 @@ def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
     """Spawn ``count`` statistically independent child generators."""
     if count < 0:
         raise ValueError("count must be non-negative")
+    _obs_active().count("rng.generators_spawned", count)
     return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(count)]
 
 
@@ -50,6 +53,7 @@ def derived_seeds(root_seed: int, start: int, count: int) -> list[int]:
     """
     if count < 0:
         raise ValueError("count must be non-negative")
+    _obs_active().count("rng.seeds_derived", count)
     return [derived_seed(root_seed, index) for index in range(start, start + count)]
 
 

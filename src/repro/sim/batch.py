@@ -42,6 +42,7 @@ from ..core.batch import (
 from ..core.selection import BatchDeficitRoundRobin
 from ..mac.frames import data_fraction
 from ..mobility import build_mobility_state
+from ..obs import active as _obs
 from ..phy.sounding import sounding_overhead_us
 from .network import MacMode
 from .rounds import RoundBasedResult, RoundResult, build_traffic_state
@@ -84,6 +85,11 @@ class CarrierSenseBatch:
         decodable = cross >= mac.nav_decode_dbm
         eye = np.eye(cross.shape[1], dtype=bool)
         decodable[:, eye] = True
+        _obs().count("xp.to_device.calls", 3)
+        _obs().count(
+            "xp.to_device.bytes",
+            cross_mw.nbytes + decodable.nbytes + eye.nbytes,
+        )
         self._cross_mw = xp.asarray(cross_mw, dtype=xp.float_dtype)
         self._decodable = xp.asarray(decodable, dtype=xp.bool_dtype)
         self._not_self = xp.asarray(~eye, dtype=xp.bool_dtype)
@@ -114,7 +120,10 @@ class CarrierSenseBatch:
         same masked full-length row sum either way.
         """
         xp = self._xp
-        tx = xp.asarray(self._as_tx_mask(tx_mask), dtype=xp.bool_dtype)
+        tx_np = self._as_tx_mask(tx_mask)
+        _obs().count("xp.to_device.calls")
+        _obs().count("xp.to_device.bytes", tx_np.nbytes)
+        tx = xp.asarray(tx_np, dtype=xp.bool_dtype)
         not_self = self._not_self
         cross = self._cross_mw
         if listeners is not None:
@@ -140,7 +149,10 @@ class CarrierSenseBatch:
         (and reorders) the listener axis like in :meth:`sensed_power_mw`.
         """
         xp = self._xp
-        tx = xp.asarray(self._as_tx_mask(tx_mask), dtype=xp.bool_dtype)
+        tx_np = self._as_tx_mask(tx_mask)
+        _obs().count("xp.to_device.calls")
+        _obs().count("xp.to_device.bytes", tx_np.nbytes)
+        tx = xp.asarray(tx_np, dtype=xp.bool_dtype)
         not_self_l = self._not_self
         cross_l = self._cross_mw
         decodable = self._decodable
@@ -542,133 +554,136 @@ class RoundBasedEvaluatorBatch:
         SINR rows come back to NumPy for the traffic/assembly bookkeeping.
         """
         xp = xpmod.active()
-        h = self.channel.channel_matrices()
-        # Precoders see the stale CSI snapshot of a mobility run; scoring
-        # below always uses the current channel (the scalar contract).
-        if self._mobility is not None and sounding_round:
-            self._h_csi = h  # never mutated; aliasing the snapshot is safe
-        h_csi = h if self._h_csi is None else self._h_csi
-        radio = self.scenarios[0].radio
-        noise_mw = radio.noise_mw
+        with _obs().span("precode"):
+            h = self.channel.channel_matrices()
+            # Precoders see the stale CSI snapshot of a mobility run; scoring
+            # below always uses the current channel (the scalar contract).
+            if self._mobility is not None and sounding_round:
+                self._h_csi = h  # never mutated; aliasing the snapshot is safe
+            h_csi = h if self._h_csi is None else self._h_csi
+            radio = self.scenarios[0].radio
+            noise_mw = radio.noise_mw
 
-        # Collect per-slot sub-channels; CSI noise draws consume each item's
-        # own generator in planned order, exactly like the scalar loop.
-        slot_true: dict[tuple[int, int], np.ndarray] = {}
-        slot_clients: dict[tuple[int, int], np.ndarray] = {}
-        slot_estimates: dict[tuple[int, int], np.ndarray] = {}
-        for b in np.flatnonzero(item_active):
-            for s, (ap, antennas, chosen) in enumerate(planned[b]):
-                clients_global = np.asarray(chosen, dtype=int)
-                slot_true[(b, s)] = h[b][np.ix_(clients_global, antennas)]
-                slot_clients[(b, s)] = clients_global
-                slot_estimates[(b, s)] = apply_csi_error(
-                    h_csi[b][np.ix_(clients_global, antennas)],
-                    self.sim.csi_error_std,
-                    self._csi_rngs[b],
-                )
+            # Collect per-slot sub-channels; CSI noise draws consume each
+            # item's own generator in planned order, like the scalar loop.
+            slot_true: dict[tuple[int, int], np.ndarray] = {}
+            slot_clients: dict[tuple[int, int], np.ndarray] = {}
+            slot_estimates: dict[tuple[int, int], np.ndarray] = {}
+            for b in np.flatnonzero(item_active):
+                for s, (ap, antennas, chosen) in enumerate(planned[b]):
+                    clients_global = np.asarray(chosen, dtype=int)
+                    slot_true[(b, s)] = h[b][np.ix_(clients_global, antennas)]
+                    slot_clients[(b, s)] = clients_global
+                    slot_estimates[(b, s)] = apply_csi_error(
+                        h_csi[b][np.ix_(clients_global, antennas)],
+                        self.sim.csi_error_std,
+                        self._csi_rngs[b],
+                    )
 
-        # Stacked precoding, grouped by (n_streams, n_antennas).
-        precoders: dict[tuple[int, int], np.ndarray] = {}
-        groups: dict[tuple[int, ...], list[tuple[int, int]]] = {}
-        for key, h_est in slot_estimates.items():
-            groups.setdefault(h_est.shape, []).append(key)
-        for keys in groups.values():
-            stack = xp.asarray(
-                np.stack([slot_estimates[k] for k in keys]),
-                dtype=xp.complex_dtype,
-            )
-            if self.mode is MacMode.CAS:
-                v = batch_naive_precoder(stack, radio.per_antenna_power_mw)
-            else:
-                v = batch_power_balanced_precoder(
-                    stack, radio.per_antenna_power_mw, radio.noise_mw
-                ).v
-            for index, key in enumerate(keys):
-                precoders[key] = v[index]
+            # Stacked precoding, grouped by (n_streams, n_antennas).
+            precoders: dict[tuple[int, int], np.ndarray] = {}
+            groups: dict[tuple[int, ...], list[tuple[int, int]]] = {}
+            for key, h_est in slot_estimates.items():
+                groups.setdefault(h_est.shape, []).append(key)
+            for keys in groups.values():
+                est_stack = np.stack([slot_estimates[k] for k in keys])
+                _obs().count("xp.to_device.calls")
+                _obs().count("xp.to_device.bytes", est_stack.nbytes)
+                stack = xp.asarray(est_stack, dtype=xp.complex_dtype)
+                if self.mode is MacMode.CAS:
+                    v = batch_naive_precoder(stack, radio.per_antenna_power_mw)
+                else:
+                    v = batch_power_balanced_precoder(
+                        stack, radio.per_antenna_power_mw, radio.noise_mw
+                    ).v
+                for index, key in enumerate(keys):
+                    precoders[key] = v[index]
 
-        # Desired/intra-cell terms, grouped by the same shapes.
-        desired: dict[tuple[int, int], np.ndarray] = {}
-        intra: dict[tuple[int, int], np.ndarray] = {}
-        for keys in groups.values():
-            true_stack = xp.asarray(
-                np.stack([slot_true[k] for k in keys]), dtype=xp.complex_dtype
-            )
-            own = xp.abs(true_stack @ xp.stack([precoders[k] for k in keys])) ** 2
-            diag = xp.diagonal(own, axis1=-2, axis2=-1)
-            row_sums = xp.sum(own, axis=-1)
-            for index, key in enumerate(keys):
-                desired[key] = diag[index]
-                intra[key] = row_sums[index] - diag[index]
+        with _obs().span("score"):
+            # Desired/intra-cell terms, grouped by the same shapes.
+            desired: dict[tuple[int, int], np.ndarray] = {}
+            intra: dict[tuple[int, int], np.ndarray] = {}
+            for keys in groups.values():
+                true_stack_np = np.stack([slot_true[k] for k in keys])
+                _obs().count("xp.to_device.calls")
+                _obs().count("xp.to_device.bytes", true_stack_np.nbytes)
+                true_stack = xp.asarray(true_stack_np, dtype=xp.complex_dtype)
+                own = xp.abs(true_stack @ xp.stack([precoders[k] for k in keys])) ** 2
+                diag = xp.diagonal(own, axis1=-2, axis2=-1)
+                row_sums = xp.sum(own, axis=-1)
+                for index, key in enumerate(keys):
+                    desired[key] = diag[index]
+                    intra[key] = row_sums[index] - diag[index]
 
-        # Cross-AP interference, grouped by (n_rx, n_tx_other, n_streams_other).
-        pair_groups: dict[tuple[int, int, int], list[tuple[int, int, int]]] = {}
-        for b in np.flatnonzero(item_active):
-            for s in range(len(planned[b])):
-                for other in range(len(planned[b])):
-                    if other == s:
-                        continue
-                    k_rx = len(slot_clients[(b, s)])
-                    __, other_ants, other_chosen = planned[b][other]
-                    pair_groups.setdefault(
-                        (k_rx, len(other_ants), len(other_chosen)), []
-                    ).append((b, s, other))
-        cross_terms: dict[tuple[int, int, int], np.ndarray] = {}
-        for keys in pair_groups.values():
-            h_cross = xp.asarray(
-                np.stack(
+            # Cross-AP interference, grouped by (n_rx, n_tx_other, n_streams_other).
+            pair_groups: dict[tuple[int, int, int], list[tuple[int, int, int]]] = {}
+            for b in np.flatnonzero(item_active):
+                for s in range(len(planned[b])):
+                    for other in range(len(planned[b])):
+                        if other == s:
+                            continue
+                        k_rx = len(slot_clients[(b, s)])
+                        __, other_ants, other_chosen = planned[b][other]
+                        pair_groups.setdefault(
+                            (k_rx, len(other_ants), len(other_chosen)), []
+                        ).append((b, s, other))
+            cross_terms: dict[tuple[int, int, int], np.ndarray] = {}
+            for keys in pair_groups.values():
+                h_cross_np = np.stack(
                     [
                         h[b][np.ix_(slot_clients[(b, s)], planned[b][other][1])]
                         for b, s, other in keys
                     ]
-                ),
-                dtype=xp.complex_dtype,
-            )
-            v_other = xp.stack([precoders[(b, other)] for b, s, other in keys])
-            summed = xp.sum(xp.abs(h_cross @ v_other) ** 2, axis=-1)
-            for index, key in enumerate(keys):
-                cross_terms[key] = summed[index]
+                )
+                _obs().count("xp.to_device.calls")
+                _obs().count("xp.to_device.bytes", h_cross_np.nbytes)
+                h_cross = xp.asarray(h_cross_np, dtype=xp.complex_dtype)
+                v_other = xp.stack([precoders[(b, other)] for b, s, other in keys])
+                summed = xp.sum(xp.abs(h_cross @ v_other) ** 2, axis=-1)
+                for index, key in enumerate(keys):
+                    cross_terms[key] = summed[index]
 
-        # Per-slot external interference, accumulated in the scalar order.
-        externals: dict[tuple[int, int], np.ndarray] = {}
-        for b in np.flatnonzero(item_active):
-            for s in range(len(planned[b])):
-                external = xp.zeros(len(slot_clients[(b, s)]), dtype=xp.float_dtype)
-                for other in range(len(planned[b])):
-                    if other != s:
-                        external = external + cross_terms[(b, s, other)]
-                externals[(b, s)] = external
+            # Per-slot external interference, accumulated in the scalar order.
+            externals: dict[tuple[int, int], np.ndarray] = {}
+            for b in np.flatnonzero(item_active):
+                for s in range(len(planned[b])):
+                    external = xp.zeros(len(slot_clients[(b, s)]), dtype=xp.float_dtype)
+                    for other in range(len(planned[b])):
+                        if other != s:
+                            external = external + cross_terms[(b, s, other)]
+                    externals[(b, s)] = external
 
-        # SINR -> per-slot capacity, grouped by stream count (stacked
-        # elementwise ops plus the same trailing-axis log2 reduction).  The
-        # per-slot SINR rows are kept for the finite-load service step.
-        slot_capacity: dict[tuple[int, int], float] = {}
-        slot_sinrs: dict[tuple[int, int], np.ndarray] = {}
-        k_groups: dict[int, list[tuple[int, int]]] = {}
-        for key, external in externals.items():
-            k_groups.setdefault(len(external), []).append(key)
-        for keys in k_groups.values():
-            sinr = xp.stack([desired[k] for k in keys]) / (
-                noise_mw
-                + xp.stack([intra[k] for k in keys])
-                + xp.stack([externals[k] for k in keys])
-            )
-            sums = xpmod.to_numpy(xp.sum(xp.log2(1.0 + sinr), axis=-1))
-            sinr_rows = xpmod.to_numpy(sinr)
-            for index, key in enumerate(keys):
-                slot_capacity[key] = float(sums[index])
-                slot_sinrs[key] = sinr_rows[index]
+            # SINR -> per-slot capacity, grouped by stream count (stacked
+            # elementwise ops plus the same trailing-axis log2 reduction).  The
+            # per-slot SINR rows are kept for the finite-load service step.
+            slot_capacity: dict[tuple[int, int], float] = {}
+            slot_sinrs: dict[tuple[int, int], np.ndarray] = {}
+            k_groups: dict[int, list[tuple[int, int]]] = {}
+            for key, external in externals.items():
+                k_groups.setdefault(len(external), []).append(key)
+            for keys in k_groups.values():
+                sinr = xp.stack([desired[k] for k in keys]) / (
+                    noise_mw
+                    + xp.stack([intra[k] for k in keys])
+                    + xp.stack([externals[k] for k in keys])
+                )
+                sums = xpmod.to_numpy(xp.sum(xp.log2(1.0 + sinr), axis=-1))
+                sinr_rows = xpmod.to_numpy(sinr)
+                for index, key in enumerate(keys):
+                    slot_capacity[key] = float(sums[index])
+                    slot_sinrs[key] = sinr_rows[index]
 
-        # Per-item assembly in the scalar accumulation order.
-        capacity = np.zeros(self.n_items)
-        n_streams = np.zeros(self.n_items, dtype=int)
-        per_ap_streams = np.zeros((self.n_items, self.n_aps), dtype=int)
-        for b in np.flatnonzero(item_active):
-            total = 0.0
-            for s, (ap, __, chosen) in enumerate(planned[b]):
-                total += slot_capacity[(b, s)]
-                n_streams[b] += len(chosen)
-                per_ap_streams[b, ap] = len(chosen)
-            capacity[b] = total
+            # Per-item assembly in the scalar accumulation order.
+            capacity = np.zeros(self.n_items)
+            n_streams = np.zeros(self.n_items, dtype=int)
+            per_ap_streams = np.zeros((self.n_items, self.n_aps), dtype=int)
+            for b in np.flatnonzero(item_active):
+                total = 0.0
+                for s, (ap, __, chosen) in enumerate(planned[b]):
+                    total += slot_capacity[(b, s)]
+                    n_streams[b] += len(chosen)
+                    per_ap_streams[b, ap] = len(chosen)
+                capacity[b] = total
         return capacity, n_streams, per_ap_streams, slot_sinrs
 
     def _serve_round(
@@ -713,8 +728,9 @@ class RoundBasedEvaluatorBatch:
             else np.asarray(item_mask, dtype=bool)
         )
         if self._traffic is not None:
-            for b in np.flatnonzero(item_active):
-                self._traffic[b].begin_round()
+            with _obs().span("traffic"):
+                for b in np.flatnonzero(item_active):
+                    self._traffic[b].begin_round()
         # CSI staleness: sounding rounds re-evaluate every item's
         # association (handoffs + tag re-derivation) here and refresh the
         # stacked snapshot inside the score step (no generator draws either
@@ -724,14 +740,18 @@ class RoundBasedEvaluatorBatch:
         if self._mobility is not None:
             sounding_round = self._round_index % self._resound_period == 0
             if sounding_round:
-                self.association.resound(self.channel.client_rx_power_dbm())
+                with _obs().span("sounding"):
+                    rssi_dbm = self.channel.client_rx_power_dbm()
+                    with _obs().span("assoc_update"):
+                        self.association.resound(rssi_dbm)
         self._round_index += 1
         with_sounding = self.sim.sounding_overhead and (
             self._mobility is None or sounding_round
         )
-        planned, active_mask, served_masks = self._plan_round(
-            primary_ap, item_active
-        )
+        with _obs().span("schedule"):
+            planned, active_mask, served_masks = self._plan_round(
+                primary_ap, item_active
+            )
         capacity, n_streams, per_ap_streams, slot_sinrs = self._score_round(
             planned, item_active, sounding_round
         )
@@ -743,10 +763,17 @@ class RoundBasedEvaluatorBatch:
                     sounding_us[b] += sounding_overhead_us(
                         len(chosen), len(antennas)
                     )
-        traffic_metrics = self._serve_round(
-            planned, slot_sinrs, item_active, with_sounding
-        )
-        self._settle_round(served_masks, item_active)
+        if self._traffic is not None:
+            with _obs().span("traffic"):
+                traffic_metrics = self._serve_round(
+                    planned, slot_sinrs, item_active, with_sounding
+                )
+        else:
+            traffic_metrics = self._serve_round(
+                planned, slot_sinrs, item_active, with_sounding
+            )
+        with _obs().span("schedule"):
+            self._settle_round(served_masks, item_active)
         results: list[RoundResult | None] = []
         for b in range(self.n_items):
             if not item_active[b]:
@@ -799,12 +826,24 @@ class RoundBasedEvaluatorBatch:
         )
         per_item: list[list[RoundResult]] = [[] for _ in range(self.n_items)]
         advance_items = None if item_active.all() else np.flatnonzero(item_active)
-        for r in range(n_rounds):
-            round_results = self.evaluate_round(r % self.n_aps, item_active)
-            for b, result in enumerate(round_results):
-                if result is not None:
-                    per_item[b].append(result)
-            self.advance_between_rounds(advance_items)
+        with _obs().span(
+            "engine.run", engine="batch", n_items=self.n_items, n_rounds=n_rounds
+        ):
+            for r in range(n_rounds):
+                round_results = self.evaluate_round(r % self.n_aps, item_active)
+                for b, result in enumerate(round_results):
+                    if result is not None:
+                        per_item[b].append(result)
+                with _obs().span("channel_advance"):
+                    self.advance_between_rounds(advance_items)
+                _obs().count("engine.rounds", int(item_active.sum()))
+                _obs().probe(
+                    "round",
+                    engine="batch",
+                    evaluator=self,
+                    round_index=r,
+                    results=round_results,
+                )
         return [
             RoundBasedResult(rounds=per_item[b]) if item_active[b] else None
             for b in range(self.n_items)

@@ -37,6 +37,7 @@ from ..mac.carrier_sense import CarrierSenseModel
 from ..mac.frames import txop_durations
 from ..mac.nav import NavTable
 from ..mobility import build_mobility_state
+from ..obs import active as _obs
 from ..topology.scenarios import Scenario
 from ..traffic import AmpduConfig, TrafficState, TrafficSummary, resolve_traffic
 from . import EventQueue
@@ -345,18 +346,19 @@ class NetworkSimulation:
         dt_s = (now_us - self._last_channel_advance_us) * 1e-6
         if dt_s <= 0:
             return
-        if self._mobility is None:
-            self.channel.advance(dt_s)
-        else:
-            self._mobility.advance(dt_s)
-            self.channel.advance(
-                dt_s,
-                doppler_hz=self._mobility.doppler_hz(
-                    self.scenario.radio.wavelength_m
-                ),
-            )
-            self.channel.update_client_positions(self._mobility.positions)
-        self._last_channel_advance_us = now_us
+        with _obs().span("channel_advance"):
+            if self._mobility is None:
+                self.channel.advance(dt_s)
+            else:
+                self._mobility.advance(dt_s)
+                self.channel.advance(
+                    dt_s,
+                    doppler_hz=self._mobility.doppler_hz(
+                        self.scenario.radio.wavelength_m
+                    ),
+                )
+                self.channel.update_client_positions(self._mobility.positions)
+            self._last_channel_advance_us = now_us
 
     def _maybe_resound(self, now_us: float) -> None:
         """Refresh the stale-CSI snapshot (and re-evaluate the association:
@@ -372,14 +374,20 @@ class NetworkSimulation:
         if self._mobility is None:
             return
         if self._resound_interval_us is None:
-            self.association.resound(self.channel.client_rx_power_dbm())
+            with _obs().span("sounding"):
+                rssi_dbm = self.channel.client_rx_power_dbm()
+                with _obs().span("assoc_update"):
+                    self.association.resound(rssi_dbm)
             return
         if (
             self._h_csi is None
             or now_us - self._last_resound_us >= self._resound_interval_us
         ):
-            self._h_csi = self.channel.channel_matrix()
-            self.association.resound(self.channel.client_rx_power_dbm())
+            with _obs().span("sounding"):
+                self._h_csi = self.channel.channel_matrix()
+                rssi_dbm = self.channel.client_rx_power_dbm()
+                with _obs().span("assoc_update"):
+                    self.association.resound(rssi_dbm)
             self._last_resound_us = now_us
             self._sounding_unpaid += 1
 
@@ -394,42 +402,43 @@ class NetworkSimulation:
             # Pull the arrival stream up to the present so eligibility sees
             # everything queued by the time this TXOP wins the medium.
             self._traffic.advance_arrivals_to(now_us * 1e-6)
-        members = self.association.members(ap)
-        masks = self._eligibility(ap, now_us)
-        allowed = self._coordination_allowed(ap)
-        if allowed is not None:
-            masks = (masks[0] & allowed, masks[1] & allowed)
-        if self.mode is MacMode.CAS:
-            antennas = self.deployment.antennas_of(ap)
-            n_streams = min(len(antennas), len(members))
-            chosen: list[int] = []
-            for __ in range(n_streams):
-                pick = self._gated_pick(
-                    ap,
-                    [int(c) for c in members if c not in chosen],
-                    masks,
-                )
-                if pick is None:
-                    break
-                chosen.append(pick)
-            start_us = now_us
-        else:
-            antennas, start_us = self._gather_antennas(contender, now_us)
-            if len(antennas) == 0:
-                self._schedule_attempt(contender, now_us + self.mac.difs_us)
-                return
-            chosen = self._select_clients_midas(ap, antennas, masks)
-            if not chosen:
-                # No tagged backlog for any available antenna: skip this
-                # opportunity and recontend.
-                self._schedule_attempt(
-                    contender, now_us + self.mac.difs_us + contender.backoff.draw_delay_us()
-                )
-                return
-            # All gathered antennas precode the selected streams (§3.2.5:
-            # "the data streams are transmitted from all the antennas to all
-            # the clients with precoding"), even when fewer clients than
-            # antennas were tagged -- the spare antennas contribute array gain.
+        with _obs().span("schedule"):
+            members = self.association.members(ap)
+            masks = self._eligibility(ap, now_us)
+            allowed = self._coordination_allowed(ap)
+            if allowed is not None:
+                masks = (masks[0] & allowed, masks[1] & allowed)
+            if self.mode is MacMode.CAS:
+                antennas = self.deployment.antennas_of(ap)
+                n_streams = min(len(antennas), len(members))
+                chosen: list[int] = []
+                for __ in range(n_streams):
+                    pick = self._gated_pick(
+                        ap,
+                        [int(c) for c in members if c not in chosen],
+                        masks,
+                    )
+                    if pick is None:
+                        break
+                    chosen.append(pick)
+                start_us = now_us
+            else:
+                antennas, start_us = self._gather_antennas(contender, now_us)
+                if len(antennas) == 0:
+                    self._schedule_attempt(contender, now_us + self.mac.difs_us)
+                    return
+                chosen = self._select_clients_midas(ap, antennas, masks)
+                if not chosen:
+                    # No tagged backlog for any available antenna: skip this
+                    # opportunity and recontend.
+                    self._schedule_attempt(
+                        contender, now_us + self.mac.difs_us + contender.backoff.draw_delay_us()
+                    )
+                    return
+                # All gathered antennas precode the selected streams (§3.2.5:
+                # "the data streams are transmitted from all the antennas to all
+                # the clients with precoding"), even when fewer clients than
+                # antennas were tagged -- the spare antennas contribute array gain.
 
         if not chosen:
             self._schedule_attempt(
@@ -439,23 +448,25 @@ class NetworkSimulation:
 
         clients_global = np.asarray(chosen, dtype=int)
         self._advance_channel(start_us)
-        h_full = self.channel.channel_matrix()
-        h_rows = h_full[clients_global, :]
-        # CSI staleness: with a re-sounding interval, precoders see the
-        # snapshot captured at the last sounding while SINRs (h_rows) track
-        # the live channel; without one, every TXOP sounds fresh CSI.
-        stale = self._mobility is not None and self._resound_interval_us is not None
-        h_source = self._h_csi if stale else h_full
-        h_sub = h_source[clients_global, :][:, antennas]
-        h_est = apply_csi_error(h_sub, self.sim.csi_error_std, self._csi_rng)
+        with _obs().span("precode"):
+            h_full = self.channel.channel_matrix()
+            h_rows = h_full[clients_global, :]
+            # CSI staleness: with a re-sounding interval, precoders see the
+            # snapshot captured at the last sounding while SINRs (h_rows)
+            # track the live channel; without one, every TXOP sounds fresh
+            # CSI.
+            stale = self._mobility is not None and self._resound_interval_us is not None
+            h_source = self._h_csi if stale else h_full
+            h_sub = h_source[clients_global, :][:, antennas]
+            h_est = apply_csi_error(h_sub, self.sim.csi_error_std, self._csi_rng)
 
-        radio = self.scenario.radio
-        if self.mode is MacMode.CAS:
-            v = naive_scaled_precoder(h_est, radio.per_antenna_power_mw)
-        else:
-            v = power_balanced_precoder(
-                h_est, radio.per_antenna_power_mw, radio.noise_mw
-            ).v
+            radio = self.scenario.radio
+            if self.mode is MacMode.CAS:
+                v = naive_scaled_precoder(h_est, radio.per_antenna_power_mw)
+            else:
+                v = power_balanced_precoder(
+                    h_est, radio.per_antenna_power_mw, radio.noise_mw
+                ).v
 
         # A stale run pays sounding airtime only on TXOPs carrying an (as
         # yet unpaid) sounding exchange; fresh runs pay every TXOP.
@@ -481,6 +492,7 @@ class NetworkSimulation:
         self.log.start(tx)
         self._txop_count += 1
         self._stream_count += len(clients_global)
+        _obs().count("engine.txops")
 
         # Virtual carrier sense: every antenna that decodes any of our
         # transmitting antennas (subject to capture against transmissions
@@ -534,18 +546,20 @@ class NetworkSimulation:
             # Every transmission overlapping this TXOP has started by its
             # end event, so the overlap-weighted SINR computed here equals
             # the post-hoc score; the A-MPDU model turns it into bytes.
-            sinr, __ = self._tx_sinrs(tx, self.log.all_transmissions())
-            payload_s = tx.data_fraction * tx.duration_us * 1e-6
-            self._traffic.serve_burst(
-                tx.clients,
-                sinr,
-                payload_s,
-                t_depart_s=now_us * 1e-6,
-                # Only packets queued when the burst was assembled ride in
-                # its A-MPDUs; later arrivals wait for the next TXOP.
-                arrival_cutoff_s=tx.start_us * 1e-6,
-            )
+            with _obs().span("traffic"):
+                sinr, __ = self._tx_sinrs(tx, self.log.all_transmissions())
+                payload_s = tx.data_fraction * tx.duration_us * 1e-6
+                self._traffic.serve_burst(
+                    tx.clients,
+                    sinr,
+                    payload_s,
+                    t_depart_s=now_us * 1e-6,
+                    # Only packets queued when the burst was assembled ride
+                    # in its A-MPDUs; later arrivals wait for the next TXOP.
+                    arrival_cutoff_s=tx.start_us * 1e-6,
+                )
         self.log.finish(tx)
+        _obs().probe("txop", engine="network", simulation=self, tx=tx, now_us=now_us)
         for contender in self._contenders:
             if contender.ap == tx.ap and np.intersect1d(
                 contender.antennas, tx.antennas
@@ -609,12 +623,14 @@ class NetworkSimulation:
         """Simulate ``duration_s`` (default from :class:`SimConfig`) and
         return aggregate statistics."""
         duration_us = (duration_s or self.sim.duration_s) * 1e6
-        start_rng = rng_mod.make_rng(self.scenario.seed)
-        for contender in self._contenders:
-            # Stagger initial attempts over one contention window.
-            self._schedule_attempt(
-                contender,
-                self.mac.difs_us + float(start_rng.uniform(0, 1)) * self.mac.cw_min * self.mac.slot_us,
-            )
-        self.queue.run_until(duration_us)
-        return self._score(duration_us)
+        with _obs().span("engine.run", engine="network"):
+            start_rng = rng_mod.make_rng(self.scenario.seed)
+            for contender in self._contenders:
+                # Stagger initial attempts over one contention window.
+                self._schedule_attempt(
+                    contender,
+                    self.mac.difs_us + float(start_rng.uniform(0, 1)) * self.mac.cw_min * self.mac.slot_us,
+                )
+            self.queue.run_until(duration_us)
+            with _obs().span("score"):
+                return self._score(duration_us)

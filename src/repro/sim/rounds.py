@@ -32,6 +32,7 @@ import numpy as np
 
 from .. import rng as rng_mod
 from ..assoc import CoordinationMode, build_association_state
+from ..obs import active as _obs
 from ..channel.model import ChannelModel, apply_csi_error
 from ..config import SimConfig
 from ..core.naive import naive_scaled_precoder
@@ -398,7 +399,8 @@ class RoundBasedEvaluator:
     def evaluate_round(self, primary_ap: int) -> RoundResult:
         """One concurrent round with ``primary_ap`` winning channel access first."""
         if self._traffic is not None:
-            self._traffic.begin_round()
+            with _obs().span("traffic"):
+                self._traffic.begin_round()
         # CSI staleness (mobility runs): sounding rounds re-capture the CSI
         # snapshot and let the association layer re-evaluate the client->AP
         # map and re-derive the anchor-antenna tags at the clients' current
@@ -411,7 +413,10 @@ class RoundBasedEvaluator:
                 # The CSI snapshot itself is captured at scoring time below
                 # (the channel cannot change within a round) to avoid
                 # materializing the channel matrix twice.
-                self.association.resound(self.channel.client_rx_power_dbm())
+                with _obs().span("sounding"):
+                    rssi_dbm = self.channel.client_rx_power_dbm()
+                    with _obs().span("assoc_update"):
+                        self.association.resound(rssi_dbm)
         self._round_index += 1
         n_aps = self.deployment.n_aps
         coordinated = (
@@ -420,6 +425,21 @@ class RoundBasedEvaluator:
         order = [(primary_ap + i) % n_aps for i in range(n_aps)]
         active_antennas: list[int] = []
         planned: list[tuple[int, np.ndarray, list[int]]] = []
+        with _obs().span("schedule"):
+            self._plan(order, coordinated, active_antennas, planned)
+        return self._finish_round(
+            planned, active_antennas, sounding_round, n_aps
+        )
+
+    def _plan(
+        self,
+        order: list[int],
+        coordinated: bool,
+        active_antennas: list[int],
+        planned: list[tuple[int, np.ndarray, list[int]]],
+    ) -> None:
+        """The scheduling phase: fill ``planned``/``active_antennas`` with
+        this round's transmission sets (the paper's §5.3.1 stacking)."""
         for position, ap in enumerate(order):
             # Coordinated scheduling: APs planning after others learn the
             # committed picks and skip clients already covered (able to
@@ -458,85 +478,107 @@ class RoundBasedEvaluator:
             [c for __, __, chosen in planned for c in chosen]
         )
 
+    def _finish_round(
+        self,
+        planned: list[tuple[int, np.ndarray, list[int]]],
+        active_antennas: list[int],
+        sounding_round: bool,
+        n_aps: int,
+    ) -> RoundResult:
+        """Precode, score, serve, and settle one planned round."""
         # Precode every planned set, then score with mutual interference.
         # Precoders see the CSI captured at the last sounding (``h_csi``);
         # the SINR scoring below always uses the current channel ``h``.
-        h = self.channel.channel_matrix()
-        if self._mobility is not None and sounding_round:
-            self._h_csi = h  # never mutated; aliasing the snapshot is safe
-        h_csi = h if self._h_csi is None else self._h_csi
-        with_sounding = self.sim.sounding_overhead and (
-            self._mobility is None or sounding_round
-        )
-        noise_mw = self.scenario.radio.noise_mw
-        precoders = []
-        for ap, antennas, chosen in planned:
-            clients_global = np.asarray(chosen, dtype=int)
-            h_sub = h_csi[np.ix_(clients_global, antennas)]
-            precoders.append(self._precoder(h_sub))
+        with _obs().span("precode"):
+            h = self.channel.channel_matrix()
+            if self._mobility is not None and sounding_round:
+                self._h_csi = h  # never mutated; aliasing the snapshot is safe
+            h_csi = h if self._h_csi is None else self._h_csi
+            with_sounding = self.sim.sounding_overhead and (
+                self._mobility is None or sounding_round
+            )
+            noise_mw = self.scenario.radio.noise_mw
+            precoders = []
+            for ap, antennas, chosen in planned:
+                clients_global = np.asarray(chosen, dtype=int)
+                h_sub = h_csi[np.ix_(clients_global, antennas)]
+                precoders.append(self._precoder(h_sub))
 
         capacity = 0.0
         n_streams = 0
         sounding_us = 0.0
         per_ap_streams = np.zeros(n_aps, dtype=int)
-        for index, (ap, antennas, chosen) in enumerate(planned):
-            clients_global = np.asarray(chosen, dtype=int)
-            own = np.abs(h[np.ix_(clients_global, antennas)] @ precoders[index]) ** 2
-            desired = np.diag(own)
-            intra = own.sum(axis=1) - desired
-            external = np.zeros(len(clients_global))
-            for other_index, (__, other_ants, ___) in enumerate(planned):
-                if other_index == index:
-                    continue
-                cross = np.abs(h[np.ix_(clients_global, other_ants)] @ precoders[other_index]) ** 2
-                external += cross.sum(axis=1)
-            sinr = desired / (noise_mw + intra + external)
-            capacity += float(np.sum(np.log2(1.0 + sinr)))
-            n_streams += len(clients_global)
-            per_ap_streams[ap] = len(clients_global)
+        sinrs: list[np.ndarray] = []
+        with _obs().span("score"):
+            for index, (ap, antennas, chosen) in enumerate(planned):
+                clients_global = np.asarray(chosen, dtype=int)
+                own = np.abs(h[np.ix_(clients_global, antennas)] @ precoders[index]) ** 2
+                desired = np.diag(own)
+                intra = own.sum(axis=1) - desired
+                external = np.zeros(len(clients_global))
+                for other_index, (__, other_ants, ___) in enumerate(planned):
+                    if other_index == index:
+                        continue
+                    cross = np.abs(h[np.ix_(clients_global, other_ants)] @ precoders[other_index]) ** 2
+                    external += cross.sum(axis=1)
+                sinr = desired / (noise_mw + intra + external)
+                sinrs.append(sinr)
+                capacity += float(np.sum(np.log2(1.0 + sinr)))
+                n_streams += len(clients_global)
+                per_ap_streams[ap] = len(clients_global)
 
-            # Mobility runs charge sounding airtime explicitly, only on the
-            # rounds that actually sound (the re-sounding period).
-            if self._mobility is not None and with_sounding:
-                sounding_us += sounding_overhead_us(
-                    len(clients_global), len(antennas)
-                )
+                # Mobility runs charge sounding airtime explicitly, only on
+                # the rounds that actually sound (the re-sounding period).
+                if self._mobility is not None and with_sounding:
+                    sounding_us += sounding_overhead_us(
+                        len(clients_global), len(antennas)
+                    )
 
-            # Finite load: each stream's SINR fixes an MCS, the A-MPDU
-            # model converts payload airtime into served bytes.
-            if self._traffic is not None:
-                fraction = data_fraction(
-                    self.scenario.mac,
-                    len(clients_global),
-                    len(antennas),
-                    with_sounding,
-                )
-                self._traffic.serve_burst(
-                    clients_global, sinr, self._traffic.round_duration_s * fraction
-                )
+        # Finite load: each stream's SINR fixes an MCS, the A-MPDU
+        # model converts payload airtime into served bytes.
+        if self._traffic is not None:
+            with _obs().span("traffic"):
+                for index, (ap, antennas, chosen) in enumerate(planned):
+                    fraction = data_fraction(
+                        self.scenario.mac,
+                        len(chosen),
+                        len(antennas),
+                        with_sounding,
+                    )
+                    self._traffic.serve_burst(
+                        np.asarray(chosen, dtype=int),
+                        sinrs[index],
+                        self._traffic.round_duration_s * fraction,
+                    )
 
-            # Fairness settlement per transmitting AP (members only -- a
-            # non-member entry in the global counters stays untouched).
-            losers = [
-                int(c) for c in self.association.members(ap) if c not in chosen
-            ]
-            self._drr[ap].settle(chosen, losers, txop_units=1.0)
+        with _obs().span("schedule"):
+            for ap, __, chosen in planned:
+                # Fairness settlement per transmitting AP (members only -- a
+                # non-member entry in the global counters stays untouched).
+                losers = [
+                    int(c) for c in self.association.members(ap) if c not in chosen
+                ]
+                self._drr[ap].settle(chosen, losers, txop_units=1.0)
 
-        # Every AP settles every round: one that was blocked (or found no
-        # eligible client) sent nothing, but its backlogged clients still
-        # waited out this round's TXOP -- credit it so they are not starved
-        # relative to the paper's DRR fairness.
-        transmitted = {ap for ap, __, __ in planned}
-        for ap in range(n_aps):
-            if ap not in transmitted:
-                self._drr[ap].credit(self.association.members(ap), txop_units=1.0)
+            # Every AP settles every round: one that was blocked (or found
+            # no eligible client) sent nothing, but its backlogged clients
+            # still waited out this round's TXOP -- credit it so they are
+            # not starved relative to the paper's DRR fairness.
+            transmitted = {ap for ap, __, __ in planned}
+            for ap in range(n_aps):
+                if ap not in transmitted:
+                    self._drr[ap].credit(self.association.members(ap), txop_units=1.0)
 
+        traffic_metrics = None
+        if self._traffic is not None:
+            with _obs().span("traffic"):
+                traffic_metrics = self._traffic.end_round()
         return RoundResult(
             capacity_bps_hz=capacity,
             n_streams=n_streams,
             active_antennas=len(active_antennas),
             per_ap_streams=per_ap_streams,
-            traffic=self._traffic.end_round() if self._traffic is not None else None,
+            traffic=traffic_metrics,
             sounding_us=sounding_us,
         )
 
@@ -568,7 +610,19 @@ class RoundBasedEvaluator:
         if n_rounds < 1:
             raise ValueError("need at least one round")
         rounds = []
-        for r in range(n_rounds):
-            rounds.append(self.evaluate_round(primary_ap=r % self.deployment.n_aps))
-            self.advance_between_rounds()
+        with _obs().span("engine.run", engine="loop", n_rounds=n_rounds):
+            for r in range(n_rounds):
+                rounds.append(
+                    self.evaluate_round(primary_ap=r % self.deployment.n_aps)
+                )
+                with _obs().span("channel_advance"):
+                    self.advance_between_rounds()
+                _obs().count("engine.rounds")
+                _obs().probe(
+                    "round",
+                    engine="loop",
+                    evaluator=self,
+                    round_index=r,
+                    result=rounds[-1],
+                )
         return RoundBasedResult(rounds=rounds)

@@ -49,6 +49,8 @@ from typing import Iterator
 
 import numpy as np
 
+from ..obs import active as _obs_active
+
 __all__ = [
     "ArrayNamespace",
     "BackendUnavailableError",
@@ -224,10 +226,16 @@ def to_numpy(x) -> np.ndarray:
 
     The identity for NumPy inputs (no copy); torch tensors are detached and
     moved to the host.  Scalars and nested lists pass through ``asarray``.
+
+    This is the device-to-host compute boundary, so the active telemetry's
+    ``xp.to_host.*`` counters account every call here (pure accounting --
+    the returned array is byte-identical either way).
     """
-    if _is_torch(x):
-        return x.detach().cpu().numpy()
-    return np.asarray(x)
+    result = x.detach().cpu().numpy() if _is_torch(x) else np.asarray(x)
+    telemetry = _obs_active()
+    telemetry.count("xp.to_host.calls")
+    telemetry.count("xp.to_host.bytes", result.nbytes)
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -283,11 +291,17 @@ class RngBridge:
         self.rng = rng
         self.xp = namespace
 
+    @staticmethod
+    def _count_transfer(array: np.ndarray) -> None:
+        telemetry = _obs_active()
+        telemetry.count("xp.to_device.calls")
+        telemetry.count("xp.to_device.bytes", array.nbytes)
+
     def standard_normal(self, shape):
         """A float draw, transferred to the namespace's float dtype."""
-        return self.xp.asarray(
-            self.rng.standard_normal(shape), dtype=self.xp.float_dtype
-        )
+        draw = self.rng.standard_normal(shape)
+        self._count_transfer(np.asarray(draw))
+        return self.xp.asarray(draw, dtype=self.xp.float_dtype)
 
     def standard_complex(self, shape):
         """A unit-variance circular complex draw (real/imag pairs drawn in
@@ -295,6 +309,7 @@ class RngBridge:
         draw = (
             self.rng.standard_normal(shape) + 1j * self.rng.standard_normal(shape)
         ) / np.sqrt(2.0)
+        self._count_transfer(np.asarray(draw))
         return self.xp.asarray(draw, dtype=self.xp.complex_dtype)
 
     def transfer(self, array, kind: str = "float"):
@@ -303,6 +318,7 @@ class RngBridge:
         ``kind`` selects the target dtype family: ``"float"``, ``"complex"``,
         or ``"exact"`` (keep integer/bool dtypes untouched).
         """
+        self._count_transfer(np.asarray(array))
         if kind == "float":
             return self.xp.asarray(array, dtype=self.xp.float_dtype)
         if kind == "complex":

@@ -1,0 +1,153 @@
+"""scripts/aggregate_bench.py: artifact folding is robust and idempotent."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "aggregate_bench.py"
+
+
+@pytest.fixture(scope="module")
+def bench():
+    spec = importlib.util.spec_from_file_location("aggregate_bench", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("aggregate_bench", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _write(path: Path, payload) -> Path:
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestCollect:
+    def test_collects_all_patterns(self, bench, tmp_path):
+        _write(tmp_path / "vectorized_timings.json", {"speedup": 3.5})
+        _write(tmp_path / "campaign_timings-x.json", {"speedup": 2.0})
+        _write(tmp_path / "telemetry_timings.json", {"enabled_overhead": 0.01})
+        sources = bench.collect(tmp_path)
+        assert set(sources) == {
+            "vectorized_timings",
+            "campaign_timings-x",
+            "telemetry_timings",
+        }
+
+    def test_torn_artifact_is_warned_and_skipped(self, bench, tmp_path):
+        _write(tmp_path / "vectorized_timings.json", {"speedup": 3.5})
+        (tmp_path / "campaign_timings.json").write_text('{"speedup": 2.')  # torn
+        with pytest.warns(RuntimeWarning, match="unreadable artifact"):
+            sources = bench.collect(tmp_path)
+        assert set(sources) == {"vectorized_timings"}
+
+    def test_non_object_artifact_is_warned_and_skipped(self, bench, tmp_path):
+        _write(tmp_path / "vectorized_timings.json", [1, 2, 3])
+        with pytest.warns(RuntimeWarning, match="malformed artifact"):
+            assert bench.collect(tmp_path) == {}
+
+    def test_missing_directory_yields_nothing(self, bench, tmp_path):
+        assert bench.collect(tmp_path / "nowhere") == {}
+
+
+class TestFold:
+    def test_replaces_current_version_preserves_others(self, bench, tmp_path):
+        out = tmp_path / "BENCH_trajectory.json"
+        _write(
+            out,
+            {
+                "note": "n",
+                "entries": [
+                    {"version": "1.0.0", "sources": {"a": 1}},
+                    {"version": "1.1.0", "sources": {"b": 2}},
+                ],
+            },
+        )
+        trajectory = bench.fold(out, "1.1.0", {"b": {"speedup": 9}})
+        versions = [e["version"] for e in trajectory["entries"]]
+        assert versions == ["1.0.0", "1.1.0"]
+        assert trajectory["entries"][0]["sources"] == {"a": 1}
+        assert trajectory["entries"][1]["sources"] == {"b": {"speedup": 9}}
+
+    def test_duplicate_version_entries_keep_latest(self, bench, tmp_path):
+        out = tmp_path / "BENCH_trajectory.json"
+        _write(
+            out,
+            {
+                "entries": [
+                    {"version": "1.0.0", "sources": {"stale": True}},
+                    {"version": "1.0.0", "sources": {"fresh": True}},
+                ]
+            },
+        )
+        with pytest.warns(RuntimeWarning, match="duplicate trajectory entries"):
+            trajectory = bench.fold(out, "2.0.0", {})
+        old = [e for e in trajectory["entries"] if e["version"] == "1.0.0"]
+        assert len(old) == 1
+        assert old[0]["sources"] == {"fresh": True}
+
+    def test_unversioned_entries_are_dropped_with_warning(self, bench, tmp_path):
+        out = tmp_path / "BENCH_trajectory.json"
+        _write(out, {"entries": [{"sources": {}}, {"version": "1.0.0"}]})
+        with pytest.warns(RuntimeWarning, match="no version label"):
+            trajectory = bench.fold(out, "2.0.0", {})
+        assert [e["version"] for e in trajectory["entries"]] == ["1.0.0", "2.0.0"]
+
+    def test_torn_trajectory_starts_fresh_with_warning(self, bench, tmp_path):
+        out = tmp_path / "BENCH_trajectory.json"
+        out.write_text('{"entries": [')  # torn mid-write
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            trajectory = bench.fold(out, "2.0.0", {"a": {}})
+        assert [e["version"] for e in trajectory["entries"]] == ["2.0.0"]
+        assert "note" in trajectory
+
+    def test_malformed_trajectory_starts_fresh_with_warning(self, bench, tmp_path):
+        out = tmp_path / "BENCH_trajectory.json"
+        _write(out, {"entries": "not-a-list"})
+        with pytest.warns(RuntimeWarning, match="malformed"):
+            trajectory = bench.fold(out, "2.0.0", {})
+        assert [e["version"] for e in trajectory["entries"]] == ["2.0.0"]
+
+    def test_phase_breakdown_lifted_from_telemetry_sources(self, bench, tmp_path):
+        out = tmp_path / "BENCH_trajectory.json"
+        sources = {
+            "telemetry_timings": {
+                "span_totals": {
+                    "precode": {"count": 10, "total_us": 1234.5},
+                    "score": {"count": 10, "total_us": 55.0},
+                }
+            },
+            "vectorized_timings": {"speedup": 3.0},
+        }
+        trajectory = bench.fold(out, "2.0.0", sources)
+        entry = trajectory["entries"][0]
+        assert entry["phases"] == {"precode": 1234.5, "score": 55.0}
+
+    def test_missing_trajectory_is_created(self, bench, tmp_path):
+        trajectory = bench.fold(tmp_path / "absent.json", "1.0.0", {"a": {}})
+        assert [e["version"] for e in trajectory["entries"]] == ["1.0.0"]
+
+
+class TestMain:
+    def test_end_to_end_idempotent(self, bench, tmp_path, capsys):
+        _write(tmp_path / "vectorized_timings.json", {"speedup": 4.0})
+        out = tmp_path / "BENCH_trajectory.json"
+        for _ in range(2):  # re-running must not duplicate the entry
+            code = bench.main(
+                ["--artifacts", str(tmp_path), "--out", str(out),
+                 "--version", "9.9.9"]
+            )
+            assert code == 0
+        trajectory = json.loads(out.read_text())
+        assert [e["version"] for e in trajectory["entries"]] == ["9.9.9"]
+
+    def test_no_artifacts_is_an_error(self, bench, tmp_path):
+        code = bench.main(
+            ["--artifacts", str(tmp_path), "--out",
+             str(tmp_path / "t.json"), "--version", "1.0.0"]
+        )
+        assert code == 1

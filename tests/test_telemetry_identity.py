@@ -1,0 +1,183 @@
+"""Telemetry is observation only: byte-identical outputs, zero RNG impact.
+
+The contract the whole :mod:`repro.obs` layer rests on: instrumentation
+never draws randomness and never changes engine control flow, so every
+series an engine produces is ``array_equal`` with telemetry on or off --
+on both engine families (the round engines behind ``roaming_handoff``,
+loop and batched, and the event-driven ``NetworkSimulation`` behind
+``fig15``) -- and every RNG the run creates ends in exactly the same
+state.  Plus the acceptance checks of the traced path itself: a traced
+run's JSONL is schema-valid, names every documented counter, and its
+per-phase span totals account for the engine wall-clock.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro import rng as rng_mod
+from repro.api import Runner, RunSpec
+from repro.obs import CORE_COUNTERS
+
+#: Small-but-real configurations, one per engine family.  roaming_handoff
+#: exercises the round engines (loop + batched) with mobility, association,
+#: and handoff accounting; fig15 additionally drives the event-driven
+#: carrier-sense engine (NetworkSimulation) for CAS.
+_CASES = [
+    ("roaming_handoff", {"rounds_per_topology": 8}),
+    ("fig15", {"dynamic": True, "duration_s": 0.02}),
+]
+
+_BACKENDS = ("loop", "vectorized")
+
+
+def _run(experiment, params, backend, telemetry=None):
+    spec = RunSpec(experiment, n_topologies=2, seed=7, params=params)
+    return Runner(backend=backend, telemetry=telemetry).run(spec)
+
+
+class _RngLedger:
+    """Every generator a run creates, so final states can be compared.
+
+    ``make_rng`` and ``spawn`` are the only constructors in the codebase
+    (everything else receives generators from them), so tracking both sees
+    every stream a run consumes.
+    """
+
+    def __init__(self, monkeypatch):
+        self.generators: list[np.random.Generator] = []
+        orig_make, orig_spawn = rng_mod.make_rng, rng_mod.spawn
+
+        def make_rng(seed):
+            generator = orig_make(seed)
+            if generator not in self.generators:
+                self.generators.append(generator)
+            return generator
+
+        def spawn(rng, count):
+            children = orig_spawn(rng, count)
+            self.generators.extend(children)
+            return children
+
+        monkeypatch.setattr(rng_mod, "make_rng", make_rng)
+        monkeypatch.setattr(rng_mod, "spawn", spawn)
+
+    def final_states(self) -> list[dict]:
+        return [g.bit_generator.state for g in self.generators]
+
+
+@pytest.mark.parametrize("experiment,params", _CASES)
+@pytest.mark.parametrize("backend", _BACKENDS)
+def test_series_byte_identical_with_telemetry_on_or_off(
+    experiment, params, backend, monkeypatch
+):
+    ledger_off = _RngLedger(monkeypatch)
+    baseline = _run(experiment, params, backend)
+    states_off = ledger_off.final_states()
+
+    monkeypatch.undo()
+    ledger_on = _RngLedger(monkeypatch)
+    telemetry = obs.Telemetry()
+    traced = _run(experiment, params, backend, telemetry=telemetry)
+    states_on = ledger_on.final_states()
+
+    assert set(baseline.series) == set(traced.series)
+    for name in baseline.series:
+        assert np.array_equal(
+            np.asarray(baseline.series[name]), np.asarray(traced.series[name])
+        ), f"series {name!r} diverged under telemetry ({backend})"
+
+    # Zero extra RNG draws: the same generators exist and every one ends
+    # in exactly the same state.
+    assert len(states_off) == len(states_on)
+    for index, (off, on) in enumerate(zip(states_off, states_on)):
+        assert off == on, f"generator {index} consumed differently under telemetry"
+
+    # The traced run actually recorded the engines at work.
+    assert telemetry.spans_entered == telemetry.spans_exited > 0
+    counters = telemetry.counters
+    assert counters["rng.generators_spawned"] > 0
+    if experiment == "fig15":
+        # dynamic=True drives the event-driven NetworkSimulation engine.
+        assert counters["engine.txops"] > 0
+    else:
+        assert counters["engine.rounds"] > 0
+
+
+def test_result_telemetry_summary_only_when_enabled():
+    baseline = _run("roaming_handoff", {"rounds_per_topology": 4}, "loop")
+    assert baseline.telemetry is None
+    telemetry = obs.Telemetry()
+    traced = _run(
+        "roaming_handoff", {"rounds_per_topology": 4}, "loop", telemetry=telemetry
+    )
+    assert traced.telemetry is not None
+    assert traced.telemetry.counter("engine.rounds") > 0
+    assert traced.telemetry.span_total_us("engine.run") > 0.0
+    # Serialization is telemetry-blind: the JSON payload has no telemetry.
+    payload = json.loads(traced.to_json())
+    assert "telemetry" not in payload
+
+
+def test_telemetry_never_enters_cache_keys(tmp_path):
+    spec = RunSpec("roaming_handoff", n_topologies=1, seed=3,
+                   params={"rounds_per_topology": 4})
+    plain = Runner(cache_dir=tmp_path)
+    traced = Runner(cache_dir=tmp_path, telemetry=obs.Telemetry())
+    defn_params_plain = plain._cache_path(spec, _resolved(spec))
+    defn_params_traced = traced._cache_path(spec, _resolved(spec))
+    assert defn_params_plain == defn_params_traced
+
+
+def _resolved(spec):
+    from repro.api.experiments import get_experiment_def
+    from repro.api.runner import resolve_params
+
+    return resolve_params(get_experiment_def(spec.experiment), spec)
+
+
+#: Top-level engine phases (assoc_update is nested inside sounding, so it
+#: is deliberately excluded from the sum -- it would double-count).
+_PHASES = ("schedule", "sounding", "precode", "score", "traffic",
+           "channel_advance")
+
+
+def test_traced_roaming_handoff_jsonl_valid_and_phases_account(tmp_path):
+    """The acceptance check: a traced run exports a schema-valid JSONL
+    naming every documented counter, and per-phase span sums land within
+    10% of the engine wall-clock."""
+    telemetry = obs.Telemetry()
+    runner = Runner(telemetry=telemetry)
+    runner.run(RunSpec("roaming_handoff", n_topologies=2, seed=0))
+
+    path = telemetry.write_jsonl(tmp_path / "trace.jsonl")
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    meta = lines[0]
+    assert meta["type"] == "meta"
+    assert meta["schema"] == obs.TRACE_SCHEMA_VERSION
+    assert meta["dropped_events"] == 0
+    for record in lines[1:]:
+        assert record["type"] in ("span", "gauge", "counter")
+        if record["type"] == "span":
+            assert record["dur_us"] >= 0.0 and record["depth"] >= 0
+
+    counter_names = {l["name"] for l in lines if l["type"] == "counter"}
+    assert set(CORE_COUNTERS) <= counter_names
+
+    totals = telemetry.span_totals()
+    engine_us = totals["engine.run"]["total_us"]
+    phase_us = sum(
+        totals[name]["total_us"] for name in _PHASES if name in totals
+    )
+    assert engine_us > 0.0
+    # Nested phases can never exceed their parent; and they must explain
+    # at least 90% of where the engine's time went.
+    assert phase_us <= engine_us * 1.001
+    assert phase_us >= 0.90 * engine_us, (
+        f"phases account for only {100.0 * phase_us / engine_us:.1f}% "
+        f"of engine.run"
+    )
