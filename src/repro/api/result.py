@@ -10,31 +10,15 @@ disk keyed by spec hash and fed back into ``repro.analysis`` unchanged.
 from __future__ import annotations
 
 import json
-import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
 import numpy as np
 
-
-def _atomic_write(path: Path, write_to) -> None:
-    """Write via a same-directory temp file, then ``os.replace``.
-
-    A crash (including ``kill -9``) mid-write leaves either the old file
-    or nothing -- never a torn file -- so cached results and campaign
-    shards can be trusted byte-for-byte whenever they exist.
-    """
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
-    try:
-        write_to(tmp)
-        os.replace(tmp, path)
-    finally:
-        tmp.unlink(missing_ok=True)
-
 from ..analysis.cdf import EmpiricalCdf, median_gain
 from ..analysis.report import format_cdf_summary
+from ..io import atomic_write as _atomic_write
 from .spec import RunSpec
 
 _FORMAT_VERSION = 1

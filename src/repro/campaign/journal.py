@@ -29,6 +29,8 @@ import os
 from pathlib import Path
 from typing import Any, Iterator, Mapping
 
+from ..io import atomic_write_text
+
 MANIFEST_NAME = "manifest.json"
 JOURNAL_NAME = "journal.jsonl"
 
@@ -89,15 +91,8 @@ class CampaignJournal:
 
 def write_manifest(path: str | Path, data: Mapping[str, Any]) -> Path:
     """Atomically write the campaign manifest (temp sibling + replace)."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
-    try:
-        tmp.write_text(json.dumps(dict(data), indent=2, sort_keys=True) + "\n")
-        os.replace(tmp, path)
-    finally:
-        tmp.unlink(missing_ok=True)
-    return path
+    text = json.dumps(dict(data), indent=2, sort_keys=True) + "\n"
+    return atomic_write_text(Path(path), text)
 
 
 def read_manifest(path: str | Path) -> dict:

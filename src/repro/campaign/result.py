@@ -21,6 +21,7 @@ from typing import Any, Mapping
 import numpy as np
 
 from ..analysis.streaming import StreamingSummary
+from ..io import atomic_write_text
 from .spec import CampaignSpec
 
 _FORMAT_VERSION = 1
@@ -169,12 +170,7 @@ class CampaignResult:
 
     def save(self, path: str | Path, indent: int | None = 2) -> Path:
         """Atomically write the result as JSON."""
-        from ..api.result import _atomic_write
-
-        path = Path(path)
-        text = self.to_json(indent=indent)
-        _atomic_write(path, lambda tmp: tmp.write_text(text))
-        return path
+        return atomic_write_text(Path(path), self.to_json(indent=indent))
 
     @classmethod
     def load(cls, path: str | Path) -> "CampaignResult":

@@ -15,6 +15,7 @@ from typing import Iterator
 
 import numpy as np
 
+from ..io import atomic_write
 from .model import ChannelModel
 
 
@@ -68,18 +69,25 @@ class ChannelTrace:
         """Channel matrix for coherence block ``index``."""
         return self.h[index]
 
-    def save(self, path) -> None:
-        """Serialize to an ``.npz`` file."""
+    def save(self, path) -> Path:
+        """Serialize to an ``.npz`` file (atomically: tmp + ``os.replace``)."""
         meta_keys = list(self.metadata)
         meta_vals = [str(self.metadata[k]) for k in meta_keys]
-        np.savez_compressed(
-            Path(path),
-            h=self.h,
-            block_duration_s=self.block_duration_s,
-            noise_mw=self.noise_mw,
-            meta_keys=np.asarray(meta_keys, dtype=object),
-            meta_vals=np.asarray(meta_vals, dtype=object),
-        )
+
+        def write_to(tmp: Path) -> None:
+            # An open handle keeps numpy from appending ".npz" to the
+            # temp file's name and keeps the rename below atomic.
+            with open(tmp, "wb") as fh:
+                np.savez_compressed(
+                    fh,
+                    h=self.h,
+                    block_duration_s=self.block_duration_s,
+                    noise_mw=self.noise_mw,
+                    meta_keys=np.asarray(meta_keys, dtype=object),
+                    meta_vals=np.asarray(meta_vals, dtype=object),
+                )
+
+        return atomic_write(Path(path), write_to)
 
     @classmethod
     def load(cls, path) -> "ChannelTrace":

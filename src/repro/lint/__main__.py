@@ -1,0 +1,5 @@
+"""``python -m repro.lint`` dispatches to :func:`repro.lint.cli.main`."""
+
+from .cli import main
+
+raise SystemExit(main())

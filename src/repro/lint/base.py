@@ -1,0 +1,133 @@
+"""The rule framework: contexts, the visitor base class, and the registry."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Optional, Type
+
+from ..api.registry import Registry
+from .config import DEFAULT_CONFIG, LintConfig
+from .diagnostics import Diagnostic
+from .suppressions import Suppressions
+
+#: Rule registry, keyed by code (``RPL001`` ...) -- the same decorator-
+#: registry idiom the experiment/precoder registries use.
+RULES: Registry = Registry("lint rule")
+
+
+def register_rule(cls: Type["Rule"]) -> Type["Rule"]:
+    """Class decorator registering ``cls`` under its ``code``."""
+    if not getattr(cls, "code", None):
+        raise ValueError("lint rules must declare a non-empty `code`")
+    RULES.add(cls.code, cls)
+    return cls
+
+
+class RuleContext:
+    """Everything a rule needs about one file: source, tree, config.
+
+    ``logical_path`` is the posix-style path the scoping config matches
+    against; it defaults to the real path but tests override it to make a
+    fixture file impersonate, say, ``repro/core/batch.py``.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        source: str,
+        tree: ast.Module,
+        config: LintConfig = DEFAULT_CONFIG,
+        logical_path: Optional[str] = None,
+    ):
+        self.path = Path(path)
+        self.source = source
+        self.tree = tree
+        self.config = config
+        self.logical_path = logical_path or self.path.as_posix()
+        self.suppressions = Suppressions(source)
+
+    @property
+    def is_test_code(self) -> bool:
+        return self.config.allows_literal_seeds(self.logical_path)
+
+
+class Rule(ast.NodeVisitor):
+    """Base class for one lint rule over one file's AST.
+
+    Subclasses set ``code``/``name``/``description``, may narrow
+    :meth:`applies` (path scoping), and report via :meth:`report`.  The
+    default :meth:`run` simply visits the module tree.
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def __init__(self, ctx: RuleContext):
+        self.ctx = ctx
+        self.diagnostics: list[Diagnostic] = []
+
+    @classmethod
+    def applies(cls, ctx: RuleContext) -> bool:
+        """Whether this rule runs on ``ctx`` at all (path scoping)."""
+        return True
+
+    def run(self) -> list[Diagnostic]:
+        self.visit(self.ctx.tree)
+        return self.diagnostics
+
+    def report(self, node: ast.AST, message: str) -> None:
+        """File a diagnostic at ``node`` unless suppressed inline."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        if self.ctx.suppressions.is_suppressed(self.code, line):
+            return
+        self.diagnostics.append(
+            Diagnostic(
+                path=self.ctx.path.as_posix(),
+                line=line,
+                col=col,
+                code=self.code,
+                message=message,
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers the rules lean on
+# ----------------------------------------------------------------------
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def numpy_aliases(tree: ast.Module) -> frozenset:
+    """Names the module binds to the ``numpy`` package itself."""
+    aliases = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name == "numpy":
+                    aliases.add(item.asname or "numpy")
+    return frozenset(aliases)
+
+
+def numpy_from_imports(tree: ast.Module) -> dict:
+    """``{local_name: member_path}`` for ``from numpy[.sub] import X``."""
+    members: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            if node.module == "numpy" or node.module.startswith("numpy."):
+                prefix = node.module[len("numpy") :].lstrip(".")
+                for item in node.names:
+                    path = f"{prefix}.{item.name}" if prefix else item.name
+                    members[item.asname or item.name] = path
+    return members

@@ -1,0 +1,105 @@
+"""``python -m repro.lint``: the command-line entry point.
+
+Exit status: 0 when clean, 1 when any diagnostic fires, 2 on usage
+errors (argparse's convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from .base import RULES
+from .config import DEFAULT_CONFIG
+from .engine import lint_paths
+
+
+def _codes_arg(text: str) -> list:
+    return [code.strip() for code in text.split(",") if code.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description=(
+            "Statically enforce the repository's reproducibility "
+            "contracts (bit-identity, RNG seed tree, spec hashing, "
+            "telemetry vocabulary, units, atomic writes)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--select",
+        type=_codes_arg,
+        metavar="RPL001,RPL004",
+        help="run only these rule codes",
+    )
+    parser.add_argument(
+        "--ignore",
+        type=_codes_arg,
+        metavar="RPL005",
+        help="skip these rule codes",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--no-default-excludes",
+        action="store_true",
+        help=(
+            "also lint paths the default excludes skip "
+            "(lint fixture trees with seeded violations)"
+        ),
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for code in RULES:
+            rule = RULES.get(code)
+            print(f"{code}  {rule.name}: {rule.description}")
+        return 0
+
+    try:
+        diagnostics = lint_paths(
+            args.paths,
+            config=DEFAULT_CONFIG,
+            select=args.select,
+            ignore=args.ignore,
+            use_excludes=not args.no_default_excludes,
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"repro.lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps([d.to_dict() for d in diagnostics], indent=2))
+    else:
+        for diagnostic in diagnostics:
+            print(diagnostic.format())
+        if diagnostics:
+            count = len(diagnostics)
+            print(f"repro.lint: {count} diagnostic{'s' if count != 1 else ''}")
+    return 1 if diagnostics else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,34 @@
+"""Diagnostic records: what a rule reports and how it renders."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: a rule code anchored to a file/line/column position.
+
+    Ordering is lexicographic on ``(path, line, col, code)`` so reports are
+    stable regardless of rule execution order.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """``path:line:col: CODE message`` -- the human output line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON-safe mapping (the ``--format json`` record)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }

@@ -1,0 +1,130 @@
+"""File walking, rule execution, and diagnostic collection."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence
+
+from .base import RULES, RuleContext
+from .config import DEFAULT_CONFIG, LintConfig
+from .diagnostics import Diagnostic
+
+#: Code attached to files the parser rejects (not a registered rule; it
+#: cannot be suppressed or deselected -- a file that does not parse cannot
+#: be checked for anything else either).
+PARSE_ERROR_CODE = "RPL000"
+
+
+def _selected_rules(
+    select: Optional[Iterable[str]], ignore: Optional[Iterable[str]]
+) -> list:
+    codes = list(RULES)
+    if select:
+        wanted = set(select)
+        unknown = wanted - set(codes)
+        if unknown:
+            raise ValueError(
+                f"unknown rule code(s) {sorted(unknown)}; known: {codes}"
+            )
+        codes = [c for c in codes if c in wanted]
+    if ignore:
+        unwanted = set(ignore)
+        unknown = unwanted - set(RULES)
+        if unknown:
+            raise ValueError(
+                f"unknown rule code(s) {sorted(unknown)}; known: {list(RULES)}"
+            )
+        codes = [c for c in codes if c not in unwanted]
+    return [RULES.get(c) for c in codes]
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    config: LintConfig = DEFAULT_CONFIG,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    logical_path: Optional[str] = None,
+) -> list[Diagnostic]:
+    """Lint a source string as if it lived at ``path``."""
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                path=Path(path).as_posix(),
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) or 1,
+                code=PARSE_ERROR_CODE,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = RuleContext(
+        Path(path), source, tree, config=config, logical_path=logical_path
+    )
+    diagnostics: list[Diagnostic] = []
+    for rule_cls in _selected_rules(select, ignore):
+        if rule_cls.applies(ctx):
+            diagnostics.extend(rule_cls(ctx).run())
+    return sorted(diagnostics)
+
+
+def lint_file(
+    path,
+    config: LintConfig = DEFAULT_CONFIG,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    logical_path: Optional[str] = None,
+) -> list[Diagnostic]:
+    """Lint one file on disk."""
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    return lint_source(
+        source,
+        path=str(path),
+        config=config,
+        select=select,
+        ignore=ignore,
+        logical_path=logical_path,
+    )
+
+
+def iter_python_files(
+    paths: Sequence, config: LintConfig = DEFAULT_CONFIG, use_excludes: bool = True
+) -> Iterator[Path]:
+    """Yield ``.py`` files under ``paths`` in sorted order.
+
+    Directories are walked recursively; files are yielded as given.  With
+    ``use_excludes`` (the default), any path containing one of
+    ``config.exclude_parts`` (fixture trees, caches) is skipped.
+    """
+    exclude = set(config.exclude_parts) if use_excludes else set()
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if exclude.intersection(candidate.parts):
+                    continue
+                yield candidate
+        elif path.suffix == ".py":
+            if not exclude.intersection(path.parts):
+                yield path
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+
+
+def lint_paths(
+    paths: Sequence,
+    config: LintConfig = DEFAULT_CONFIG,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    use_excludes: bool = True,
+) -> list[Diagnostic]:
+    """Lint every python file under ``paths``; the CLI's workhorse."""
+    diagnostics: list[Diagnostic] = []
+    for file_path in iter_python_files(paths, config, use_excludes=use_excludes):
+        diagnostics.extend(
+            lint_file(file_path, config=config, select=select, ignore=ignore)
+        )
+    return sorted(diagnostics)

@@ -1,0 +1,169 @@
+"""RPL002: RNG discipline -- every draw comes from the seed tree.
+
+The reproducibility contract (``docs/architecture.md``, seed-derivation
+section) says all randomness flows from one root seed through
+:func:`repro.rng.derived_seed` / :func:`repro.rng.spawn`.  Statically
+enforced consequences:
+
+* no legacy numpy global RNG state (``np.random.seed``, ``np.random.rand``,
+  ``np.random.RandomState``, ...) anywhere -- one call perturbs every
+  stream in the process;
+* no ``default_rng(...)`` / ``SeedSequence(...)`` construction in library
+  code outside the seed-tree module (``repro/rng.py``): ad-hoc generators
+  bypass derivation and collide across workers.  Test/benchmark code is
+  exempt (``rng_literal_seed_exempt``) -- deterministic literals are
+  exactly what tests want;
+* no entropy-based seeding (``time.time()``, ``uuid.uuid4()``,
+  ``os.urandom``) feeding any RNG constructor, anywhere -- including
+  tests, where it silently destroys repeatability;
+* no stdlib ``random`` module in library code.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..base import Rule, dotted_name, numpy_aliases, numpy_from_imports, register_rule
+
+#: Legacy global-state / legacy-generator members of ``numpy.random``.
+_LEGACY_RANDOM = {
+    "seed",
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "ranf",
+    "sample",
+    "choice",
+    "shuffle",
+    "permutation",
+    "normal",
+    "uniform",
+    "standard_normal",
+    "exponential",
+    "poisson",
+    "RandomState",
+    "get_state",
+    "set_state",
+}
+
+#: RNG constructors whose seed argument is inspected for entropy sources.
+_RNG_CONSTRUCTORS = {"default_rng", "make_rng", "SeedSequence", "RandomState"}
+
+#: Call paths that are wall-clock / entropy sources.
+_ENTROPY_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.perf_counter",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "os.urandom",
+    "secrets.randbits",
+    "secrets.token_bytes",
+}
+
+
+@register_rule
+class RngDisciplineRule(Rule):
+    code = "RPL002"
+    name = "rng-discipline"
+    description = (
+        "no numpy global RNG state, no ad-hoc generator construction "
+        "outside the seed-tree module, no entropy-based seeding"
+    )
+
+    def run(self):
+        cfg = self.ctx.config
+        self._aliases = numpy_aliases(self.ctx.tree)
+        self._from_imports = numpy_from_imports(self.ctx.tree)
+        self._is_seed_tree = cfg.is_seed_tree(self.ctx.logical_path)
+        self._literal_ok = cfg.allows_literal_seeds(self.ctx.logical_path)
+        self.visit(self.ctx.tree)
+        return self.diagnostics
+
+    def _numpy_random_member(self, func: ast.AST):
+        dotted = dotted_name(func)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        if head in self._aliases and rest.startswith("random."):
+            return rest[len("random.") :]
+        if head in self._from_imports:
+            member = self._from_imports[head]
+            full = f"{member}.{rest}" if rest else member
+            if full.startswith("random."):
+                return full[len("random.") :]
+        return None
+
+    def visit_Import(self, node: ast.Import):
+        if not self._literal_ok:
+            for item in node.names:
+                if item.name == "random":
+                    self.report(
+                        node,
+                        "stdlib `random` in library code; all randomness "
+                        "must flow from the numpy seed tree (repro.rng)",
+                    )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom):
+        if node.module == "random" and not node.level and not self._literal_ok:
+            self.report(
+                node,
+                "stdlib `random` in library code; all randomness must "
+                "flow from the numpy seed tree (repro.rng)",
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call):
+        member = self._numpy_random_member(node.func)
+        callee = dotted_name(node.func) or ""
+        tail = callee.rsplit(".", maxsplit=1)[-1]
+
+        if member in _LEGACY_RANDOM:
+            self.report(
+                node,
+                f"legacy numpy RNG `{callee}` mutates or reads global "
+                "state; draw from a generator spawned by the seed tree "
+                "(repro.rng.spawn / derived_seed) instead",
+            )
+        elif member in {"default_rng", "SeedSequence"} or (
+            member is None and tail in {"default_rng", "SeedSequence"}
+            and self._is_rng_name(node.func)
+        ):
+            if not self._is_seed_tree and not self._literal_ok:
+                self.report(
+                    node,
+                    f"ad-hoc `{callee}` construction outside the seed-tree "
+                    "module; derive generators via repro.rng "
+                    "(make_rng / spawn / derived_seed) so streams stay "
+                    "independent and reproducible",
+                )
+
+        if tail in _RNG_CONSTRUCTORS:
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                entropy = self._entropy_call(arg)
+                if entropy is not None:
+                    self.report(
+                        node,
+                        f"seeding `{callee}` from `{entropy}`; "
+                        "wall-clock/entropy seeds destroy reproducibility "
+                        "-- derive the seed from the run's root seed",
+                    )
+        self.generic_visit(node)
+
+    def _is_rng_name(self, func: ast.AST) -> bool:
+        """Bare ``default_rng`` / ``SeedSequence`` imported from numpy."""
+        if isinstance(func, ast.Name):
+            return func.id in self._from_imports
+        return False
+
+    def _entropy_call(self, node: ast.AST):
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                dotted = dotted_name(sub.func)
+                if dotted in _ENTROPY_CALLS:
+                    return dotted
+        return None

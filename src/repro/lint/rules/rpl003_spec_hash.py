@@ -1,0 +1,106 @@
+"""RPL003: spec-hash stability -- every spec field reaches the serializer.
+
+``RunSpec`` / ``CampaignSpec`` identity is the SHA-256 of
+``canonical_json()`` over ``to_dict()``.  A dataclass field that never
+reaches ``to_dict`` silently aliases distinct specs onto one hash and
+poisons every cache keyed by it.  The rule fires on any ``@dataclass``
+class that defines ``canonical_json`` (the marker of a content-hashable
+spec class): it must also define ``to_dict``, and every public field
+declared in the class body must be mentioned inside ``to_dict`` -- either
+as a string literal (dict key, omit-when-unset loop tuple) or as a
+``self.<field>`` access.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..base import Rule, dotted_name, register_rule
+
+#: Method whose presence marks a content-hashable spec class.
+_HASH_MARKER = "canonical_json"
+
+
+def _is_dataclass_decorator(node: ast.AST) -> bool:
+    target = node.func if isinstance(node, ast.Call) else node
+    dotted = dotted_name(target)
+    return dotted is not None and dotted.split(".")[-1] == "dataclass"
+
+
+def _annotation_is_classvar(node: ast.AST) -> bool:
+    text = ast.unparse(node) if node is not None else ""
+    return "ClassVar" in text
+
+
+@register_rule
+class SpecHashRule(Rule):
+    code = "RPL003"
+    name = "spec-hash-stability"
+    description = (
+        "every dataclass field of a content-hashable spec class must "
+        "appear in its to_dict serializer"
+    )
+
+    def visit_ClassDef(self, node: ast.ClassDef):
+        if not any(_is_dataclass_decorator(d) for d in node.decorator_list):
+            self.generic_visit(node)
+            return
+        methods = {
+            stmt.name: stmt
+            for stmt in node.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        if _HASH_MARKER not in methods:
+            self.generic_visit(node)
+            return
+        fields = self._field_names(node)
+        to_dict = methods.get("to_dict")
+        if to_dict is None:
+            self.report(
+                node,
+                f"spec class `{node.name}` defines `{_HASH_MARKER}` but no "
+                "`to_dict`; content hashing needs an explicit canonical "
+                "serializer",
+            )
+            self.generic_visit(node)
+            return
+        mentioned = self._mentioned_names(to_dict)
+        for field_name in fields:
+            if field_name not in mentioned:
+                self.report(
+                    to_dict,
+                    f"spec field `{node.name}.{field_name}` never appears "
+                    "in `to_dict`; it is silently excluded from the "
+                    "canonical encoding, so distinct specs collide on one "
+                    "spec hash (add it, with omit-when-unset handling if "
+                    "it must not disturb existing hashes)",
+                )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _field_names(node: ast.ClassDef) -> list:
+        names = []
+        for stmt in node.body:
+            if (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and not stmt.target.id.startswith("_")
+                and not _annotation_is_classvar(stmt.annotation)
+            ):
+                names.append(stmt.target.id)
+        return names
+
+    @staticmethod
+    def _mentioned_names(func: ast.FunctionDef) -> Iterable:
+        mentioned = set()
+        for sub in ast.walk(func):
+            if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                mentioned.add(sub.value)
+            elif (
+                isinstance(sub, ast.Attribute)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id == "self"
+            ):
+                mentioned.add(sub.attr)
+        return mentioned

@@ -1,0 +1,103 @@
+"""RPL004: telemetry vocabulary and span shape.
+
+The metrics export always names the full pre-declared counter vocabulary
+(:data:`repro.obs.telemetry.CORE_COUNTERS`), zeros included, so dashboards
+and the benchsmoke assertions can rely on the key set.  A call site
+counting under an undeclared name silently never reaches an export reader.
+Spans must be ``with``-blocks so they balance under exceptions -- manual
+``span().__enter__()`` bookkeeping is exactly the leak the exception-safe
+design exists to prevent.
+
+Checked at call sites whose receiver is recognizably the active telemetry
+(``_obs()``, ``obsmod.active()``, ``telemetry``, ``self.telemetry``, or
+any ``*.active()`` call):
+
+* ``.count("name")`` / ``.gauge("name", ...)`` with a literal name not in
+  the declared vocabulary -> diagnostic (non-literal names are a merge
+  loop over already-validated keys and are skipped);
+* ``.span(...)`` anywhere but as a ``with`` context expression ->
+  diagnostic.
+
+The telemetry implementation itself (``repro/obs/``) is exempt, and the
+vocabulary check does not bind test code (tests deliberately exercise
+arbitrary names against the Telemetry machinery); the span-shape check
+applies everywhere.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..base import Rule, RuleContext, dotted_name, register_rule
+
+#: Receiver spellings that mark "the active telemetry object".
+_RECEIVER_CALL_NAMES = {"_obs", "active"}
+_RECEIVER_VALUE_NAMES = {"telemetry", "obs"}
+
+
+def _is_telemetry_receiver(node: ast.AST) -> bool:
+    """Heuristic: does this expression denote a Telemetry instance?"""
+    if isinstance(node, ast.Call):
+        dotted = dotted_name(node.func)
+        if dotted is not None and dotted.split(".")[-1] in _RECEIVER_CALL_NAMES:
+            return True
+        return False
+    dotted = dotted_name(node)
+    if dotted is None:
+        return False
+    return dotted.split(".")[-1] in _RECEIVER_VALUE_NAMES
+
+
+@register_rule
+class TelemetryVocabularyRule(Rule):
+    code = "RPL004"
+    name = "telemetry-vocabulary"
+    description = (
+        "counter/gauge names must be pre-declared; spans must be "
+        "with-blocks, never manual begin/end"
+    )
+
+    @classmethod
+    def applies(cls, ctx: RuleContext) -> bool:
+        return not ctx.config.is_telemetry_impl(ctx.logical_path)
+
+    def run(self):
+        self._with_contexts = {
+            id(item.context_expr)
+            for node in ast.walk(self.ctx.tree)
+            if isinstance(node, (ast.With, ast.AsyncWith))
+            for item in node.items
+        }
+        self.visit(self.ctx.tree)
+        return self.diagnostics
+
+    def visit_Call(self, node: ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and _is_telemetry_receiver(func.value):
+            if func.attr in {"count", "gauge"} and not self.ctx.is_test_code:
+                self._check_vocabulary(node)
+            elif func.attr == "span" and id(node) not in self._with_contexts:
+                self.report(
+                    node,
+                    "telemetry span used outside a `with` block; spans "
+                    "must be `with`-blocks so they balance under "
+                    "exceptions (never manual begin/end)",
+                )
+        self.generic_visit(node)
+
+    def _check_vocabulary(self, node: ast.Call) -> None:
+        if not node.args:
+            return
+        first = node.args[0]
+        if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+            return  # dynamic name: a merge loop over validated keys
+        name = first.value
+        if name not in self.ctx.config.counter_vocabulary:
+            self.report(
+                node,
+                f"telemetry counter/gauge name {name!r} is not in the "
+                "declared core vocabulary "
+                "(repro.obs.telemetry.CORE_COUNTERS); undeclared names "
+                "never reach the always-complete metrics export -- "
+                "declare it there (and in the docs table) first",
+            )

@@ -1,0 +1,60 @@
+"""RPL005: units discipline -- dB never meets linear power bare.
+
+The naming convention (:mod:`repro.units`) is load-bearing: ``*_db`` /
+``*_dbm`` names are logarithmic, ``*_mw`` / ``*_w`` names are linear.
+``x_dbm + y_mw`` is always a bug -- adding a logarithm to a power -- and
+it evaluates without complaint, so it survives until someone notices a
+capacity curve is nonsense.  The rule flags any arithmetic binary
+operation whose two operands are *names* (or attribute accesses) from the
+two different unit classes; passing through a :mod:`repro.units` converter
+(``dbm_to_mw(x_dbm) + y_mw``) changes the operand from a name to a call
+and is the sanctioned spelling.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from ..base import Rule, dotted_name, register_rule
+
+_ARITH_OPS = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Mod)
+
+
+@register_rule
+class UnitsDisciplineRule(Rule):
+    code = "RPL005"
+    name = "units-discipline"
+    description = (
+        "no arithmetic mixing dB-suffixed and linear-power-suffixed "
+        "names without a repro.units converter"
+    )
+
+    def _unit_class(self, node: ast.AST) -> Optional[str]:
+        """``"db"`` / ``"linear"`` / ``None`` for one operand."""
+        dotted = dotted_name(node)
+        if dotted is None:
+            return None
+        tail = dotted.split(".")[-1].lower()
+        if tail.endswith(self.ctx.config.db_suffixes):
+            return "db"
+        if tail.endswith(self.ctx.config.linear_suffixes):
+            return "linear"
+        return None
+
+    def visit_BinOp(self, node: ast.BinOp):
+        if isinstance(node.op, _ARITH_OPS):
+            left = self._unit_class(node.left)
+            right = self._unit_class(node.right)
+            if left is not None and right is not None and left != right:
+                op = type(node.op).__name__.lower()
+                self.report(
+                    node,
+                    f"arithmetic ({op}) mixes a dB-scale name "
+                    f"(`{ast.unparse(node.left if left == 'db' else node.right)}`) "
+                    "with a linear-power name "
+                    f"(`{ast.unparse(node.right if left == 'db' else node.left)}`); "
+                    "convert explicitly through repro.units "
+                    "(db_to_linear / dbm_to_mw / mw_to_dbm) first",
+                )
+        self.generic_visit(node)

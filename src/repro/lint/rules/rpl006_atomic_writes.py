@@ -1,0 +1,129 @@
+"""RPL006: atomic persistence -- tmp sibling + ``os.replace``, always.
+
+Cache entries, campaign manifests, results, and telemetry exports are all
+read back by resume logic and other processes; a torn write (kill -9 mid
+``json.dump``) must surface as a *missing* file, never a corrupt one.
+The sanctioned pattern is a same-directory temp file renamed into place
+(``_atomic_write`` in ``repro.api.result`` / ``repro.campaign.journal``).
+
+Within the configured persistence modules, a write call --
+``open(path, "w"/"wb")``, ``Path.write_text`` / ``write_bytes``,
+``json.dump``, ``np.save*`` -- is flagged unless
+
+* some name involved contains ``tmp`` (it targets the temp sibling), or
+* an enclosing function calls ``os.replace`` or takes a ``tmp``-named
+  parameter (it is the rename's write callback -- local evidence of the
+  pattern), or
+* the ``open`` mode is append (journals are append + fsync by design).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..base import Rule, RuleContext, dotted_name, register_rule
+
+from ..base import numpy_aliases
+
+#: Attribute names that are file-writing calls on a path-like receiver.
+_WRITE_ATTRS = {"write_text", "write_bytes"}
+
+#: numpy members that serialize to disk (flagged only on a numpy alias
+#: receiver, so ``result.save(path)`` method calls are not confused with
+#: ``np.save(path, ...)``).
+_NUMPY_WRITERS = {"save", "savez", "savez_compressed"}
+
+
+def _mentions_tmp(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and "tmp" in sub.id.lower():
+            return True
+        if isinstance(sub, ast.Attribute) and "tmp" in sub.attr.lower():
+            return True
+        if isinstance(sub, ast.arg) and "tmp" in sub.arg.lower():
+            return True
+    return False
+
+
+def _open_write_mode(node: ast.Call) -> bool:
+    """Is this ``open(..., mode)`` with a write (non-append) mode?"""
+    mode = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    for kw in node.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    if mode is None or not (
+        isinstance(mode, ast.Constant) and isinstance(mode.value, str)
+    ):
+        return False
+    return ("w" in mode.value or "x" in mode.value) and "a" not in mode.value
+
+
+@register_rule
+class AtomicWriteRule(Rule):
+    code = "RPL006"
+    name = "atomic-writes"
+    description = (
+        "persistence writes in cache/campaign/result modules must use "
+        "the tmp-sibling + os.replace pattern"
+    )
+
+    @classmethod
+    def applies(cls, ctx: RuleContext) -> bool:
+        return ctx.config.is_atomic_write_module(ctx.logical_path)
+
+    def run(self):
+        self._replace_functions: list[bool] = []
+        self._numpy_aliases = numpy_aliases(self.ctx.tree)
+        self.visit(self.ctx.tree)
+        return self.diagnostics
+
+    def _visit_function(self, node):
+        calls_replace = any(
+            isinstance(sub, ast.Call)
+            and (dotted_name(sub.func) or "").endswith("os.replace")
+            for sub in ast.walk(node)
+        )
+        takes_tmp = any("tmp" in arg.arg.lower() for arg in node.args.args)
+        self._replace_functions.append(calls_replace or takes_tmp)
+        self.generic_visit(node)
+        self._replace_functions.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def _inside_replace_scope(self) -> bool:
+        return any(self._replace_functions)
+
+    def visit_Call(self, node: ast.Call):
+        self._check(node)
+        self.generic_visit(node)
+
+    def _check(self, node: ast.Call) -> None:
+        dotted = dotted_name(node.func) or ""
+        head, _, rest = dotted.partition(".")
+        tail = dotted.split(".")[-1]
+        is_write = False
+        what = dotted or tail
+        if isinstance(node.func, ast.Attribute) and node.func.attr in _WRITE_ATTRS:
+            is_write = True
+        elif dotted.endswith("json.dump") or dotted == "json.dump":
+            is_write = True
+        elif head in self._numpy_aliases and rest in _NUMPY_WRITERS:
+            is_write = True
+        elif tail == "open" and _open_write_mode(node):
+            is_write = True
+        if not is_write:
+            return
+        if _mentions_tmp(node):
+            return
+        if self._inside_replace_scope():
+            return
+        self.report(
+            node,
+            f"non-atomic persistence write `{what}`; write to a "
+            "same-directory tmp sibling and `os.replace` it into place "
+            "(see repro.api.result._atomic_write) so a torn write is a "
+            "missing file, never a corrupt one",
+        )

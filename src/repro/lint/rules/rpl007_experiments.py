@@ -1,0 +1,100 @@
+"""RPL007: registered experiments must vectorize (or say why not).
+
+Every experiment registered via ``register_experiment`` is expected to
+ship a ``build_batch`` hook so ``Runner(backend="vectorized")`` and the
+array-API backend cover it; an experiment that silently lacks one falls
+back to the per-topology loop and quietly forfeits the 3-4x batched
+speedup (the Runner warns at runtime, but only when that path runs).
+
+A registration without ``build_batch`` must carry the documented
+loop-fallback marker -- either a class attribute::
+
+    @register_experiment
+    class MyExperiment:
+        loop_fallback = "event-driven engine; no batched formulation yet"
+        ...
+
+or the comment ``# repro-lint: loop-fallback`` on (or directly above) the
+registration line for the ``register_experiment(ExperimentDef(...))``
+call form.  The marker is a declared, greppable opt-out, not a lint mute.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..base import Rule, RuleContext, dotted_name, register_rule
+
+_REGISTER_NAME = "register_experiment"
+
+
+def _is_register_decorator(node: ast.AST) -> bool:
+    target = node.func if isinstance(node, ast.Call) else node
+    dotted = dotted_name(target)
+    return dotted is not None and dotted.split(".")[-1] == _REGISTER_NAME
+
+
+def _class_defines(node: ast.ClassDef, attr: str) -> bool:
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == attr:
+                    return True
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) and stmt.target.id == attr:
+                return True
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if stmt.name == attr:
+                return True
+    return False
+
+
+@register_rule
+class ExperimentBatchRule(Rule):
+    code = "RPL007"
+    name = "experiment-build-batch"
+    description = (
+        "registered experiments must ship build_batch or carry the "
+        "documented loop-fallback marker"
+    )
+
+    @classmethod
+    def applies(cls, ctx: RuleContext) -> bool:
+        return ctx.config.is_experiment_module(ctx.logical_path)
+
+    def visit_ClassDef(self, node: ast.ClassDef):
+        if any(_is_register_decorator(d) for d in node.decorator_list):
+            if not (
+                _class_defines(node, "build_batch")
+                or _class_defines(node, "loop_fallback")
+                or self.ctx.suppressions.has_loop_fallback_marker(node.lineno)
+            ):
+                self.report(
+                    node,
+                    f"registered experiment `{node.name}` ships no "
+                    "`build_batch`, so the vectorized/array-API backends "
+                    "silently fall back to the per-topology loop; add the "
+                    "batched hook or declare `loop_fallback = \"<reason>\"`",
+                )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call):
+        # register_experiment(ExperimentDef(...)) direct-call form.
+        if _is_register_decorator(node) and node.args:
+            arg = node.args[0]
+            if isinstance(arg, ast.Call):
+                kwargs = {kw.arg for kw in arg.keywords}
+                if (
+                    "build_batch" not in kwargs
+                    and not self.ctx.suppressions.has_loop_fallback_marker(
+                        node.lineno
+                    )
+                ):
+                    self.report(
+                        node,
+                        "registered experiment definition ships no "
+                        "`build_batch`; add the batched hook or put "
+                        "`# repro-lint: loop-fallback` (with a reason) on "
+                        "the registration line",
+                    )
+        self.generic_visit(node)

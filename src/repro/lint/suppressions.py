@@ -1,0 +1,67 @@
+"""Inline suppression comments.
+
+Two spellings, mirroring the repo's other inline-control idioms:
+
+``# repro-lint: disable=RPL001`` (or ``disable=RPL001,RPL004``)
+    Suppress the named rules on this physical line.
+
+``# repro-lint: disable-file=RPL005``
+    Suppress the named rules for the whole file (put it near the top).
+
+Suppression is per-rule by design -- there is no blanket ``disable=all``;
+muting a contract should name the contract being muted.
+"""
+
+from __future__ import annotations
+
+import re
+
+_LINE_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Z0-9,\s]+)")
+_FILE_RE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Z0-9,\s]+)")
+
+#: Marker accepted by RPL007 as the documented loop-fallback declaration
+#: (distinct from suppression: it is an opt-out the rule defines, not a
+#: mute of the rule).
+LOOP_FALLBACK_RE = re.compile(r"#\s*repro-lint:\s*loop-fallback\b")
+
+
+def _codes(blob: str) -> frozenset:
+    return frozenset(code.strip() for code in blob.split(",") if code.strip())
+
+
+class Suppressions:
+    """Parsed suppression state for one source file."""
+
+    def __init__(self, source: str):
+        self.line_codes: dict[int, frozenset] = {}
+        self.file_codes: frozenset = frozenset()
+        self.loop_fallback_lines: frozenset = frozenset()
+        file_codes: set = set()
+        fallback_lines: set = set()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            if "#" not in text:
+                continue
+            match = _LINE_RE.search(text)
+            if match:
+                self.line_codes[lineno] = _codes(match.group(1))
+            match = _FILE_RE.search(text)
+            if match:
+                file_codes |= _codes(match.group(1))
+            if LOOP_FALLBACK_RE.search(text):
+                fallback_lines.add(lineno)
+        self.file_codes = frozenset(file_codes)
+        self.loop_fallback_lines = frozenset(fallback_lines)
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        """Is rule ``code`` suppressed at physical line ``line``?"""
+        if code in self.file_codes:
+            return True
+        return code in self.line_codes.get(line, frozenset())
+
+    def has_loop_fallback_marker(self, line: int) -> bool:
+        """Does ``line`` (or the line above it) carry the loop-fallback
+        marker?  The line above covers decorator/comment-first styles."""
+        return (
+            line in self.loop_fallback_lines
+            or (line - 1) in self.loop_fallback_lines
+        )

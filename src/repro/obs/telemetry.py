@@ -20,6 +20,8 @@ import time
 from pathlib import Path
 from typing import Any, Callable, Iterator
 
+from ..io import atomic_write_text
+
 #: Schema version of the JSONL trace format (the ``meta`` line carries it).
 TRACE_SCHEMA_VERSION = 1
 
@@ -371,14 +373,7 @@ class TelemetrySummary:
 
 def _atomic_text(path: Path, text: str) -> Path:
     """Same-directory temp file + ``os.replace``: never a torn export."""
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
-    try:
-        tmp.write_text(text)
-        os.replace(tmp, path)
-    finally:
-        tmp.unlink(missing_ok=True)
-    return path
+    return atomic_write_text(path, text)
 
 
 # ----------------------------------------------------------------------

@@ -586,10 +586,10 @@ class RoundBasedEvaluatorBatch:
             for key, h_est in slot_estimates.items():
                 groups.setdefault(h_est.shape, []).append(key)
             for keys in groups.values():
-                est_stack = np.stack([slot_estimates[k] for k in keys])
+                est_stack_np = np.stack([slot_estimates[k] for k in keys])
                 _obs().count("xp.to_device.calls")
-                _obs().count("xp.to_device.bytes", est_stack.nbytes)
-                stack = xp.asarray(est_stack, dtype=xp.complex_dtype)
+                _obs().count("xp.to_device.bytes", est_stack_np.nbytes)
+                stack = xp.asarray(est_stack_np, dtype=xp.complex_dtype)
                 if self.mode is MacMode.CAS:
                     v = batch_naive_precoder(stack, radio.per_antenna_power_mw)
                 else:
@@ -673,10 +673,12 @@ class RoundBasedEvaluatorBatch:
                     slot_capacity[key] = float(sums[index])
                     slot_sinrs[key] = sinr_rows[index]
 
-            # Per-item assembly in the scalar accumulation order.
-            capacity = np.zeros(self.n_items)
-            n_streams = np.zeros(self.n_items, dtype=int)
-            per_ap_streams = np.zeros((self.n_items, self.n_aps), dtype=int)
+            # Per-item assembly in the scalar accumulation order.  These
+            # are host-side result buffers (everything feeding them has
+            # already crossed to_numpy), hence the RPL001 suppressions.
+            capacity = np.zeros(self.n_items)  # repro-lint: disable=RPL001
+            n_streams = np.zeros(self.n_items, dtype=int)  # repro-lint: disable=RPL001
+            per_ap_streams = np.zeros((self.n_items, self.n_aps), dtype=int)  # repro-lint: disable=RPL001
             for b in np.flatnonzero(item_active):
                 total = 0.0
                 for s, (ap, __, chosen) in enumerate(planned[b]):

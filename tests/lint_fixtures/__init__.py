@@ -1,0 +1,5 @@
+# Fixture snippets for the repro.lint rule tests.  Each rule has a seeded
+# violation (must be caught) and a near-miss (must not fire).  This tree is
+# in the linter's default excludes, so full-tree runs never see it; the
+# tests lint the files explicitly, impersonating library paths via
+# `logical_path`.

@@ -1,0 +1,23 @@
+"""RPL001 near-misses: every sanctioned host-boundary shape in one file."""
+
+import numpy as np
+
+from repro.xp import array_namespace
+
+# Module-level constant tables are built on the host once: fine.
+_TABLE = np.array([1.0, 2.0, 3.0])
+
+
+def assemble(parts, listeners):
+    xp = array_namespace(parts[0])
+    # Host staging buffer named with the documented *_np suffix: fine.
+    stacked_np = np.stack([np.asarray(p) for p in parts])
+    device = xp.asarray(stacked_np, dtype=xp.float_dtype)
+    # Host assembly lexically inside the xp.asarray transfer: fine.
+    other = xp.asarray(np.stack([p * 2 for p in parts]))
+    # Index staging with an explicit non-float dtype: fine.
+    listeners = np.asarray(listeners, dtype=int)
+    # Allowlisted non-compute members: fine.
+    if device.shape[0] == 0:
+        raise np.linalg.LinAlgError("empty batch")
+    return device[listeners] + other[listeners]

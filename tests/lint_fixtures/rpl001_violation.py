@@ -1,0 +1,13 @@
+"""Seeded RPL001 violation: raw numpy compute in a dispatched scope."""
+
+import numpy as np
+
+from repro.xp import array_namespace
+
+
+def capacity_for(h):
+    xp = array_namespace(h)
+    powers = xp.abs(h) ** 2
+    # VIOLATION: np.sqrt on what may be a device tensor.
+    scale = np.sqrt(powers)
+    return xp.sum(scale, axis=-1)

@@ -1,0 +1,17 @@
+"""RPL002 near-misses: the sanctioned seed-tree spellings."""
+
+import numpy as np
+
+from repro import rng as rng_mod
+
+
+def good_passthrough(seed: int, rng: np.random.Generator):
+    # Annotations naming np.random.Generator are type references, not draws.
+    child_a, child_b = rng_mod.spawn(rng, 2)
+    derived = rng_mod.derived_seed(seed, 7)
+    return rng_mod.make_rng(derived), child_a, child_b
+
+
+def good_draw(rng: np.random.Generator):
+    # Drawing from a generator handed down the seed tree is the contract.
+    return rng.normal(size=3)

@@ -1,0 +1,18 @@
+"""Seeded RPL002 violations: global state, ad-hoc seeding, entropy seeds."""
+
+import time
+
+import numpy as np
+
+
+def bad_global_state():
+    np.random.seed(1234)  # VIOLATION: global RNG state
+    return np.random.rand(4)  # VIOLATION: legacy global draw
+
+
+def bad_ad_hoc_generator():
+    return np.random.default_rng(42)  # VIOLATION: ad-hoc generator in library code
+
+
+def bad_entropy_seed():
+    return np.random.default_rng(int(time.time()))  # VIOLATION: wall-clock seed

@@ -1,0 +1,42 @@
+"""RPL003 near-miss: every field serialized, omit-when-unset included.
+
+Also a plain dataclass with ``to_dict`` but no ``canonical_json`` -- not a
+content-hashable spec, so the rule must leave it alone even though its
+``to_dict`` is partial.
+"""
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GoodSpec:
+    experiment: str
+    seed: int = 0
+    traffic: str | None = None
+    mobility: str | None = None
+
+    def to_dict(self) -> dict:
+        data = {"experiment": self.experiment, "seed": self.seed}
+        # Omit-when-unset via the literal-tuple loop idiom.
+        for label in ("traffic", "mobility"):
+            value = getattr(self, label)
+            if value is not None:
+                data[label] = value
+        return data
+
+    def canonical_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def spec_hash(self) -> str:
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
+
+
+@dataclass
+class NotASpec:
+    name: str
+    ignored: int = 0
+
+    def to_dict(self) -> dict:
+        return {"name": self.name}

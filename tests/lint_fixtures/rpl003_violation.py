@@ -1,0 +1,23 @@
+"""Seeded RPL003 violation: a spec field missing from the serializer."""
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BrokenSpec:
+    experiment: str
+    seed: int = 0
+    # VIOLATION: `coordination` never reaches to_dict, so two specs that
+    # differ only in coordination collide on one spec hash.
+    coordination: str | None = None
+
+    def to_dict(self) -> dict:
+        return {"experiment": self.experiment, "seed": self.seed}
+
+    def canonical_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def spec_hash(self) -> str:
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()

@@ -1,0 +1,16 @@
+"""RPL004 near-misses: declared names, with-block spans, dynamic merges."""
+
+from repro.obs import active as _obs
+
+
+def run_round(telemetry, summary):
+    _obs().count("engine.rounds")  # declared core counter: fine
+    telemetry.count("engine.txops", 4)  # declared core counter: fine
+    with telemetry.span("engine.run", engine="loop"):  # with-block span: fine
+        pass
+    for name, value in summary.items():
+        telemetry.count(name, value)  # dynamic merge over validated keys: fine
+    # .count on something that is not telemetry is out of scope entirely.
+    import itertools
+
+    return next(itertools.count())

@@ -1,0 +1,14 @@
+"""Seeded RPL004 violations: undeclared counter name, span outside with."""
+
+from repro.obs import active as _obs
+
+
+def run_round(telemetry):
+    _obs().count("engine.secret_rounds")  # VIOLATION: undeclared name
+    telemetry.gauge("engine.mystery_depth", 3)  # VIOLATION: undeclared name
+    span = telemetry.span("engine.run")  # VIOLATION: manual span handling
+    span.__enter__()
+    try:
+        pass
+    finally:
+        span.__exit__(None, None, None)

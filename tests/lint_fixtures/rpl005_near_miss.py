@@ -1,0 +1,13 @@
+"""RPL005 near-misses: converted operands and same-class arithmetic."""
+
+from repro.units import db_to_linear, dbm_to_mw
+
+
+def total_power(signal_dbm, leak_mw, gain_db, path_loss_db, noise_mw):
+    # Converted through repro.units first: fine.
+    combined_mw = dbm_to_mw(signal_dbm) + leak_mw
+    # Same dB class on both sides: fine.
+    budget_db = gain_db - path_loss_db
+    # Same linear class on both sides: fine.
+    floor_mw = leak_mw + noise_mw
+    return combined_mw, db_to_linear(budget_db), floor_mw

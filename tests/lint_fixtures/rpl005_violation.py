@@ -1,0 +1,7 @@
+"""Seeded RPL005 violations: dB-scale names meeting linear power bare."""
+
+
+def total_power(signal_dbm, leak_mw, gain_db, budget_w):
+    combined = signal_dbm + leak_mw  # VIOLATION: dBm plus milliwatts
+    scaled = gain_db * budget_w  # VIOLATION: dB times watts
+    return combined, scaled

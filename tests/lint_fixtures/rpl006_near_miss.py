@@ -1,0 +1,30 @@
+"""RPL006 near-misses: the tmp-sibling pattern, append journals, reads."""
+
+import json
+import os
+from pathlib import Path
+
+
+def save_result(path: Path, payload: dict) -> None:
+    # The sanctioned shape: temp sibling written, then renamed into place.
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    try:
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def append_journal(path: Path, event: dict) -> None:
+    # Append-mode journals are crash-safe by design (torn final line is
+    # tolerated and dropped by the reader): fine.
+    with open(path, "a") as fh:
+        fh.write(json.dumps(event) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+def load_result(path: Path) -> dict:
+    # Reads are out of scope.
+    with open(path) as fh:
+        return json.load(fh)

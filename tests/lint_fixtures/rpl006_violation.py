@@ -1,0 +1,13 @@
+"""Seeded RPL006 violations: torn-write-prone persistence."""
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+
+def save_result(path: Path, payload: dict, arrays: dict) -> None:
+    path.write_text(json.dumps(payload))  # VIOLATION: direct overwrite
+    with open(path.with_suffix(".json"), "w") as fh:  # VIOLATION: w-mode open
+        json.dump(payload, fh)  # VIOLATION: dump straight to destination
+    np.savez(path.with_suffix(".npz"), **arrays)  # VIOLATION: direct npz

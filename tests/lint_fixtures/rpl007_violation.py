@@ -1,0 +1,22 @@
+"""Seeded RPL007 violation: a registered experiment with no batch hook."""
+
+from repro.api.experiments import register_experiment
+
+
+def _build(topo_seed, params):
+    return {"capacity": float(topo_seed)}
+
+
+def _finalize(outcomes, params):
+    return outcomes
+
+
+# VIOLATION: no build_batch and no loop-fallback marker -- the vectorized
+# backend silently degrades to the per-topology loop.
+@register_experiment
+class UnbatchedExperiment:
+    name = "fixture_unbatched"
+    description = "fixture"
+    defaults = {"n_topologies": 4}
+    build = staticmethod(_build)
+    finalize = staticmethod(_finalize)

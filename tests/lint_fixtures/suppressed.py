@@ -1,0 +1,14 @@
+"""Suppression fixtures: inline and file-level disables."""
+
+import numpy as np
+
+
+def host_boundary():
+    # Same violation as rpl002, muted inline with a stated reason.
+    np.random.seed(0)  # repro-lint: disable=RPL002 (exercising the mute)
+    return 1
+
+
+def still_flagged():
+    np.random.seed(1)  # no suppression here: must still be caught
+    return 2

@@ -1,0 +1,6 @@
+"""File-level suppression fixture."""
+# repro-lint: disable-file=RPL005
+
+
+def mix(a_dbm, b_mw, c_db, d_w):
+    return a_dbm + b_mw, c_db * d_w  # both muted by the file-level disable

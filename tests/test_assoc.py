@@ -6,7 +6,6 @@ import pytest
 from repro.api import RunSpec, UnknownNameError
 from repro.assoc import (
     AssociationPolicy,
-    AssociationState,
     CoordinationMode,
     HysteresisHandoffPolicy,
     association_names,

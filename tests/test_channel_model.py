@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.channel.model import ChannelModel, apply_csi_error
-from repro.config import RadioConfig
 from repro.topology.deployment import AntennaMode
 from repro.topology.scenarios import office_b, single_ap_scenario
 

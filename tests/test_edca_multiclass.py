@@ -8,7 +8,6 @@ logic end to end -- through :class:`repro.mac.edca.EdcaQueueSet`, through
 round engines with a scripted multi-class arrival model."""
 
 import numpy as np
-import pytest
 
 from repro.core.selection import DeficitRoundRobin, select_clients_for_antennas
 from repro.core.tagging import TagTable

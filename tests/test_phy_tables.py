@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.phy.mcs import MCS_TABLE, highest_mcs_for_snr, rate_bps_hz_for_snr
-from repro.phy.ofdm import VHT20, OfdmNumerology
+from repro.phy.ofdm import VHT20
 from repro.phy.sounding import sounding_overhead_us
 
 

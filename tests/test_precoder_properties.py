@@ -20,7 +20,6 @@ import numpy as np
 import pytest
 
 import repro.xp as xpmod
-from repro import ChannelModel
 from repro.api import precoder_matrix, precoder_matrix_batch
 from repro.config import RadioConfig
 from repro.core import batch as core_batch

@@ -1,7 +1,6 @@
 """Transmission registry tests."""
 
 import numpy as np
-import pytest
 
 from repro.sim.radio_state import ActiveTransmission, TransmissionLog
 

@@ -1,7 +1,6 @@
 """Scenario factory tests: the paper's deployment rules."""
 
 import numpy as np
-import pytest
 
 from repro.channel.pathloss import coverage_range_m, cs_range_m
 from repro.topology import geometry

@@ -1,7 +1,5 @@
 """Unit-conversion and physical-constant tests."""
 
-import math
-
 import numpy as np
 import pytest
 from hypothesis import given

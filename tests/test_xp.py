@@ -10,7 +10,6 @@ import pytest
 
 import repro.xp as xpmod
 from repro.xp import (
-    ArrayNamespace,
     BackendUnavailableError,
     NumpyNamespace,
     RngBridge,
